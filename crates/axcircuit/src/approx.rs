@@ -1,0 +1,120 @@
+//! Named approximate-multiplier circuit constructors.
+//!
+//! These are thin, documented wrappers over [`MultiplierSpec`] that mirror
+//! how approximate-circuit libraries (EvoApprox8b and the broken-array /
+//! truncated multiplier literature) parameterize their designs. Each
+//! constructor returns a gate-level [`Netlist`] whose exhaustive truth table
+//! can be extracted with [`crate::truth::TruthTable`] and turned into the
+//! 128 kB look-up table the TFApprox paper stores in GPU texture memory.
+
+use crate::builder::{CellDrop, MultiplierSpec};
+use crate::{CircuitError, Netlist};
+
+/// Exact unsigned `w × w` array multiplier.
+///
+/// # Errors
+///
+/// See [`MultiplierSpec::build`].
+pub fn exact_unsigned(w: u32) -> Result<Netlist, CircuitError> {
+    MultiplierSpec::unsigned(w, w).build()
+}
+
+/// Exact signed (two's-complement) `w × w` multiplier.
+///
+/// # Errors
+///
+/// See [`MultiplierSpec::build`].
+pub fn exact_signed(w: u32) -> Result<Netlist, CircuitError> {
+    MultiplierSpec::signed(w, w).build()
+}
+
+/// Truncated unsigned multiplier: the `k` least-significant product columns
+/// are never computed (their partial products are dropped). Classic
+/// fixed-width truncation; always under-estimates.
+///
+/// # Errors
+///
+/// See [`MultiplierSpec::build`].
+pub fn truncated_unsigned(w: u32, k: u32) -> Result<Netlist, CircuitError> {
+    MultiplierSpec::unsigned(w, w)
+        .with_drop(CellDrop::LsbColumns(k))
+        .build()
+}
+
+/// Broken-array multiplier (BAM) after Mahdiani et al.: omits carry-save
+/// cells below a vertical break level `vbl` and a horizontal break level
+/// `hbl`, trading accuracy for area/power.
+///
+/// # Errors
+///
+/// See [`MultiplierSpec::build`].
+pub fn broken_array_unsigned(w: u32, vbl: u32, hbl: u32) -> Result<Netlist, CircuitError> {
+    MultiplierSpec::unsigned(w, w)
+        .with_drop(CellDrop::BrokenArray { vbl, hbl })
+        .build()
+}
+
+/// Broken-array signed multiplier (sign-extended array with BAM mask).
+///
+/// # Errors
+///
+/// See [`MultiplierSpec::build`].
+pub fn broken_array_signed(w: u32, vbl: u32, hbl: u32) -> Result<Netlist, CircuitError> {
+    MultiplierSpec::signed(w, w)
+        .with_drop(CellDrop::BrokenArray { vbl, hbl })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_unsigned_is_exact() {
+        let nl = exact_unsigned(6).unwrap();
+        for x in [0u64, 1, 31, 63] {
+            for y in [0u64, 2, 33, 63] {
+                assert_eq!(nl.eval_words(&[x, y]).unwrap(), x * y);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_signed_is_exact() {
+        let nl = exact_signed(6).unwrap();
+        for x in [-32i64, -1, 0, 1, 31] {
+            for y in [-32i64, -3, 0, 7, 31] {
+                let got = nl.eval_words(&[(x as u64) & 0x3F, (y as u64) & 0x3F]).unwrap();
+                assert_eq!(got, ((x * y) as u64) & 0xFFF, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_reduces_gate_count() {
+        let exact = exact_unsigned(8).unwrap();
+        let trunc = truncated_unsigned(8, 6).unwrap();
+        assert!(trunc.n_gates() < exact.n_gates());
+    }
+
+    #[test]
+    fn bam_zero_breaks_is_exact() {
+        let exact = exact_unsigned(4).unwrap();
+        let bam = broken_array_unsigned(4, 0, 0).unwrap();
+        for x in 0u64..16 {
+            for y in 0u64..16 {
+                assert_eq!(
+                    bam.eval_words(&[x, y]).unwrap(),
+                    exact.eval_words(&[x, y]).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_breaks_drop_more_gates() {
+        let shallow = broken_array_unsigned(8, 2, 0).unwrap();
+        let deep = broken_array_unsigned(8, 8, 2).unwrap();
+        assert!(deep.n_gates() < shallow.n_gates());
+    }
+}

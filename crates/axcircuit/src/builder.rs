@@ -1,0 +1,696 @@
+//! Generators for arithmetic circuits: adders and array multipliers.
+//!
+//! The multiplier generator is *approximation aware*: a [`CellDrop`] mask
+//! describes which partial-product cells are omitted, which is how classic
+//! approximate multiplier families (truncated multipliers, the broken-array
+//! multiplier) are derived from the exact array structure.
+
+use crate::{CircuitError, GateKind, NetId, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// Result of an n-bit adder: sum bits (LSB-first) and the carry-out.
+#[derive(Debug, Clone)]
+pub struct AdderOut {
+    /// Sum bits, LSB first; same width as the operands.
+    pub sum: Vec<NetId>,
+    /// Carry out of the most significant position.
+    pub carry: NetId,
+}
+
+/// Append a half adder; returns `(sum, carry)`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::DanglingNet`] if an operand is undefined.
+pub fn half_adder(nl: &mut Netlist, a: NetId, b: NetId) -> Result<(NetId, NetId), CircuitError> {
+    let sum = nl.push(GateKind::Xor, a, b)?;
+    let carry = nl.push(GateKind::And, a, b)?;
+    Ok((sum, carry))
+}
+
+/// Append a full adder; returns `(sum, carry)`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::DanglingNet`] if an operand is undefined.
+pub fn full_adder(
+    nl: &mut Netlist,
+    a: NetId,
+    b: NetId,
+    c: NetId,
+) -> Result<(NetId, NetId), CircuitError> {
+    let ab = nl.push(GateKind::Xor, a, b)?;
+    let sum = nl.push(GateKind::Xor, ab, c)?;
+    let t1 = nl.push(GateKind::And, ab, c)?;
+    let t2 = nl.push(GateKind::And, a, b)?;
+    let carry = nl.push(GateKind::Or, t1, t2)?;
+    Ok((sum, carry))
+}
+
+/// Append a ripple-carry adder over equal-width operands.
+///
+/// # Errors
+///
+/// - [`CircuitError::InputArity`] if operand widths differ.
+/// - [`CircuitError::DanglingNet`] if any operand net is undefined.
+pub fn ripple_carry_adder(
+    nl: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    cin: Option<NetId>,
+) -> Result<AdderOut, CircuitError> {
+    if a.len() != b.len() {
+        return Err(CircuitError::InputArity {
+            expected: a.len(),
+            got: b.len(),
+        });
+    }
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = match cin {
+        Some(c) => c,
+        None => nl.const0()?,
+    };
+    for (&ai, &bi) in a.iter().zip(b) {
+        let (s, c) = full_adder(nl, ai, bi, carry)?;
+        sum.push(s);
+        carry = c;
+    }
+    Ok(AdderOut { sum, carry })
+}
+
+/// Append a Kogge–Stone parallel-prefix adder over equal-width operands.
+///
+/// Generate/propagate pairs are combined in ⌈log₂ n⌉ prefix layers, giving
+/// logarithmic depth at the cost of more gates than a ripple-carry adder —
+/// the classic speed/area trade-off of the final adder in fast
+/// multipliers.
+///
+/// # Errors
+///
+/// - [`CircuitError::InputArity`] if operand widths differ.
+/// - [`CircuitError::DanglingNet`] if any operand net is undefined.
+pub fn kogge_stone_adder(
+    nl: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+) -> Result<AdderOut, CircuitError> {
+    if a.len() != b.len() {
+        return Err(CircuitError::InputArity {
+            expected: a.len(),
+            got: b.len(),
+        });
+    }
+    let n = a.len();
+    if n == 0 {
+        return Ok(AdderOut {
+            sum: Vec::new(),
+            carry: nl.const0()?,
+        });
+    }
+    // Level-0 generate/propagate.
+    let mut g: Vec<NetId> = Vec::with_capacity(n);
+    let mut p: Vec<NetId> = Vec::with_capacity(n);
+    let mut p0: Vec<NetId> = Vec::with_capacity(n);
+    for (&ai, &bi) in a.iter().zip(b) {
+        g.push(nl.push(GateKind::And, ai, bi)?);
+        let prop = nl.push(GateKind::Xor, ai, bi)?;
+        p.push(prop);
+        p0.push(prop);
+    }
+    // Prefix sweep: (G, P)_i := (G_i | P_i & G_{i-d}, P_i & P_{i-d}).
+    let mut d = 1usize;
+    while d < n {
+        let mut ng = g.clone();
+        let mut np = p.clone();
+        for i in d..n {
+            let t = nl.push(GateKind::And, p[i], g[i - d])?;
+            ng[i] = nl.push(GateKind::Or, g[i], t)?;
+            np[i] = nl.push(GateKind::And, p[i], p[i - d])?;
+        }
+        g = ng;
+        p = np;
+        d *= 2;
+    }
+    // Carry into bit i is the group generate of bits 0..i.
+    let mut sum = Vec::with_capacity(n);
+    let zero = nl.const0()?;
+    for i in 0..n {
+        let carry_in = if i == 0 { zero } else { g[i - 1] };
+        sum.push(nl.push(GateKind::Xor, p0[i], carry_in)?);
+    }
+    Ok(AdderOut {
+        sum,
+        carry: g[n - 1],
+    })
+}
+
+/// How the partial-product columns are compressed to the final result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Reduction {
+    /// Compress each column in place, rippling carries column-to-column —
+    /// compact, linear-depth (the classic carry-save array).
+    #[default]
+    RippleColumns,
+    /// Wallace/Dadda-style layered tree reduction to two rows, followed by
+    /// a Kogge–Stone final adder — more gates, logarithmic depth.
+    Dadda,
+}
+
+/// Which partial-product cells of an array multiplier are omitted.
+///
+/// Cell `(i, j)` is the AND of multiplicand bit `j` and multiplier bit `i`;
+/// its arithmetic weight is `2^(i+j)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CellDrop {
+    /// Exact multiplier: keep every cell.
+    #[default]
+    None,
+    /// Truncated multiplier: drop cells whose weight column `i + j` is
+    /// below `k` (the classic LSB-column truncation).
+    LsbColumns(u32),
+    /// Drop entire partial-product rows `i < k` (truncates the multiplier
+    /// operand's LSBs).
+    Rows(u32),
+    /// Broken-array multiplier (BAM): combine a vertical break (drop
+    /// columns `i + j < vbl`) with a horizontal break (drop rows `i < hbl`),
+    /// after Mahdiani et al.
+    BrokenArray {
+        /// Vertical break level (columns dropped).
+        vbl: u32,
+        /// Horizontal break level (rows dropped).
+        hbl: u32,
+    },
+}
+
+impl CellDrop {
+    /// Whether partial-product cell `(row i, col j)` is kept.
+    #[must_use]
+    pub fn keeps(self, i: u32, j: u32) -> bool {
+        match self {
+            CellDrop::None => true,
+            CellDrop::LsbColumns(k) => i + j >= k,
+            CellDrop::Rows(k) => i >= k,
+            CellDrop::BrokenArray { vbl, hbl } => i + j >= vbl && i >= hbl,
+        }
+    }
+}
+
+/// Specification of an array multiplier to generate.
+///
+/// # Example
+///
+/// ```
+/// use axcircuit::builder::{CellDrop, MultiplierSpec};
+///
+/// # fn main() -> Result<(), axcircuit::CircuitError> {
+/// let trunc = MultiplierSpec::unsigned(8, 8)
+///     .with_drop(CellDrop::LsbColumns(4))
+///     .build()?;
+/// // Truncation only ever under-estimates an unsigned product:
+/// assert!(trunc.eval_words(&[255, 255])? <= 255 * 255);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiplierSpec {
+    width_a: u32,
+    width_b: u32,
+    signed: bool,
+    drop: CellDrop,
+    reduction: Reduction,
+}
+
+impl MultiplierSpec {
+    /// An exact unsigned `width_a × width_b` array multiplier.
+    #[must_use]
+    pub fn unsigned(width_a: u32, width_b: u32) -> Self {
+        MultiplierSpec {
+            width_a,
+            width_b,
+            signed: false,
+            drop: CellDrop::None,
+            reduction: Reduction::RippleColumns,
+        }
+    }
+
+    /// An exact signed (two's-complement) `width_a × width_b` multiplier.
+    ///
+    /// Implemented by sign-extending both operands to the product width and
+    /// reusing the unsigned array; the result is the exact two's-complement
+    /// product modulo `2^(width_a + width_b)`.
+    #[must_use]
+    pub fn signed(width_a: u32, width_b: u32) -> Self {
+        MultiplierSpec {
+            width_a,
+            width_b,
+            signed: true,
+            drop: CellDrop::None,
+            reduction: Reduction::RippleColumns,
+        }
+    }
+
+    /// Set the approximation mask.
+    #[must_use]
+    pub fn with_drop(mut self, drop: CellDrop) -> Self {
+        self.drop = drop;
+        self
+    }
+
+    /// Set the column-reduction architecture.
+    #[must_use]
+    pub fn with_reduction(mut self, reduction: Reduction) -> Self {
+        self.reduction = reduction;
+        self
+    }
+
+    /// The reduction architecture.
+    #[must_use]
+    pub fn reduction(&self) -> Reduction {
+        self.reduction
+    }
+
+    /// Operand widths `(a, b)`.
+    #[must_use]
+    pub fn widths(&self) -> (u32, u32) {
+        (self.width_a, self.width_b)
+    }
+
+    /// Whether the multiplier interprets operands as two's complement.
+    #[must_use]
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// The approximation mask.
+    #[must_use]
+    pub fn drop(&self) -> CellDrop {
+        self.drop
+    }
+
+    /// Generate the netlist.
+    ///
+    /// The produced netlist has two operands of `width_a` and `width_b`
+    /// bits and `width_a + width_b` output bits (LSB-first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnsupportedWidth`] if an operand width is 0
+    /// or the product width exceeds 32 bits (the exhaustive-evaluation
+    /// limit used elsewhere in the workspace).
+    pub fn build(&self) -> Result<Netlist, CircuitError> {
+        let (wa, wb) = (self.width_a, self.width_b);
+        if wa == 0 || wb == 0 {
+            return Err(CircuitError::UnsupportedWidth { width: 0, max: 32 });
+        }
+        let wp = wa + wb;
+        if wp > 32 {
+            return Err(CircuitError::UnsupportedWidth {
+                width: wp,
+                max: 32,
+            });
+        }
+        let mut nl = Netlist::with_operands(&[wa, wb]);
+
+        // Effective operand bit nets; for signed multiplication, sign-extend
+        // to the product width (two's-complement product == unsigned product
+        // of sign extensions, modulo 2^wp).
+        let (ea, eb): (u32, u32) = if self.signed { (wp, wp) } else { (wa, wb) };
+        let a_bit = |bit: u32| -> u32 { bit.min(wa - 1) };
+        let b_bit = |bit: u32| -> u32 { bit.min(wb - 1) };
+
+        // Column-wise partial-product collection.
+        let mut cols: Vec<Vec<NetId>> = vec![Vec::new(); wp as usize];
+        for i in 0..eb {
+            for j in 0..ea {
+                let col = i + j;
+                if col >= wp {
+                    continue;
+                }
+                if !self.drop.keeps(i, j) {
+                    continue;
+                }
+                let a = nl.operand_bit(0, a_bit(j));
+                let b = nl.operand_bit(1, b_bit(i));
+                let pp = nl.push(GateKind::And, a, b)?;
+                cols[col as usize].push(pp);
+            }
+        }
+
+        let outputs = match self.reduction {
+            Reduction::RippleColumns => reduce_ripple_columns(&mut nl, cols, wp as usize)?,
+            Reduction::Dadda => reduce_dadda(&mut nl, cols, wp as usize)?,
+        };
+        nl.set_outputs(outputs)?;
+        Ok(nl)
+    }
+}
+
+/// Carry-save column reduction: compress every column to a single bit,
+/// rippling carries into the next column.
+fn reduce_ripple_columns(
+    nl: &mut Netlist,
+    mut cols: Vec<Vec<NetId>>,
+    wp: usize,
+) -> Result<Vec<NetId>, CircuitError> {
+    let mut outputs = Vec::with_capacity(wp);
+    for col in 0..wp {
+        while cols[col].len() > 1 {
+            if cols[col].len() >= 3 {
+                let a = cols[col].pop().expect("len >= 3");
+                let b = cols[col].pop().expect("len >= 3");
+                let c = cols[col].pop().expect("len >= 3");
+                let (s, cy) = full_adder(nl, a, b, c)?;
+                cols[col].push(s);
+                if col + 1 < wp {
+                    cols[col + 1].push(cy);
+                }
+            } else {
+                let a = cols[col].pop().expect("len == 2");
+                let b = cols[col].pop().expect("len == 2");
+                let (s, cy) = half_adder(nl, a, b)?;
+                cols[col].push(s);
+                if col + 1 < wp {
+                    cols[col + 1].push(cy);
+                }
+            }
+        }
+        let bit = match cols[col].first() {
+            Some(&net) => net,
+            None => nl.const0()?,
+        };
+        outputs.push(bit);
+    }
+    Ok(outputs)
+}
+
+/// Wallace/Dadda-style layered reduction: each layer compresses every
+/// column independently with full/half adders (carries feed the *next
+/// layer* of the next column), until all columns have height ≤ 2; a
+/// Kogge–Stone adder then sums the two remaining rows.
+fn reduce_dadda(
+    nl: &mut Netlist,
+    mut cols: Vec<Vec<NetId>>,
+    wp: usize,
+) -> Result<Vec<NetId>, CircuitError> {
+    loop {
+        let max_height = cols.iter().map(Vec::len).max().unwrap_or(0);
+        if max_height <= 2 {
+            break;
+        }
+        let mut next: Vec<Vec<NetId>> = vec![Vec::new(); wp];
+        for col in 0..wp {
+            let bits = std::mem::take(&mut cols[col]);
+            let mut it = bits.into_iter().peekable();
+            while it.peek().is_some() {
+                let a = it.next().expect("peeked");
+                match (it.next(), it.next()) {
+                    (Some(b), Some(c)) => {
+                        let (s, cy) = full_adder(nl, a, b, c)?;
+                        next[col].push(s);
+                        if col + 1 < wp {
+                            next[col + 1].push(cy);
+                        }
+                    }
+                    (Some(b), None) => {
+                        let (s, cy) = half_adder(nl, a, b)?;
+                        next[col].push(s);
+                        if col + 1 < wp {
+                            next[col + 1].push(cy);
+                        }
+                    }
+                    (None, _) => next[col].push(a),
+                }
+            }
+        }
+        cols = next;
+    }
+    // Two rows remain; sum them with the fast final adder.
+    let zero = nl.const0()?;
+    let row_a: Vec<NetId> = cols
+        .iter()
+        .map(|c| c.first().copied().unwrap_or(zero))
+        .collect();
+    let row_b: Vec<NetId> = cols
+        .iter()
+        .map(|c| c.get(1).copied().unwrap_or(zero))
+        .collect();
+    let out = kogge_stone_adder(nl, &row_a, &row_b)?;
+    Ok(out.sum) // product width already wp; the final carry is always 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_adder_truth_table() {
+        let mut nl = Netlist::new(2);
+        let (a, b) = (nl.input(0), nl.input(1));
+        let (s, c) = half_adder(&mut nl, a, b).unwrap();
+        nl.set_outputs(vec![s, c]).unwrap();
+        for (a, b) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+            let got = nl
+                .eval_bits(&[a == 1, b == 1])
+                .unwrap()
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &v)| acc | ((v as u64) << i));
+            assert_eq!(got, a + b);
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut nl = Netlist::new(3);
+        let (a, b, c) = (nl.input(0), nl.input(1), nl.input(2));
+        let (s, cy) = full_adder(&mut nl, a, b, c).unwrap();
+        nl.set_outputs(vec![s, cy]).unwrap();
+        for v in 0u64..8 {
+            let (a, b, c) = (v & 1, (v >> 1) & 1, (v >> 2) & 1);
+            let got = nl
+                .eval_bits(&[a == 1, b == 1, c == 1])
+                .unwrap()
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &v)| acc | ((v as u64) << i));
+            assert_eq!(got, a + b + c);
+        }
+    }
+
+    #[test]
+    fn ripple_carry_adder_exhaustive_4bit() {
+        let mut nl = Netlist::with_operands(&[4, 4]);
+        let a: Vec<NetId> = (0..4).map(|i| nl.operand_bit(0, i)).collect();
+        let b: Vec<NetId> = (0..4).map(|i| nl.operand_bit(1, i)).collect();
+        let out = ripple_carry_adder(&mut nl, &a, &b, None).unwrap();
+        let mut bits = out.sum.clone();
+        bits.push(out.carry);
+        nl.set_outputs(bits).unwrap();
+        for x in 0u64..16 {
+            for y in 0u64..16 {
+                assert_eq!(nl.eval_words(&[x, y]).unwrap(), x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_adder_widths_rejected() {
+        let mut nl = Netlist::with_operands(&[2, 3]);
+        let a: Vec<NetId> = (0..2).map(|i| nl.operand_bit(0, i)).collect();
+        let b: Vec<NetId> = (0..3).map(|i| nl.operand_bit(1, i)).collect();
+        assert!(ripple_carry_adder(&mut nl, &a, &b, None).is_err());
+    }
+
+    #[test]
+    fn unsigned_4x4_multiplier_exhaustive() {
+        let nl = MultiplierSpec::unsigned(4, 4).build().unwrap();
+        for x in 0u64..16 {
+            for y in 0u64..16 {
+                assert_eq!(nl.eval_words(&[x, y]).unwrap(), x * y, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsigned_8x8_multiplier_spot_checks() {
+        let nl = MultiplierSpec::unsigned(8, 8).build().unwrap();
+        for (x, y) in [(0u64, 0u64), (255, 255), (255, 1), (128, 2), (17, 19)] {
+            assert_eq!(nl.eval_words(&[x, y]).unwrap(), x * y, "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn signed_4x4_multiplier_exhaustive() {
+        let nl = MultiplierSpec::signed(4, 4).build().unwrap();
+        for x in -8i64..8 {
+            for y in -8i64..8 {
+                let xa = (x as u64) & 0xF;
+                let ya = (y as u64) & 0xF;
+                let got = nl.eval_words(&[xa, ya]).unwrap();
+                let expect = ((x * y) as u64) & 0xFF;
+                assert_eq!(got, expect, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_multiplier_underestimates() {
+        let nl = MultiplierSpec::unsigned(4, 4)
+            .with_drop(CellDrop::LsbColumns(3))
+            .build()
+            .unwrap();
+        for x in 0u64..16 {
+            for y in 0u64..16 {
+                let got = nl.eval_words(&[x, y]).unwrap();
+                assert!(got <= x * y, "{x}*{y}: {got} > {}", x * y);
+            }
+        }
+    }
+
+    #[test]
+    fn row_drop_equivalent_to_operand_truncation() {
+        let nl = MultiplierSpec::unsigned(4, 4)
+            .with_drop(CellDrop::Rows(2))
+            .build()
+            .unwrap();
+        for x in 0u64..16 {
+            for y in 0u64..16 {
+                let got = nl.eval_words(&[x, y]).unwrap();
+                assert_eq!(got, x * (y & !0b11), "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn broken_array_mask_combines_breaks() {
+        let drop = CellDrop::BrokenArray { vbl: 3, hbl: 1 };
+        assert!(!drop.keeps(0, 5)); // row below hbl
+        assert!(!drop.keeps(1, 1)); // column below vbl
+        assert!(drop.keeps(1, 2));
+        assert!(drop.keeps(3, 3));
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(MultiplierSpec::unsigned(0, 4).build().is_err());
+    }
+
+    #[test]
+    fn oversized_product_rejected() {
+        let err = MultiplierSpec::unsigned(20, 20).build().unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::UnsupportedWidth { width: 40, max: 32 }
+        ));
+    }
+
+    #[test]
+    fn exact_mask_keeps_everything() {
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!(CellDrop::None.keeps(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn kogge_stone_adder_exhaustive_5bit() {
+        let mut nl = Netlist::with_operands(&[5, 5]);
+        let a: Vec<NetId> = (0..5).map(|i| nl.operand_bit(0, i)).collect();
+        let b: Vec<NetId> = (0..5).map(|i| nl.operand_bit(1, i)).collect();
+        let out = kogge_stone_adder(&mut nl, &a, &b).unwrap();
+        let mut bits = out.sum.clone();
+        bits.push(out.carry);
+        nl.set_outputs(bits).unwrap();
+        for x in 0u64..32 {
+            for y in 0u64..32 {
+                assert_eq!(nl.eval_words(&[x, y]).unwrap(), x + y, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn kogge_stone_shallower_than_ripple() {
+        let build = |fast: bool| {
+            let mut nl = Netlist::with_operands(&[8, 8]);
+            let a: Vec<NetId> = (0..8).map(|i| nl.operand_bit(0, i)).collect();
+            let b: Vec<NetId> = (0..8).map(|i| nl.operand_bit(1, i)).collect();
+            let out = if fast {
+                kogge_stone_adder(&mut nl, &a, &b).unwrap()
+            } else {
+                ripple_carry_adder(&mut nl, &a, &b, None).unwrap()
+            };
+            let mut bits = out.sum.clone();
+            bits.push(out.carry);
+            nl.set_outputs(bits).unwrap();
+            nl
+        };
+        let ks = build(true);
+        let rca = build(false);
+        assert!(ks.depth() < rca.depth(), "{} !< {}", ks.depth(), rca.depth());
+        assert!(ks.n_gates() > rca.n_gates(), "prefix logic costs area");
+    }
+
+    #[test]
+    fn dadda_multiplier_exhaustive_5x5() {
+        let nl = MultiplierSpec::unsigned(5, 5)
+            .with_reduction(Reduction::Dadda)
+            .build()
+            .unwrap();
+        for x in 0u64..32 {
+            for y in 0u64..32 {
+                assert_eq!(nl.eval_words(&[x, y]).unwrap(), x * y, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn dadda_signed_spot_checks() {
+        let nl = MultiplierSpec::signed(8, 8)
+            .with_reduction(Reduction::Dadda)
+            .build()
+            .unwrap();
+        for (x, y) in [(-128i64, -128i64), (-128, 127), (-1, -1), (99, -3)] {
+            let got = nl
+                .eval_words(&[(x as u64) & 0xFF, (y as u64) & 0xFF])
+                .unwrap();
+            assert_eq!(got, ((x * y) as u64) & 0xFFFF, "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn dadda_shallower_than_ripple_columns() {
+        let ripple = MultiplierSpec::unsigned(8, 8).build().unwrap();
+        let dadda = MultiplierSpec::unsigned(8, 8)
+            .with_reduction(Reduction::Dadda)
+            .build()
+            .unwrap();
+        assert!(
+            dadda.depth() < ripple.depth(),
+            "dadda {} !< ripple {}",
+            dadda.depth(),
+            ripple.depth()
+        );
+    }
+
+    #[test]
+    fn dadda_respects_cell_drop() {
+        let nl = MultiplierSpec::unsigned(4, 4)
+            .with_drop(CellDrop::Rows(2))
+            .with_reduction(Reduction::Dadda)
+            .build()
+            .unwrap();
+        for x in 0u64..16 {
+            for y in 0u64..16 {
+                assert_eq!(nl.eval_words(&[x, y]).unwrap(), x * (y & !0b11));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_kogge_stone() {
+        let mut nl = Netlist::new(0);
+        let out = kogge_stone_adder(&mut nl, &[], &[]).unwrap();
+        assert!(out.sum.is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Unit-gate hardware cost model.
+//!
+//! Approximate-circuit papers (including the EvoApprox8b library that
+//! TFApprox loads its truth tables from) report *relative* area, power and
+//! delay using a unit-gate model: a 2-input NAND/NOR counts as 1 unit of
+//! area and 1 unit of switching energy, XOR/XNOR as 2, inverters as 0.5,
+//! and delay is the longest path weighted by per-gate delays. The absolute
+//! calibration does not matter for the reproduction — only the ordering and
+//! ratios between multiplier variants do.
+
+use crate::{GateKind, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// Relative hardware cost of a netlist under the unit-gate model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareCost {
+    /// Area in unit-gate equivalents.
+    pub area: f64,
+    /// Switching power proxy in unit-gate equivalents (equals area under
+    /// the uniform activity assumption used here).
+    pub power: f64,
+    /// Critical-path delay in unit-gate delays.
+    pub delay: f64,
+    /// Raw gate count (excluding constants and buffers).
+    pub gates: usize,
+}
+
+impl HardwareCost {
+    /// Power-delay product — a common energy figure of merit.
+    #[must_use]
+    pub fn pdp(&self) -> f64 {
+        self.power * self.delay
+    }
+}
+
+/// Per-gate unit costs: `(area, delay)`.
+fn unit_cost(kind: GateKind) -> (f64, f64) {
+    match kind {
+        GateKind::Const0 | GateKind::Const1 => (0.0, 0.0),
+        GateKind::Buf => (0.0, 0.0),
+        GateKind::Not => (0.5, 0.5),
+        GateKind::Nand | GateKind::Nor | GateKind::AndNot => (1.0, 1.0),
+        GateKind::And | GateKind::Or => (1.5, 1.5),
+        GateKind::Xor | GateKind::Xnor => (2.0, 2.0),
+        GateKind::_NonExhaustive => (0.0, 0.0),
+    }
+}
+
+/// Evaluate the unit-gate cost of a netlist.
+///
+/// Area and power sum per-gate unit areas; delay is the longest
+/// input-to-output path with per-gate unit delays.
+///
+/// # Example
+///
+/// ```
+/// use axcircuit::{approx, cost};
+///
+/// # fn main() -> Result<(), axcircuit::CircuitError> {
+/// let exact = approx::exact_unsigned(8)?;
+/// let bam = approx::broken_array_unsigned(8, 8, 0)?;
+/// let (ce, cb) = (cost::evaluate(&exact), cost::evaluate(&bam));
+/// assert!(cb.area < ce.area, "approximation must save area");
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn evaluate(nl: &Netlist) -> HardwareCost {
+    let mut area = 0.0;
+    let mut gates = 0;
+    let n_inputs = nl.n_inputs() as usize;
+    let mut arrival = vec![0.0f64; n_inputs + nl.n_gates()];
+    for (i, g) in nl.gates().iter().enumerate() {
+        let (a_cost, d_cost) = unit_cost(g.kind);
+        area += a_cost;
+        if !matches!(
+            g.kind,
+            GateKind::Const0 | GateKind::Const1 | GateKind::Buf
+        ) {
+            gates += 1;
+        }
+        let ta = arrival[g.a.index()];
+        let tb = if g.kind.arity() >= 2 {
+            arrival[g.b.index()]
+        } else {
+            0.0
+        };
+        arrival[n_inputs + i] = ta.max(tb) + d_cost;
+    }
+    let delay = nl
+        .outputs()
+        .iter()
+        .map(|o| arrival[o.index()])
+        .fold(0.0f64, f64::max);
+    HardwareCost {
+        area,
+        power: area,
+        delay,
+        gates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx;
+    use crate::builder::MultiplierSpec;
+
+    #[test]
+    fn exact_8x8_cost_in_plausible_range() {
+        let nl = MultiplierSpec::unsigned(8, 8).build().unwrap();
+        let c = evaluate(&nl);
+        // An 8x8 array multiplier has 64 AND cells plus ~56 adders;
+        // unit-gate area should land in the few-hundreds.
+        assert!(c.area > 100.0 && c.area < 1000.0, "area = {}", c.area);
+        assert!(c.delay > 5.0, "delay = {}", c.delay);
+        assert!(c.gates > 100);
+    }
+
+    #[test]
+    fn approximation_strictly_cheaper() {
+        let exact = evaluate(&approx::exact_unsigned(8).unwrap());
+        let t2 = evaluate(&approx::truncated_unsigned(8, 2).unwrap());
+        let t6 = evaluate(&approx::truncated_unsigned(8, 6).unwrap());
+        assert!(t2.area < exact.area);
+        assert!(t6.area < t2.area);
+        assert!(t6.pdp() < exact.pdp());
+    }
+
+    #[test]
+    fn empty_netlist_zero_cost() {
+        let mut nl = Netlist::new(1);
+        let y = nl.push1(GateKind::Buf, nl.input(0)).unwrap();
+        nl.set_outputs(vec![y]).unwrap();
+        let c = evaluate(&nl);
+        assert_eq!(c.area, 0.0);
+        assert_eq!(c.delay, 0.0);
+        assert_eq!(c.gates, 0);
+    }
+
+    #[test]
+    fn delay_tracks_depth_direction() {
+        let small = evaluate(&MultiplierSpec::unsigned(4, 4).build().unwrap());
+        let big = evaluate(&MultiplierSpec::unsigned(8, 8).build().unwrap());
+        assert!(big.delay > small.delay);
+    }
+}

@@ -1,0 +1,105 @@
+//! Graphviz DOT export for netlists.
+//!
+//! Small approximate circuits are routinely inspected visually; this
+//! export renders inputs as boxes, gates as ellipses labeled with their
+//! function, and outputs as double circles.
+
+use crate::{GateKind, Netlist};
+use std::fmt::Write as _;
+
+/// Render a netlist as a Graphviz DOT digraph.
+///
+/// # Example
+///
+/// ```
+/// use axcircuit::builder::MultiplierSpec;
+///
+/// # fn main() -> Result<(), axcircuit::CircuitError> {
+/// let nl = MultiplierSpec::unsigned(2, 2).build()?;
+/// let dot = axcircuit::dot::to_dot(&nl, "mul2x2");
+/// assert!(dot.starts_with("digraph mul2x2 {"));
+/// assert!(dot.contains("and"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_dot(nl: &Netlist, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {name} {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    for i in 0..nl.n_inputs() {
+        let _ = writeln!(s, "  n{i} [shape=box, label=\"in{i}\"];");
+    }
+    let base = nl.n_inputs();
+    for (i, g) in nl.gates().iter().enumerate() {
+        let id = base + i as u32;
+        let _ = writeln!(s, "  n{id} [shape=ellipse, label=\"{}\"];", g.kind);
+        match g.kind.arity() {
+            0 => {}
+            1 => {
+                let _ = writeln!(s, "  n{} -> n{id};", g.a.index());
+            }
+            _ => {
+                let _ = writeln!(s, "  n{} -> n{id};", g.a.index());
+                let _ = writeln!(s, "  n{} -> n{id};", g.b.index());
+            }
+        }
+    }
+    for (bit, o) in nl.outputs().iter().enumerate() {
+        let _ = writeln!(s, "  out{bit} [shape=doublecircle, label=\"p{bit}\"];");
+        let _ = writeln!(s, "  n{} -> out{bit};", o.index());
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Histogram of gate kinds in a netlist — the standard-cell usage report.
+#[must_use]
+pub fn gate_histogram(nl: &Netlist) -> Vec<(GateKind, usize)> {
+    let mut counts: Vec<(GateKind, usize)> = Vec::new();
+    for g in nl.gates() {
+        if let Some(entry) = counts.iter_mut().find(|(k, _)| *k == g.kind) {
+            entry.1 += 1;
+        } else {
+            counts.push((g.kind, 1));
+        }
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MultiplierSpec;
+    use crate::Netlist;
+
+    #[test]
+    fn dot_contains_all_nodes_and_outputs() {
+        let nl = MultiplierSpec::unsigned(2, 2).build().unwrap();
+        let dot = to_dot(&nl, "m");
+        assert!(dot.contains("in0"));
+        assert!(dot.contains("in3"));
+        assert!(dot.contains("out3"));
+        assert_eq!(dot.matches("shape=doublecircle").count(), 4);
+    }
+
+    #[test]
+    fn histogram_counts_match_total() {
+        let nl = MultiplierSpec::unsigned(4, 4).build().unwrap();
+        let hist = gate_histogram(&nl);
+        let total: usize = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, nl.n_gates());
+        // An array multiplier is AND-cell heavy.
+        assert_eq!(hist[0].0, crate::GateKind::And);
+    }
+
+    #[test]
+    fn empty_netlist_renders() {
+        let mut nl = Netlist::new(1);
+        let y = nl.push1(crate::GateKind::Buf, nl.input(0)).unwrap();
+        nl.set_outputs(vec![y]).unwrap();
+        let dot = to_dot(&nl, "wire");
+        assert!(dot.contains("digraph wire"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Exhaustive combinational equivalence checking.
+//!
+//! Approximate-circuit work constantly asks "are these two netlists the
+//! same function?" — e.g. an optimized multiplier against its reference,
+//! or a BAM with zero break levels against the exact array. For the
+//! operand widths used here (≤ 24 input bits) exhaustive bit-parallel
+//! simulation is fast and complete, so no SAT machinery is needed.
+
+use crate::{CircuitError, Netlist};
+
+/// Result of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Equivalence {
+    /// The netlists agree on every input.
+    Equal,
+    /// First differing input (as a packed input index) and the two output
+    /// words produced there.
+    Differs {
+        /// Packed input index (operand 0 in the low bits).
+        input: u64,
+        /// Output word of the first netlist.
+        left: u64,
+        /// Output word of the second netlist.
+        right: u64,
+    },
+}
+
+impl Equivalence {
+    /// Whether the check succeeded.
+    #[must_use]
+    pub fn is_equal(&self) -> bool {
+        matches!(self, Equivalence::Equal)
+    }
+}
+
+/// Exhaustively compare two netlists with identical input counts.
+///
+/// Outputs are compared LSB-first up to the shorter output vector; extra
+/// output bits of the longer netlist must be constant zero (this lets a
+/// truncated-output variant be compared against a full-width reference).
+///
+/// # Errors
+///
+/// - [`CircuitError::InputArity`] if the input counts differ.
+/// - [`CircuitError::UnsupportedWidth`] if the input space exceeds 2²⁴.
+/// - Propagates evaluation errors.
+pub fn check(a: &Netlist, b: &Netlist) -> Result<Equivalence, CircuitError> {
+    if a.n_inputs() != b.n_inputs() {
+        return Err(CircuitError::InputArity {
+            expected: a.n_inputs() as usize,
+            got: b.n_inputs() as usize,
+        });
+    }
+    let total = a.n_inputs();
+    if total > 24 {
+        return Err(CircuitError::UnsupportedWidth {
+            width: total,
+            max: 24,
+        });
+    }
+    let n = 1u64 << total;
+    let mut lanes = vec![0u64; total as usize];
+    let mut base = 0u64;
+    while base < n {
+        let lanes_used = 64u64.min(n - base) as usize;
+        for (k, lane) in lanes.iter_mut().enumerate() {
+            let mut v = 0u64;
+            for l in 0..lanes_used {
+                if ((base + l as u64) >> k) & 1 == 1 {
+                    v |= 1 << l;
+                }
+            }
+            *lane = v;
+        }
+        let oa = a.eval_lanes(&lanes)?;
+        let ob = b.eval_lanes(&lanes)?;
+        for l in 0..lanes_used {
+            let wa = pack_outputs(&oa, l);
+            let wb = pack_outputs(&ob, l);
+            if wa != wb {
+                return Ok(Equivalence::Differs {
+                    input: base + l as u64,
+                    left: wa,
+                    right: wb,
+                });
+            }
+        }
+        base += 64;
+    }
+    Ok(Equivalence::Equal)
+}
+
+fn pack_outputs(lanes: &[u64], lane: usize) -> u64 {
+    let mut w = 0u64;
+    for (bit, &v) in lanes.iter().enumerate() {
+        if (v >> lane) & 1 == 1 {
+            w |= 1 << bit;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CellDrop, MultiplierSpec, Reduction};
+
+    #[test]
+    fn multiplier_equals_itself() {
+        let a = MultiplierSpec::unsigned(4, 4).build().unwrap();
+        assert!(check(&a, &a).unwrap().is_equal());
+    }
+
+    #[test]
+    fn ripple_and_dadda_reductions_equivalent() {
+        let a = MultiplierSpec::unsigned(6, 6).build().unwrap();
+        let b = MultiplierSpec::unsigned(6, 6)
+            .with_reduction(Reduction::Dadda)
+            .build()
+            .unwrap();
+        assert!(check(&a, &b).unwrap().is_equal());
+    }
+
+    #[test]
+    fn bam_with_zero_breaks_equals_exact() {
+        let exact = MultiplierSpec::unsigned(5, 5).build().unwrap();
+        let bam = MultiplierSpec::unsigned(5, 5)
+            .with_drop(CellDrop::BrokenArray { vbl: 0, hbl: 0 })
+            .build()
+            .unwrap();
+        assert!(check(&exact, &bam).unwrap().is_equal());
+    }
+
+    #[test]
+    fn truncated_differs_with_witness() {
+        let exact = MultiplierSpec::unsigned(4, 4).build().unwrap();
+        let trunc = MultiplierSpec::unsigned(4, 4)
+            .with_drop(CellDrop::LsbColumns(3))
+            .build()
+            .unwrap();
+        match check(&exact, &trunc).unwrap() {
+            Equivalence::Differs { input, left, right } => {
+                // Verify the witness is real.
+                let a = input & 0xF;
+                let b = (input >> 4) & 0xF;
+                assert_eq!(exact.eval_words(&[a, b]).unwrap(), left);
+                assert_eq!(trunc.eval_words(&[a, b]).unwrap(), right);
+                assert_ne!(left, right);
+            }
+            Equivalence::Equal => panic!("truncation must differ"),
+        }
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        let a = MultiplierSpec::unsigned(4, 4).build().unwrap();
+        let b = MultiplierSpec::unsigned(4, 5).build().unwrap();
+        assert!(check(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Errors produced when constructing or evaluating a [`crate::Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a net that does not exist yet.
+    ///
+    /// Gates may only reference primary inputs or the outputs of gates
+    /// created earlier, which keeps the netlist topologically ordered by
+    /// construction.
+    DanglingNet {
+        /// The offending net id.
+        net: u32,
+        /// Number of nets defined at the time of the reference.
+        defined: u32,
+    },
+    /// The number of input values supplied to evaluation does not match the
+    /// number of primary inputs.
+    InputArity {
+        /// Inputs the netlist expects.
+        expected: usize,
+        /// Inputs the caller supplied.
+        got: usize,
+    },
+    /// An operand word does not fit in the declared bit-width.
+    OperandWidth {
+        /// Index of the operand.
+        operand: usize,
+        /// Declared width in bits.
+        width: u32,
+        /// The value that did not fit.
+        value: u64,
+    },
+    /// A bit-width outside the supported range was requested.
+    UnsupportedWidth {
+        /// The requested width.
+        width: u32,
+        /// Largest supported width for this operation.
+        max: u32,
+    },
+    /// The netlist has no outputs, so evaluation would be meaningless.
+    NoOutputs,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::DanglingNet { net, defined } => write!(
+                f,
+                "gate references net {net} but only {defined} nets are defined"
+            ),
+            CircuitError::InputArity { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            CircuitError::OperandWidth {
+                operand,
+                width,
+                value,
+            } => write!(
+                f,
+                "operand {operand} value {value} does not fit in {width} bits"
+            ),
+            CircuitError::UnsupportedWidth { width, max } => {
+                write!(f, "width {width} unsupported (maximum {max})")
+            }
+            CircuitError::NoOutputs => write!(f, "netlist has no outputs"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}

@@ -1,0 +1,169 @@
+//! Primitive gates and net identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a net (a wire) inside a [`crate::Netlist`].
+///
+/// Nets `0..n_inputs` are the primary inputs; net `n_inputs + i` is driven by
+/// gate `i`. `NetId`s are only meaningful relative to the netlist that issued
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Raw index of this net.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The kind of a primitive gate.
+///
+/// All gates have at most two inputs; unary gates ignore their second
+/// operand. The set mirrors a typical standard-cell library subset used by
+/// approximate-circuit libraries such as EvoApprox8b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Constant logic 0 (no inputs).
+    Const0,
+    /// Constant logic 1 (no inputs).
+    Const1,
+    /// Buffer: `y = a`.
+    Buf,
+    /// Inverter: `y = !a`.
+    Not,
+    /// `y = a & b`.
+    And,
+    /// `y = a | b`.
+    Or,
+    /// `y = a ^ b`.
+    Xor,
+    /// `y = !(a & b)`.
+    Nand,
+    /// `y = !(a | b)`.
+    Nor,
+    /// `y = !(a ^ b)`.
+    Xnor,
+    /// And-not: `y = a & !b` (useful for sign handling in subtractors).
+    AndNot,
+    /// 2:1 multiplexer is *not* primitive here; compose from And/Or/Not.
+    /// Majority-of-three is likewise composed. This keeps the cost model
+    /// simple and uniform.
+    #[doc(hidden)]
+    #[serde(skip)]
+    _NonExhaustive,
+}
+
+impl GateKind {
+    /// Number of inputs this gate consumes (0, 1 or 2).
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Buf | GateKind::Not => 1,
+            GateKind::And
+            | GateKind::Or
+            | GateKind::Xor
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Xnor
+            | GateKind::AndNot => 2,
+            GateKind::_NonExhaustive => 0,
+        }
+    }
+
+    /// Apply the gate function on 64-bit lanes (bit-parallel evaluation).
+    #[inline]
+    #[must_use]
+    pub fn apply_u64(self, a: u64, b: u64) -> u64 {
+        match self {
+            GateKind::Const0 => 0,
+            GateKind::Const1 => u64::MAX,
+            GateKind::Buf => a,
+            GateKind::Not => !a,
+            GateKind::And => a & b,
+            GateKind::Or => a | b,
+            GateKind::Xor => a ^ b,
+            GateKind::Nand => !(a & b),
+            GateKind::Nor => !(a | b),
+            GateKind::Xnor => !(a ^ b),
+            GateKind::AndNot => a & !b,
+            GateKind::_NonExhaustive => 0,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Const0 => "const0",
+            GateKind::Const1 => "const1",
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Xor => "xor",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xnor => "xnor",
+            GateKind::AndNot => "andnot",
+            GateKind::_NonExhaustive => "?",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One gate instance inside a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// The logic function.
+    pub kind: GateKind,
+    /// First operand net (ignored for constants).
+    pub a: NetId,
+    /// Second operand net (ignored for constants and unary gates).
+    pub b: NetId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_kind() {
+        assert_eq!(GateKind::Const0.arity(), 0);
+        assert_eq!(GateKind::Not.arity(), 1);
+        assert_eq!(GateKind::And.arity(), 2);
+        assert_eq!(GateKind::AndNot.arity(), 2);
+    }
+
+    #[test]
+    fn apply_u64_truth_tables() {
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        assert_eq!(GateKind::And.apply_u64(a, b) & 0xF, 0b1000);
+        assert_eq!(GateKind::Or.apply_u64(a, b) & 0xF, 0b1110);
+        assert_eq!(GateKind::Xor.apply_u64(a, b) & 0xF, 0b0110);
+        assert_eq!(GateKind::Nand.apply_u64(a, b) & 0xF, 0b0111);
+        assert_eq!(GateKind::Nor.apply_u64(a, b) & 0xF, 0b0001);
+        assert_eq!(GateKind::Xnor.apply_u64(a, b) & 0xF, 0b1001);
+        assert_eq!(GateKind::AndNot.apply_u64(a, b) & 0xF, 0b0100);
+        assert_eq!(GateKind::Not.apply_u64(a, 0) & 0xF, 0b0011);
+        assert_eq!(GateKind::Buf.apply_u64(a, 0) & 0xF, 0b1100);
+        assert_eq!(GateKind::Const0.apply_u64(a, b), 0);
+        assert_eq!(GateKind::Const1.apply_u64(a, b), u64::MAX);
+    }
+
+    #[test]
+    fn net_id_display() {
+        assert_eq!(NetId(7).to_string(), "n7");
+        assert_eq!(NetId(7).index(), 7);
+    }
+}

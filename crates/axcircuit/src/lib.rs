@@ -1,0 +1,48 @@
+//! Gate-level combinational circuit substrate.
+//!
+//! The TFApprox paper emulates *approximate arithmetic circuits* — concretely,
+//! 8-bit approximate multipliers used in the MAC datapath of a DNN hardware
+//! accelerator. Those circuits originate as gate-level designs (e.g. the
+//! EvoApprox8b library). This crate provides the hardware side of the
+//! reproduction:
+//!
+//! - [`Netlist`]: a combinational netlist of two-input gates with
+//!   bit-parallel (64-way) evaluation,
+//! - [`builder`]: generators for half/full adders, ripple-carry adders and
+//!   carry-save **array multipliers**,
+//! - [`approx`]: circuit approximation transforms (partial-product
+//!   truncation and the broken-array multiplier),
+//! - [`cost`]: a unit-gate area / power / delay model so every multiplier
+//!   comes with a hardware cost estimate,
+//! - [`truth`]: exhaustive truth-table extraction (the 2¹⁶-entry tables the
+//!   paper stores in GPU texture memory).
+//!
+//! # Example
+//!
+//! ```
+//! use axcircuit::builder::MultiplierSpec;
+//!
+//! # fn main() -> Result<(), axcircuit::CircuitError> {
+//! // An exact 8x8 unsigned array multiplier...
+//! let exact = MultiplierSpec::unsigned(8, 8).build()?;
+//! // ...behaves like `*`:
+//! let out = exact.eval_words(&[13, 11])?;
+//! assert_eq!(out, 143);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod approx;
+pub mod builder;
+pub mod cost;
+pub mod dot;
+pub mod equiv;
+pub mod gate;
+pub mod netlist;
+pub mod truth;
+
+mod error;
+
+pub use error::CircuitError;
+pub use gate::{Gate, GateKind, NetId};
+pub use netlist::Netlist;

@@ -1,0 +1,413 @@
+//! Combinational netlists with bit-parallel evaluation.
+
+use crate::{CircuitError, Gate, GateKind, NetId};
+use serde::{Deserialize, Serialize};
+
+/// A combinational netlist of two-input gates.
+///
+/// The netlist is topologically ordered *by construction*: every gate may
+/// only reference primary inputs or nets driven by earlier gates, which the
+/// push methods enforce. Evaluation is therefore a single forward sweep.
+///
+/// Evaluation is bit-parallel: each net carries a `u64`, i.e. 64 independent
+/// input vectors are evaluated at once. Exhaustively evaluating an 8×8
+/// multiplier (2¹⁶ input combinations) thus needs only 1024 sweeps.
+///
+/// # Example
+///
+/// ```
+/// use axcircuit::{Netlist, GateKind};
+///
+/// # fn main() -> Result<(), axcircuit::CircuitError> {
+/// // y = a XOR b built from NAND gates.
+/// let mut nl = Netlist::new(2);
+/// let (a, b) = (nl.input(0), nl.input(1));
+/// let nab = nl.push(GateKind::Nand, a, b)?;
+/// let l = nl.push(GateKind::Nand, a, nab)?;
+/// let r = nl.push(GateKind::Nand, b, nab)?;
+/// let y = nl.push(GateKind::Nand, l, r)?;
+/// nl.set_outputs(vec![y])?;
+/// assert_eq!(nl.eval_bits(&[false, true])?, vec![true]);
+/// assert_eq!(nl.eval_bits(&[true, true])?, vec![false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Netlist {
+    n_inputs: u32,
+    gates: Vec<Gate>,
+    outputs: Vec<NetId>,
+    /// Operand bit-widths, most-significant operand last. Informational:
+    /// used by `eval_words` to pack integer operands onto input nets.
+    operand_widths: Vec<u32>,
+}
+
+impl Netlist {
+    /// Create an empty netlist with `n_inputs` primary inputs.
+    #[must_use]
+    pub fn new(n_inputs: u32) -> Self {
+        Netlist {
+            n_inputs,
+            gates: Vec::new(),
+            outputs: Vec::new(),
+            operand_widths: vec![n_inputs],
+        }
+    }
+
+    /// Create a netlist whose primary inputs are grouped into integer
+    /// operands of the given bit-widths (LSB-first within each operand).
+    ///
+    /// This enables [`Netlist::eval_words`], which packs/unpacks integers.
+    #[must_use]
+    pub fn with_operands(widths: &[u32]) -> Self {
+        let n_inputs = widths.iter().sum();
+        Netlist {
+            n_inputs,
+            gates: Vec::new(),
+            outputs: Vec::new(),
+            operand_widths: widths.to_vec(),
+        }
+    }
+
+    /// Net id of primary input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_inputs`.
+    #[must_use]
+    pub fn input(&self, i: u32) -> NetId {
+        assert!(i < self.n_inputs, "input {i} out of range {}", self.n_inputs);
+        NetId(i)
+    }
+
+    /// Net id of bit `bit` of operand `op` (LSB-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand or bit index is out of range.
+    #[must_use]
+    pub fn operand_bit(&self, op: usize, bit: u32) -> NetId {
+        let base: u32 = self.operand_widths[..op].iter().sum();
+        assert!(bit < self.operand_widths[op], "bit {bit} out of range");
+        NetId(base + bit)
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn n_inputs(&self) -> u32 {
+        self.n_inputs
+    }
+
+    /// Number of gates.
+    #[must_use]
+    pub fn n_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The declared operand widths.
+    #[must_use]
+    pub fn operand_widths(&self) -> &[u32] {
+        &self.operand_widths
+    }
+
+    /// The gates, in topological order.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The output nets.
+    #[must_use]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Total number of nets (inputs + gate outputs).
+    #[must_use]
+    pub fn n_nets(&self) -> u32 {
+        self.n_inputs + self.gates.len() as u32
+    }
+
+    fn check_net(&self, net: NetId) -> Result<(), CircuitError> {
+        if net.0 < self.n_nets() {
+            Ok(())
+        } else {
+            Err(CircuitError::DanglingNet {
+                net: net.0,
+                defined: self.n_nets(),
+            })
+        }
+    }
+
+    /// Append a gate and return the net it drives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DanglingNet`] if an operand net is not yet
+    /// defined (this preserves topological order).
+    pub fn push(&mut self, kind: GateKind, a: NetId, b: NetId) -> Result<NetId, CircuitError> {
+        if kind.arity() >= 1 {
+            self.check_net(a)?;
+        }
+        if kind.arity() >= 2 {
+            self.check_net(b)?;
+        }
+        let id = NetId(self.n_nets());
+        self.gates.push(Gate { kind, a, b });
+        Ok(id)
+    }
+
+    /// Append a unary gate.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Netlist::push`].
+    pub fn push1(&mut self, kind: GateKind, a: NetId) -> Result<NetId, CircuitError> {
+        self.push(kind, a, a)
+    }
+
+    /// Append a constant-0 net.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; `Result` kept for uniformity.
+    pub fn const0(&mut self) -> Result<NetId, CircuitError> {
+        self.push(GateKind::Const0, NetId(0), NetId(0))
+    }
+
+    /// Append a constant-1 net.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; `Result` kept for uniformity.
+    pub fn const1(&mut self) -> Result<NetId, CircuitError> {
+        self.push(GateKind::Const1, NetId(0), NetId(0))
+    }
+
+    /// Declare the output nets (LSB-first for integer results).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DanglingNet`] if any output net is undefined.
+    pub fn set_outputs(&mut self, outputs: Vec<NetId>) -> Result<(), CircuitError> {
+        for &net in &outputs {
+            self.check_net(net)?;
+        }
+        self.outputs = outputs;
+        Ok(())
+    }
+
+    /// Evaluate the netlist on 64 input vectors at once.
+    ///
+    /// `inputs[i]` carries 64 values of primary input `i` (one per bit
+    /// lane). Returns one `u64` per output net.
+    ///
+    /// # Errors
+    ///
+    /// - [`CircuitError::InputArity`] if `inputs.len() != n_inputs`.
+    /// - [`CircuitError::NoOutputs`] if no outputs are declared.
+    pub fn eval_lanes(&self, inputs: &[u64]) -> Result<Vec<u64>, CircuitError> {
+        if inputs.len() != self.n_inputs as usize {
+            return Err(CircuitError::InputArity {
+                expected: self.n_inputs as usize,
+                got: inputs.len(),
+            });
+        }
+        if self.outputs.is_empty() {
+            return Err(CircuitError::NoOutputs);
+        }
+        let mut nets = vec![0u64; self.n_nets() as usize];
+        nets[..inputs.len()].copy_from_slice(inputs);
+        let base = self.n_inputs as usize;
+        for (i, g) in self.gates.iter().enumerate() {
+            let a = nets[g.a.index()];
+            let b = nets[g.b.index()];
+            nets[base + i] = g.kind.apply_u64(a, b);
+        }
+        Ok(self.outputs.iter().map(|o| nets[o.index()]).collect())
+    }
+
+    /// Evaluate on a single boolean input vector.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Netlist::eval_lanes`].
+    pub fn eval_bits(&self, inputs: &[bool]) -> Result<Vec<bool>, CircuitError> {
+        let lanes: Vec<u64> = inputs.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        let out = self.eval_lanes(&lanes)?;
+        Ok(out.iter().map(|&w| w & 1 == 1).collect())
+    }
+
+    /// Evaluate with integer operands packed per [`Netlist::with_operands`]
+    /// and return the outputs packed LSB-first into a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// - [`CircuitError::InputArity`] if `words.len()` differs from the
+    ///   number of declared operands.
+    /// - [`CircuitError::OperandWidth`] if a word does not fit its width.
+    /// - Propagates evaluation errors.
+    pub fn eval_words(&self, words: &[u64]) -> Result<u64, CircuitError> {
+        if words.len() != self.operand_widths.len() {
+            return Err(CircuitError::InputArity {
+                expected: self.operand_widths.len(),
+                got: words.len(),
+            });
+        }
+        let mut lanes = Vec::with_capacity(self.n_inputs as usize);
+        for (op, (&w, &width)) in words.iter().zip(&self.operand_widths).enumerate() {
+            if width < 64 && w >> width != 0 {
+                return Err(CircuitError::OperandWidth {
+                    operand: op,
+                    width,
+                    value: w,
+                });
+            }
+            for bit in 0..width {
+                lanes.push(if (w >> bit) & 1 == 1 { u64::MAX } else { 0 });
+            }
+        }
+        let out = self.eval_lanes(&lanes)?;
+        let mut result = 0u64;
+        for (bit, &lane) in out.iter().enumerate() {
+            if lane & 1 == 1 {
+                result |= 1 << bit;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Logic depth: the longest input-to-output path counted in gates
+    /// (buffers and constants contribute 0).
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        let mut level = vec![0u32; self.n_nets() as usize];
+        let base = self.n_inputs as usize;
+        for (i, g) in self.gates.iter().enumerate() {
+            let cost = match g.kind {
+                GateKind::Const0 | GateKind::Const1 | GateKind::Buf => 0,
+                _ => 1,
+            };
+            let la = level[g.a.index()];
+            let lb = if g.kind.arity() >= 2 {
+                level[g.b.index()]
+            } else {
+                0
+            };
+            level[base + i] = la.max(lb) + cost;
+        }
+        self.outputs
+            .iter()
+            .map(|o| level[o.index()])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_from_nand() -> Netlist {
+        let mut nl = Netlist::new(2);
+        let (a, b) = (nl.input(0), nl.input(1));
+        let nab = nl.push(GateKind::Nand, a, b).unwrap();
+        let l = nl.push(GateKind::Nand, a, nab).unwrap();
+        let r = nl.push(GateKind::Nand, b, nab).unwrap();
+        let y = nl.push(GateKind::Nand, l, r).unwrap();
+        nl.set_outputs(vec![y]).unwrap();
+        nl
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let nl = xor_from_nand();
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = nl.eval_bits(&[a, b]).unwrap();
+            assert_eq!(out[0], a ^ b, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn dangling_net_rejected() {
+        let mut nl = Netlist::new(1);
+        let bogus = NetId(10);
+        let err = nl.push(GateKind::And, nl.input(0), bogus).unwrap_err();
+        assert!(matches!(err, CircuitError::DanglingNet { net: 10, .. }));
+    }
+
+    #[test]
+    fn input_arity_checked() {
+        let nl = xor_from_nand();
+        let err = nl.eval_bits(&[true]).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::InputArity {
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn no_outputs_is_error() {
+        let nl = Netlist::new(2);
+        let err = nl.eval_lanes(&[0, 0]).unwrap_err();
+        assert_eq!(err, CircuitError::NoOutputs);
+    }
+
+    #[test]
+    fn eval_words_packs_operands() {
+        // 2-bit AND of two operands, bitwise.
+        let mut nl = Netlist::with_operands(&[2, 2]);
+        let y0 = nl
+            .push(GateKind::And, nl.operand_bit(0, 0), nl.operand_bit(1, 0))
+            .unwrap();
+        let y1 = nl
+            .push(GateKind::And, nl.operand_bit(0, 1), nl.operand_bit(1, 1))
+            .unwrap();
+        nl.set_outputs(vec![y0, y1]).unwrap();
+        assert_eq!(nl.eval_words(&[0b11, 0b10]).unwrap(), 0b10);
+        assert_eq!(nl.eval_words(&[0b01, 0b01]).unwrap(), 0b01);
+    }
+
+    #[test]
+    fn eval_words_rejects_oversized_operand() {
+        let mut nl = Netlist::with_operands(&[2, 2]);
+        let y = nl
+            .push(GateKind::And, nl.operand_bit(0, 0), nl.operand_bit(1, 0))
+            .unwrap();
+        nl.set_outputs(vec![y]).unwrap();
+        let err = nl.eval_words(&[4, 0]).unwrap_err();
+        assert!(matches!(err, CircuitError::OperandWidth { operand: 0, .. }));
+    }
+
+    #[test]
+    fn depth_of_nand_xor_is_three() {
+        let nl = xor_from_nand();
+        assert_eq!(nl.depth(), 3);
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let mut nl = Netlist::new(1);
+        let c0 = nl.const0().unwrap();
+        let c1 = nl.const1().unwrap();
+        nl.set_outputs(vec![c0, c1]).unwrap();
+        let out = nl.eval_bits(&[true]).unwrap();
+        assert_eq!(out, vec![false, true]);
+    }
+
+    #[test]
+    fn bit_parallel_matches_scalar() {
+        let nl = xor_from_nand();
+        // Lane i encodes the pair (i & 1, i >> 1) for i in 0..4.
+        let a = 0b0101u64;
+        let b = 0b0011u64;
+        let out = nl.eval_lanes(&[a, b]).unwrap()[0];
+        for lane in 0..4u64 {
+            let expect = ((a >> lane) & 1) ^ ((b >> lane) & 1);
+            assert_eq!((out >> lane) & 1, expect);
+        }
+    }
+}

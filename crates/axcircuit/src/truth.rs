@@ -1,0 +1,208 @@
+//! Exhaustive truth-table extraction.
+//!
+//! TFApprox represents every approximate multiplier by its complete truth
+//! table — for an 8×8 multiplier, 2¹⁶ 16-bit entries (128 kB), indexed by
+//! stitching the two 8-bit operands into one 16-bit value. This module
+//! extracts that table from a gate-level [`Netlist`] using the bit-parallel
+//! evaluator (64 input vectors per sweep).
+
+use crate::{CircuitError, Netlist};
+
+/// A complete truth table of a two-operand combinational circuit.
+///
+/// Entry `i` holds the output word for the input index `i`, where the index
+/// packs operand 0 into the low bits and operand 1 above it — exactly the
+/// "stitched" indexing TFApprox uses for its texture fetches
+/// (`index = (b << width_a) | a`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthTable {
+    entries: Vec<u32>,
+    width_a: u32,
+    width_b: u32,
+    width_out: u32,
+}
+
+impl TruthTable {
+    /// Exhaustively evaluate a two-operand netlist.
+    ///
+    /// # Errors
+    ///
+    /// - [`CircuitError::InputArity`] if the netlist does not have exactly
+    ///   two declared operands.
+    /// - [`CircuitError::UnsupportedWidth`] if total input width exceeds 24
+    ///   bits (16 M entries) or output width exceeds 32 bits.
+    /// - Propagates evaluation errors.
+    pub fn from_netlist(nl: &Netlist) -> Result<Self, CircuitError> {
+        let widths = nl.operand_widths();
+        if widths.len() != 2 {
+            return Err(CircuitError::InputArity {
+                expected: 2,
+                got: widths.len(),
+            });
+        }
+        let (wa, wb) = (widths[0], widths[1]);
+        let total = wa + wb;
+        if total > 24 {
+            return Err(CircuitError::UnsupportedWidth {
+                width: total,
+                max: 24,
+            });
+        }
+        let wout = nl.outputs().len() as u32;
+        if wout > 32 {
+            return Err(CircuitError::UnsupportedWidth {
+                width: wout,
+                max: 32,
+            });
+        }
+        let n = 1usize << total;
+        let mut entries = vec![0u32; n];
+        // Bit-parallel sweep: 64 consecutive indices per evaluation. Input
+        // bit `k` of lane `l` within a base index `base` is bit k of
+        // (base + l).
+        let mut lanes = vec![0u64; total as usize];
+        let mut base = 0usize;
+        while base < n {
+            for (k, lane) in lanes.iter_mut().enumerate() {
+                let mut v = 0u64;
+                for l in 0..64usize.min(n - base) {
+                    let idx = base + l;
+                    if (idx >> k) & 1 == 1 {
+                        v |= 1 << l;
+                    }
+                }
+                *lane = v;
+            }
+            let out = nl.eval_lanes(&lanes)?;
+            for l in 0..64usize.min(n - base) {
+                let mut word = 0u32;
+                for (bit, &ow) in out.iter().enumerate() {
+                    if (ow >> l) & 1 == 1 {
+                        word |= 1 << bit;
+                    }
+                }
+                entries[base + l] = word;
+            }
+            base += 64;
+        }
+        Ok(TruthTable {
+            entries,
+            width_a: wa,
+            width_b: wb,
+            width_out: wout,
+        })
+    }
+
+    /// Width of operand 0 in bits.
+    #[must_use]
+    pub fn width_a(&self) -> u32 {
+        self.width_a
+    }
+
+    /// Width of operand 1 in bits.
+    #[must_use]
+    pub fn width_b(&self) -> u32 {
+        self.width_b
+    }
+
+    /// Output width in bits.
+    #[must_use]
+    pub fn width_out(&self) -> u32 {
+        self.width_out
+    }
+
+    /// Number of entries (`2^(width_a + width_b)`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty (never true for a built table).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up by stitched index `(b << width_a) | a`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<u32> {
+        self.entries.get(index).copied()
+    }
+
+    /// Look up by operand pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand exceeds its declared width.
+    #[must_use]
+    pub fn lookup(&self, a: u32, b: u32) -> u32 {
+        assert!(a >> self.width_a == 0, "operand a out of range");
+        assert!(b >> self.width_b == 0, "operand b out of range");
+        self.entries[((b as usize) << self.width_a) | a as usize]
+    }
+
+    /// The raw entries, indexed by the stitched operand index.
+    #[must_use]
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MultiplierSpec;
+
+    #[test]
+    fn exact_4x4_table_matches_multiplication() {
+        let nl = MultiplierSpec::unsigned(4, 4).build().unwrap();
+        let tt = TruthTable::from_netlist(&nl).unwrap();
+        assert_eq!(tt.len(), 256);
+        assert_eq!(tt.width_out(), 8);
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                assert_eq!(tt.lookup(a, b), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_8x8_table_matches_multiplication() {
+        let nl = MultiplierSpec::unsigned(8, 8).build().unwrap();
+        let tt = TruthTable::from_netlist(&nl).unwrap();
+        assert_eq!(tt.len(), 65536);
+        for (a, b) in [(0u32, 0u32), (255, 255), (200, 3), (17, 19), (128, 128)] {
+            assert_eq!(tt.lookup(a, b), a * b);
+        }
+    }
+
+    #[test]
+    fn stitched_index_layout() {
+        let nl = MultiplierSpec::unsigned(4, 4).build().unwrap();
+        let tt = TruthTable::from_netlist(&nl).unwrap();
+        // index = (b << 4) | a
+        assert_eq!(tt.get((3 << 4) | 2).unwrap(), 6);
+    }
+
+    #[test]
+    fn signed_8x8_table_two_complement() {
+        let nl = MultiplierSpec::signed(8, 8).build().unwrap();
+        let tt = TruthTable::from_netlist(&nl).unwrap();
+        let cases: [(i32, i32); 5] = [(-128, -128), (-128, 127), (-1, -1), (0, -5), (100, -3)];
+        for (x, y) in cases {
+            let a = (x as u32) & 0xFF;
+            let b = (y as u32) & 0xFF;
+            let got = tt.lookup(a, b);
+            let expect = ((x * y) as u32) & 0xFFFF;
+            assert_eq!(got, expect, "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn oversized_inputs_rejected() {
+        let nl = Netlist::with_operands(&[16, 16]);
+        // Not even populated; width check fires first.
+        let err = TruthTable::from_netlist(&nl).unwrap_err();
+        assert!(matches!(err, CircuitError::UnsupportedWidth { .. }));
+    }
+}

@@ -1,0 +1,212 @@
+//! Behavioral models of well-known approximate multiplier families.
+//!
+//! These functions operate on *unsigned magnitudes* (`u32` holding 8-bit
+//! values); the signed variants in [`mod@crate::catalog`] wrap them in
+//! sign-magnitude form, which is how DRUM and logarithmic multipliers are
+//! deployed in signed datapaths.
+
+/// Exact 8×8 product.
+#[must_use]
+pub fn exact(a: u32, b: u32) -> u32 {
+    a * b
+}
+
+/// Truncation of the `k` least-significant result bits of the exact
+/// product (output-side truncation; cheaper rounding-free variant).
+#[must_use]
+pub fn result_truncated(a: u32, b: u32, k: u32) -> u32 {
+    if k >= 16 {
+        return 0;
+    }
+    (a * b) >> k << k
+}
+
+/// DRUM(k) — *Dynamic Range Unbiased Multiplier* (Hashemi et al.,
+/// ICCAD'15). Each operand is reduced to its `k` leading bits starting at
+/// its highest set bit, with the dropped tail compensated by setting the
+/// new LSB (the "unbiasing" trick); the narrow products are then shifted
+/// back.
+#[must_use]
+pub fn drum(a: u32, b: u32, k: u32) -> u32 {
+    assert!(k >= 2, "DRUM needs k >= 2");
+    let (ma, sa) = drum_reduce(a, k);
+    let (mb, sb) = drum_reduce(b, k);
+    (ma * mb) << (sa + sb)
+}
+
+/// Reduce an operand to `k` significant bits; returns `(mantissa, shift)`.
+fn drum_reduce(x: u32, k: u32) -> (u32, u32) {
+    if x == 0 {
+        return (0, 0);
+    }
+    let msb = 31 - x.leading_zeros();
+    if msb < k {
+        // Fits entirely — exact.
+        return (x, 0);
+    }
+    let shift = msb + 1 - k;
+    // Keep the top k bits and set the LSB for unbiased expectation.
+    let mant = (x >> shift) | 1;
+    (mant, shift)
+}
+
+/// Mitchell's logarithmic multiplier (1962): approximate `log2` of each
+/// operand as `msb + frac`, add, and take the approximate antilog.
+#[must_use]
+pub fn mitchell(a: u32, b: u32) -> u32 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    // Fixed-point log2 with 16 fractional bits: log2(x) ≈ msb + frac where
+    // frac = (x - 2^msb) / 2^msb.
+    const FRAC: u32 = 16;
+    let la = mitchell_log2(a, FRAC);
+    let lb = mitchell_log2(b, FRAC);
+    let sum = la + lb;
+    let int = sum >> FRAC;
+    let frac = sum & ((1 << FRAC) - 1);
+    // Antilog: 2^(int + frac) ≈ (1 + frac) << int.
+    let one_plus = (1u64 << FRAC) + u64::from(frac);
+    ((one_plus << int) >> FRAC) as u32
+}
+
+fn mitchell_log2(x: u32, frac_bits: u32) -> u32 {
+    let msb = 31 - x.leading_zeros();
+    let mant = x - (1 << msb);
+    let frac = if msb >= frac_bits {
+        mant >> (msb - frac_bits)
+    } else {
+        mant << (frac_bits - msb)
+    };
+    (msb << frac_bits) | frac
+}
+
+/// The Kulkarni *underdesigned* 2×2 multiplier (UDM) applied recursively to
+/// 8×8: the 2×2 building block computes `3 × 3 = 7` (saving a gate) and is
+/// exact everywhere else; larger multipliers compose four half-width
+/// multiplies.
+#[must_use]
+pub fn udm8(a: u32, b: u32) -> u32 {
+    udm(a, b, 8)
+}
+
+fn udm(a: u32, b: u32, w: u32) -> u32 {
+    if w == 2 {
+        // The underdesigned 2x2 block: 3*3 -> 7 instead of 9.
+        return if a == 3 && b == 3 { 7 } else { a * b };
+    }
+    let h = w / 2;
+    let mask = (1 << h) - 1;
+    let (al, ah) = (a & mask, a >> h);
+    let (bl, bh) = (b & mask, b >> h);
+    let ll = udm(al, bl, h);
+    let lh = udm(al, bh, h);
+    let hl = udm(ah, bl, h);
+    let hh = udm(ah, bh, h);
+    ll + ((lh + hl) << h) + (hh << (2 * h))
+}
+
+/// Apply an unsigned magnitude multiplier to signed operands in
+/// sign-magnitude fashion: multiply the absolute values, then apply the
+/// product sign. `-128` saturates to magnitude 128 (fits in `u32`).
+#[must_use]
+pub fn sign_magnitude(f: impl Fn(u32, u32) -> u32, a: i32, b: i32) -> i32 {
+    let p = f(a.unsigned_abs(), b.unsigned_abs()) as i64;
+    let signed = if (a < 0) ^ (b < 0) { -p } else { p };
+    signed as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_truncation_zeroes_low_bits() {
+        assert_eq!(result_truncated(13, 11, 3), (143 >> 3) << 3);
+        assert_eq!(result_truncated(255, 255, 0), 255 * 255);
+        assert_eq!(result_truncated(255, 255, 16), 0);
+    }
+
+    #[test]
+    fn drum_exact_for_small_operands() {
+        // Operands that fit in k bits are multiplied exactly.
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(drum(a, b, 3), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn drum_zero_handling() {
+        assert_eq!(drum(0, 255, 4), 0);
+        assert_eq!(drum(255, 0, 4), 0);
+    }
+
+    #[test]
+    fn drum_relative_error_bounded() {
+        // Each DRUM(k) operand is off by at most 2^-(k-1) relative; the
+        // product error therefore stays below (1 + 2^-(k-1))^2 - 1.
+        let k = 4;
+        let eps = 1.0 / f64::from(1 << (k - 1));
+        let bound = (1.0 + eps) * (1.0 + eps) - 1.0;
+        for a in 1u32..256 {
+            for b in 1u32..256 {
+                let approx = f64::from(drum(a, b, k));
+                let exact = f64::from(a * b);
+                let rel = (approx - exact).abs() / exact;
+                assert!(rel <= bound, "{a}*{b}: rel {rel} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn mitchell_exact_on_powers_of_two() {
+        for i in 0..8 {
+            for j in 0..8 {
+                let (a, b) = (1u32 << i, 1u32 << j);
+                assert_eq!(mitchell(a, b), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mitchell_error_within_known_bound() {
+        // Mitchell's multiplier under-estimates by at most ~11.1%.
+        for a in 1u32..256 {
+            for b in 1u32..256 {
+                let approx = f64::from(mitchell(a, b));
+                let exact = f64::from(a * b);
+                let rel = (exact - approx) / exact;
+                assert!((-1e-9..=0.1112).contains(&rel), "{a}*{b}: rel {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn udm_matches_exact_off_the_error_pattern() {
+        assert_eq!(udm(3, 3, 2), 7);
+        assert_eq!(udm(3, 2, 2), 6);
+        assert_eq!(udm8(5, 5), 25);
+        // 3*3 appearing in a sub-product triggers the deviation.
+        assert!(udm8(255, 255) <= 255 * 255);
+    }
+
+    #[test]
+    fn udm_never_overestimates() {
+        for a in (0u32..256).step_by(7) {
+            for b in 0u32..256 {
+                assert!(udm8(a, b) <= a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sign_magnitude_signs() {
+        assert_eq!(sign_magnitude(exact, -3, 5), -15);
+        assert_eq!(sign_magnitude(exact, -3, -5), 15);
+        assert_eq!(sign_magnitude(exact, 3, -5), -15);
+        assert_eq!(sign_magnitude(exact, -128, 2), -256);
+        assert_eq!(sign_magnitude(exact, -128, -128), 16384);
+    }
+}

@@ -1,0 +1,317 @@
+//! Named catalog of ready-made approximate multipliers.
+//!
+//! This stands in for the EvoApprox8b library the paper draws its
+//! multipliers from: every entry couples a [`MulLut`] with a hardware cost
+//! estimate so design-space exploration (accuracy vs. area/power) can run
+//! end-to-end. Circuit-backed entries get their cost from the unit-gate
+//! model of [`axcircuit::cost`]; behavioral entries carry a documented
+//! analytic estimate.
+
+use crate::{behavioral, ErrorMetrics, MulLut, MultError, Signedness};
+use axcircuit::cost::{self, HardwareCost};
+use axcircuit::truth::TruthTable;
+use axcircuit::builder::MultiplierSpec;
+
+/// A catalog entry: a named approximate multiplier with provenance and
+/// hardware cost.
+#[derive(Debug, Clone)]
+pub struct AxMultiplier {
+    name: String,
+    description: String,
+    lut: MulLut,
+    cost: Option<HardwareCost>,
+}
+
+impl AxMultiplier {
+    /// Create an entry from parts (for user-defined multipliers).
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        lut: MulLut,
+        cost: Option<HardwareCost>,
+    ) -> Self {
+        AxMultiplier {
+            name: name.into(),
+            description: description.into(),
+            lut,
+            cost,
+        }
+    }
+
+    /// Catalog name, e.g. `mul8u_bam_v8h0`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// One-line human description.
+    #[must_use]
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The multiplier's truth table.
+    #[must_use]
+    pub fn lut(&self) -> &MulLut {
+        &self.lut
+    }
+
+    /// Signedness of the operands.
+    #[must_use]
+    pub fn signedness(&self) -> Signedness {
+        self.lut.signedness()
+    }
+
+    /// Hardware cost (unit-gate model) if known.
+    #[must_use]
+    pub fn cost(&self) -> Option<HardwareCost> {
+        self.cost
+    }
+
+    /// Compute the full-space error metrics of this multiplier.
+    #[must_use]
+    pub fn metrics(&self) -> ErrorMetrics {
+        ErrorMetrics::of_lut(&self.lut)
+    }
+}
+
+fn circuit_entry(
+    name: &str,
+    description: &str,
+    spec: MultiplierSpec,
+    signedness: Signedness,
+) -> Result<AxMultiplier, MultError> {
+    let nl = spec.build()?;
+    let tt = TruthTable::from_netlist(&nl)?;
+    let lut = MulLut::from_truth_table(&tt, signedness)?;
+    Ok(AxMultiplier::new(
+        name,
+        description,
+        lut,
+        Some(cost::evaluate(&nl)),
+    ))
+}
+
+/// Rough unit-gate cost estimate for a DRUM(k) multiplier: a k×k exact
+/// core, two leading-one detectors and two shifters. Documented heuristic —
+/// only the ordering matters for design-space exploration.
+fn drum_cost_estimate(k: u32) -> HardwareCost {
+    let core = (k * k) as f64 * 6.0; // ~6 unit gates per array cell
+    let lod_and_shift = 8.0 * 4.0 * 2.0; // two LOD+shifter pairs
+    let area = core + lod_and_shift;
+    HardwareCost {
+        area,
+        power: area,
+        delay: 2.0 * f64::from(k) + 6.0,
+        gates: area as usize,
+    }
+}
+
+/// Rough unit-gate cost estimate for Mitchell's logarithmic multiplier:
+/// two log encoders, one adder, one antilog decoder.
+fn mitchell_cost_estimate() -> HardwareCost {
+    let area = 220.0;
+    HardwareCost {
+        area,
+        power: area,
+        delay: 18.0,
+        gates: 220,
+    }
+}
+
+fn behavioral_entry(
+    name: &str,
+    description: &str,
+    signedness: Signedness,
+    cost: Option<HardwareCost>,
+    f: impl Fn(u32, u32) -> u32 + Copy,
+) -> AxMultiplier {
+    let lut = match signedness {
+        Signedness::Unsigned => {
+            MulLut::from_fn(signedness, move |a, b| f(a as u32, b as u32) as i32)
+        }
+        Signedness::Signed => MulLut::from_fn(signedness, move |a, b| {
+            behavioral::sign_magnitude(f, a, b)
+        }),
+    };
+    AxMultiplier::new(name, description, lut, cost)
+}
+
+/// Build the full multiplier catalog.
+///
+/// # Errors
+///
+/// Propagates circuit-construction failures (which would indicate a bug in
+/// the generators, not bad user input).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), axmult::MultError> {
+/// let cat = axmult::catalog()?;
+/// assert!(cat.iter().any(|m| m.name() == "mul8s_exact"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn catalog() -> Result<Vec<AxMultiplier>, MultError> {
+    let mut v = Vec::new();
+    v.push(circuit_entry(
+        "mul8u_exact",
+        "exact 8x8 unsigned carry-save array multiplier",
+        MultiplierSpec::unsigned(8, 8),
+        Signedness::Unsigned,
+    )?);
+    v.push(circuit_entry(
+        "mul8s_exact",
+        "exact 8x8 signed (sign-extended array) multiplier",
+        MultiplierSpec::signed(8, 8),
+        Signedness::Signed,
+    )?);
+    for k in [2u32, 4, 6] {
+        v.push(circuit_entry(
+            &format!("mul8u_trunc{k}"),
+            &format!("unsigned array multiplier, {k} LSB product columns truncated"),
+            MultiplierSpec::unsigned(8, 8)
+                .with_drop(axcircuit::builder::CellDrop::LsbColumns(k)),
+            Signedness::Unsigned,
+        )?);
+    }
+    for (vbl, hbl) in [(6u32, 0u32), (8, 0), (10, 2)] {
+        v.push(circuit_entry(
+            &format!("mul8u_bam_v{vbl}h{hbl}"),
+            &format!("broken-array multiplier, vertical break {vbl}, horizontal break {hbl}"),
+            MultiplierSpec::unsigned(8, 8).with_drop(axcircuit::builder::CellDrop::BrokenArray {
+                vbl,
+                hbl,
+            }),
+            Signedness::Unsigned,
+        )?);
+    }
+    v.push(circuit_entry(
+        "mul8s_bam_v8h0",
+        "signed broken-array multiplier, vertical break 8",
+        MultiplierSpec::signed(8, 8).with_drop(axcircuit::builder::CellDrop::BrokenArray {
+            vbl: 8,
+            hbl: 0,
+        }),
+        Signedness::Signed,
+    )?);
+    for k in [3u32, 4, 6] {
+        v.push(behavioral_entry(
+            &format!("mul8u_drum{k}"),
+            &format!("DRUM({k}) dynamic-range unbiased multiplier (Hashemi et al.)"),
+            Signedness::Unsigned,
+            Some(drum_cost_estimate(k)),
+            move |a, b| behavioral::drum(a, b, k),
+        ));
+    }
+    v.push(behavioral_entry(
+        "mul8s_drum4",
+        "DRUM(4) in sign-magnitude signed form",
+        Signedness::Signed,
+        Some(drum_cost_estimate(4)),
+        |a, b| behavioral::drum(a, b, 4),
+    ));
+    v.push(behavioral_entry(
+        "mul8u_mitchell",
+        "Mitchell's logarithmic multiplier (1962)",
+        Signedness::Unsigned,
+        Some(mitchell_cost_estimate()),
+        behavioral::mitchell,
+    ));
+    v.push(behavioral_entry(
+        "mul8s_mitchell",
+        "Mitchell's logarithmic multiplier, sign-magnitude signed form",
+        Signedness::Signed,
+        Some(mitchell_cost_estimate()),
+        behavioral::mitchell,
+    ));
+    v.push(behavioral_entry(
+        "mul8u_udm",
+        "Kulkarni underdesigned multiplier (recursive 2x2 blocks)",
+        Signedness::Unsigned,
+        None,
+        behavioral::udm8,
+    ));
+    Ok(v)
+}
+
+/// Look up one catalog entry by name.
+///
+/// # Errors
+///
+/// Returns [`MultError::UnknownMultiplier`] for names not in the catalog,
+/// and propagates construction failures.
+pub fn by_name(name: &str) -> Result<AxMultiplier, MultError> {
+    catalog()?
+        .into_iter()
+        .find(|m| m.name() == name)
+        .ok_or_else(|| MultError::UnknownMultiplier(name.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_nonempty_and_uniquely_named() {
+        let cat = catalog().unwrap();
+        assert!(cat.len() >= 12);
+        let mut names: Vec<&str> = cat.iter().map(AxMultiplier::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cat.len(), "duplicate catalog names");
+    }
+
+    #[test]
+    fn exact_entries_are_exact() {
+        for name in ["mul8u_exact", "mul8s_exact"] {
+            let m = by_name(name).unwrap();
+            assert!(m.metrics().is_exact(), "{name} not exact");
+        }
+    }
+
+    #[test]
+    fn approximate_entries_are_not_exact() {
+        for name in ["mul8u_trunc4", "mul8u_bam_v8h0", "mul8u_drum4", "mul8u_mitchell"] {
+            let m = by_name(name).unwrap();
+            assert!(!m.metrics().is_exact(), "{name} unexpectedly exact");
+        }
+    }
+
+    #[test]
+    fn circuit_costs_ordered_by_aggressiveness() {
+        let exact = by_name("mul8u_exact").unwrap().cost().unwrap();
+        let t4 = by_name("mul8u_trunc4").unwrap().cost().unwrap();
+        let bam = by_name("mul8u_bam_v10h2").unwrap().cost().unwrap();
+        assert!(t4.area < exact.area);
+        assert!(bam.area < t4.area);
+    }
+
+    #[test]
+    fn unknown_name_is_error() {
+        let err = by_name("mul8u_nonexistent").unwrap_err();
+        assert!(matches!(err, MultError::UnknownMultiplier(_)));
+    }
+
+    #[test]
+    fn signedness_matches_name_convention() {
+        for m in catalog().unwrap() {
+            let expect = if m.name().starts_with("mul8s") {
+                Signedness::Signed
+            } else {
+                Signedness::Unsigned
+            };
+            assert_eq!(m.signedness(), expect, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn signed_drum_handles_extremes() {
+        let m = by_name("mul8s_drum4").unwrap();
+        // Sign-magnitude wrapper must survive -128.
+        let p = m.lut().product(-128, -128);
+        assert!(p > 0, "product of two negatives positive, got {p}");
+    }
+}

@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Errors produced by the approximate multiplier layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MultError {
+    /// A serialized LUT blob had the wrong size.
+    BadLutSize {
+        /// Expected byte length.
+        expected: usize,
+        /// Actual byte length.
+        got: usize,
+    },
+    /// A truth table had an unexpected shape for an 8×8 multiplier.
+    BadTruthTableShape {
+        /// Operand-A width found.
+        width_a: u32,
+        /// Operand-B width found.
+        width_b: u32,
+    },
+    /// A named multiplier was not found in the catalog.
+    UnknownMultiplier(String),
+    /// A circuit-level error bubbled up during construction.
+    Circuit(axcircuit::CircuitError),
+}
+
+impl fmt::Display for MultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultError::BadLutSize { expected, got } => {
+                write!(f, "serialized LUT must be {expected} bytes, got {got}")
+            }
+            MultError::BadTruthTableShape { width_a, width_b } => {
+                write!(f, "expected an 8x8 truth table, got {width_a}x{width_b}")
+            }
+            MultError::UnknownMultiplier(name) => {
+                write!(f, "unknown multiplier '{name}' (see axmult::catalog)")
+            }
+            MultError::Circuit(e) => write!(f, "circuit error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MultError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MultError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<axcircuit::CircuitError> for MultError {
+    fn from(e: axcircuit::CircuitError) -> Self {
+        MultError::Circuit(e)
+    }
+}

@@ -1,0 +1,146 @@
+//! Full-input-space error metrics for 8×8 approximate multipliers.
+//!
+//! Selecting a multiplier for a DNN accelerator (the design flow TFApprox
+//! accelerates) is driven by these standard metrics, computed exhaustively
+//! over all 2¹⁶ operand pairs.
+
+use crate::{MulLut, Signedness};
+use serde::{Deserialize, Serialize};
+
+/// Standard approximate-arithmetic error metrics versus the exact product.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ErrorMetrics {
+    /// Mean absolute error over all input pairs.
+    pub mae: f64,
+    /// Worst-case (maximum) absolute error.
+    pub wce: u32,
+    /// Mean relative error, averaged over pairs with a non-zero exact
+    /// product.
+    pub mre: f64,
+    /// Fraction of input pairs with any error at all.
+    pub error_rate: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// MAE normalized by the maximum exact product magnitude (a
+    /// scale-free figure often written "MAE %").
+    pub mae_percent: f64,
+}
+
+impl ErrorMetrics {
+    /// Evaluate a LUT against the exact multiplier of the same signedness.
+    #[must_use]
+    pub fn of_lut(lut: &MulLut) -> Self {
+        let s = lut.signedness();
+        let mut sum_abs = 0f64;
+        let mut sum_sq = 0f64;
+        let mut sum_rel = 0f64;
+        let mut rel_count = 0u32;
+        let mut wce = 0u32;
+        let mut errors = 0u32;
+        for a in s.qmin()..=s.qmax() {
+            for b in s.qmin()..=s.qmax() {
+                let approx = lut.product(a, b);
+                let exact = a * b;
+                let e = (i64::from(approx) - i64::from(exact)).unsigned_abs() as u32;
+                if e != 0 {
+                    errors += 1;
+                }
+                wce = wce.max(e);
+                sum_abs += f64::from(e);
+                sum_sq += f64::from(e) * f64::from(e);
+                if exact != 0 {
+                    sum_rel += f64::from(e) / f64::from(exact.abs());
+                    rel_count += 1;
+                }
+            }
+        }
+        let n = 65536f64;
+        let max_exact = match s {
+            Signedness::Unsigned => 255.0 * 255.0,
+            Signedness::Signed => 128.0 * 128.0,
+        };
+        ErrorMetrics {
+            mae: sum_abs / n,
+            wce,
+            mre: if rel_count > 0 {
+                sum_rel / f64::from(rel_count)
+            } else {
+                0.0
+            },
+            error_rate: f64::from(errors) / n,
+            mse: sum_sq / n,
+            mae_percent: 100.0 * (sum_abs / n) / max_exact,
+        }
+    }
+
+    /// True if the multiplier is exact everywhere.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.wce == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavioral;
+
+    #[test]
+    fn exact_multiplier_has_zero_error() {
+        let m = ErrorMetrics::of_lut(&MulLut::exact(Signedness::Unsigned));
+        assert!(m.is_exact());
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.error_rate, 0.0);
+        assert_eq!(m.mse, 0.0);
+        assert_eq!(m.mre, 0.0);
+    }
+
+    #[test]
+    fn exact_signed_multiplier_has_zero_error() {
+        let m = ErrorMetrics::of_lut(&MulLut::exact(Signedness::Signed));
+        assert!(m.is_exact());
+    }
+
+    #[test]
+    fn truncation_error_grows_with_k() {
+        let m2 = ErrorMetrics::of_lut(&MulLut::from_fn(Signedness::Unsigned, |a, b| {
+            behavioral::result_truncated(a as u32, b as u32, 2) as i32
+        }));
+        let m6 = ErrorMetrics::of_lut(&MulLut::from_fn(Signedness::Unsigned, |a, b| {
+            behavioral::result_truncated(a as u32, b as u32, 6) as i32
+        }));
+        assert!(!m2.is_exact());
+        assert!(m6.mae > m2.mae);
+        assert!(m6.wce > m2.wce);
+        assert!(m6.error_rate >= m2.error_rate);
+    }
+
+    #[test]
+    fn truncation_wce_bounded_by_mask() {
+        let k = 4;
+        let m = ErrorMetrics::of_lut(&MulLut::from_fn(Signedness::Unsigned, |a, b| {
+            behavioral::result_truncated(a as u32, b as u32, k) as i32
+        }));
+        assert!(m.wce < (1 << k));
+    }
+
+    #[test]
+    fn udm_known_error_rate_shape() {
+        let m = ErrorMetrics::of_lut(&MulLut::from_fn(Signedness::Unsigned, |a, b| {
+            behavioral::udm8(a as u32, b as u32) as i32
+        }));
+        assert!(!m.is_exact());
+        // Kulkarni's UDM errs on a sparse input subset.
+        assert!(m.error_rate > 0.0 && m.error_rate < 0.5);
+    }
+
+    #[test]
+    fn mae_percent_normalization() {
+        let m = ErrorMetrics::of_lut(&MulLut::from_fn(Signedness::Unsigned, |a, b| {
+            behavioral::result_truncated(a as u32, b as u32, 8) as i32
+        }));
+        assert!(m.mae_percent > 0.0);
+        assert!(m.mae_percent < 100.0);
+        assert!((m.mae_percent - 100.0 * m.mae / (255.0 * 255.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,157 @@
+//! Error-versus-magnitude profiling of approximate multipliers.
+//!
+//! Aggregate metrics (MAE, WCE) hide *where* a multiplier errs. DRUM-style
+//! designs err proportionally across the range; truncation errs uniformly
+//! in absolute terms, which is relatively worse for small operands — the
+//! regime DNN activations actually occupy. This profile buckets the mean
+//! absolute error by the magnitude of the larger operand, exposing that
+//! structure.
+
+use crate::{MulLut, Signedness};
+use serde::{Deserialize, Serialize};
+
+/// Mean absolute error bucketed by `max(|a|, |b|)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MagnitudeProfile {
+    /// Upper edge (inclusive) of each magnitude bucket.
+    pub bucket_edges: Vec<u32>,
+    /// Mean absolute error of the pairs falling in each bucket.
+    pub mae: Vec<f64>,
+    /// Mean *relative* error (vs. the exact product) per bucket, over
+    /// pairs with a non-zero exact product.
+    pub mre: Vec<f64>,
+    /// Number of operand pairs per bucket.
+    pub count: Vec<u64>,
+}
+
+impl MagnitudeProfile {
+    /// Profile a LUT with power-of-two magnitude buckets
+    /// (`..=1, ..=2, ..=4, …, ..=128`).
+    #[must_use]
+    pub fn of_lut(lut: &MulLut) -> Self {
+        let edges: Vec<u32> = (0..8).map(|i| 1u32 << i).collect();
+        Self::with_edges(lut, &edges)
+    }
+
+    /// Profile with custom bucket edges (ascending; a final implicit
+    /// bucket catches everything above the last edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly ascending.
+    #[must_use]
+    pub fn with_edges(lut: &MulLut, edges: &[u32]) -> Self {
+        assert!(!edges.is_empty(), "need at least one bucket edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must ascend strictly"
+        );
+        let s = lut.signedness();
+        let n_buckets = edges.len() + 1;
+        let mut abs_sum = vec![0f64; n_buckets];
+        let mut rel_sum = vec![0f64; n_buckets];
+        let mut rel_n = vec![0u64; n_buckets];
+        let mut count = vec![0u64; n_buckets];
+        for a in s.qmin()..=s.qmax() {
+            for b in s.qmin()..=s.qmax() {
+                let mag = a.unsigned_abs().max(b.unsigned_abs());
+                let bucket = edges
+                    .iter()
+                    .position(|&e| mag <= e)
+                    .unwrap_or(edges.len());
+                let exact = a * b;
+                let err = f64::from((lut.product(a, b) - exact).abs());
+                abs_sum[bucket] += err;
+                count[bucket] += 1;
+                if exact != 0 {
+                    rel_sum[bucket] += err / f64::from(exact.abs());
+                    rel_n[bucket] += 1;
+                }
+            }
+        }
+        let mut full_edges = edges.to_vec();
+        full_edges.push(match s {
+            Signedness::Unsigned => 255,
+            Signedness::Signed => 128,
+        });
+        MagnitudeProfile {
+            bucket_edges: full_edges,
+            mae: abs_sum
+                .iter()
+                .zip(&count)
+                .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+                .collect(),
+            mre: rel_sum
+                .iter()
+                .zip(&rel_n)
+                .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+                .collect(),
+            count,
+        }
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.mae.len()
+    }
+
+    /// Whether the profile is empty (never for a built profile).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.mae.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavioral;
+
+    #[test]
+    fn exact_multiplier_flat_zero() {
+        let p = MagnitudeProfile::of_lut(&MulLut::exact(Signedness::Unsigned));
+        assert!(p.mae.iter().all(|&e| e == 0.0));
+        assert!(p.mre.iter().all(|&e| e == 0.0));
+        let total: u64 = p.count.iter().sum();
+        assert_eq!(total, 65536);
+    }
+
+    #[test]
+    fn truncation_relative_error_worst_for_small_operands() {
+        let lut = MulLut::from_fn(Signedness::Unsigned, |a, b| {
+            behavioral::result_truncated(a as u32, b as u32, 6) as i32
+        });
+        let p = MagnitudeProfile::of_lut(&lut);
+        // Relative error in the small-magnitude buckets exceeds the
+        // large-magnitude tail.
+        let small = p.mre[2]; // magnitudes <= 4
+        let large = *p.mre.last().unwrap();
+        assert!(
+            small > large,
+            "small-bucket MRE {small} !> large-bucket {large}"
+        );
+    }
+
+    #[test]
+    fn drum_relative_error_roughly_flat_at_large_magnitudes() {
+        let lut = MulLut::from_fn(Signedness::Unsigned, |a, b| {
+            behavioral::drum(a as u32, b as u32, 4) as i32
+        });
+        let p = MagnitudeProfile::of_lut(&lut);
+        // DRUM is exact below 2^k and bounded-relative above: the last
+        // two buckets are within 3x of each other and below the bound.
+        let n = p.len();
+        let (a, b) = (p.mre[n - 2], p.mre[n - 1]);
+        assert!(a > 0.0 && b > 0.0);
+        assert!(a / b < 3.0 && b / a < 3.0, "{a} vs {b}");
+        assert!(a < 0.14 && b < 0.14);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn unsorted_edges_rejected() {
+        let lut = MulLut::exact(Signedness::Unsigned);
+        let _ = MagnitudeProfile::with_edges(&lut, &[4, 2]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Synthetic CIFAR-10-shaped dataset.
+//!
+//! The paper evaluates on "CIFAR-10 ... containing 10⁴ input images having
+//! 32 × 32 × 3 pixels each. ... The evaluation of the data set is divided
+//! in 10 batches consisting of 1000 images each." Real CIFAR-10 files are
+//! not available offline; because the measured quantities are
+//! shape-determined (timing is weight- and data-independent, accuracy
+//! experiments compare exact vs. approximate execution of the same inputs),
+//! a deterministic synthetic dataset with the same geometry preserves every
+//! relevant behaviour.
+
+use axtensor::{rng, Shape4, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Total images in the evaluation set.
+pub const IMAGES: usize = 10_000;
+/// Number of evaluation batches.
+pub const BATCHES: usize = 10;
+/// Images per batch.
+pub const BATCH_SIZE: usize = IMAGES / BATCHES;
+
+/// Deterministic synthetic CIFAR-10: 10 000 `32×32×3` images in 10
+/// batches, with pseudo-labels for agreement metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticCifar10 {
+    seed: u64,
+}
+
+impl SyntheticCifar10 {
+    /// A dataset generated from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SyntheticCifar10 { seed }
+    }
+
+    /// One evaluation batch of the standard size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= BATCHES`.
+    #[must_use]
+    pub fn batch(&self, index: usize) -> Tensor<f32> {
+        assert!(index < BATCHES, "batch {index} out of range");
+        self.batch_sized(index, BATCH_SIZE)
+    }
+
+    /// A batch of `size` images (for reduced-scale measured runs).
+    ///
+    /// Batches with the same `index` share a prefix: `batch_sized(i, k)`
+    /// equals the first `k` images of `batch(i)`.
+    #[must_use]
+    pub fn batch_sized(&self, index: usize, size: usize) -> Tensor<f32> {
+        // Images are normalized to [-1, 1), the usual CIFAR preprocessing.
+        rng::uniform(
+            Shape4::new(size, 32, 32, 3),
+            self.seed ^ ((index as u64 + 1) << 32),
+            -1.0,
+            1.0,
+        )
+    }
+
+    /// Pseudo-labels (0..10) for a batch, for top-1 agreement metrics.
+    #[must_use]
+    pub fn labels(&self, index: usize, size: usize) -> Vec<u8> {
+        let mut r = StdRng::seed_from_u64(self.seed ^ ((index as u64 + 1) << 16));
+        (0..size).map(|_| r.gen_range(0..10u8)).collect()
+    }
+}
+
+/// Top-1 class of each row of a `[n, 1, 1, 10]` probability tensor.
+#[must_use]
+pub fn argmax_classes(probs: &Tensor<f32>) -> Vec<u8> {
+    let c = probs.shape().c;
+    probs
+        .as_slice()
+        .chunks(c)
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i as u8)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Fraction of rows where two probability tensors agree on the top-1
+/// class — the metric for "does the approximate multiplier change the
+/// prediction".
+///
+/// # Panics
+///
+/// Panics if the tensors have different shapes.
+#[must_use]
+pub fn top1_agreement(a: &Tensor<f32>, b: &Tensor<f32>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    let ca = argmax_classes(a);
+    let cb = argmax_classes(b);
+    let same = ca.iter().zip(&cb).filter(|(x, y)| x == y).count();
+    same as f64 / ca.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_consistent() {
+        assert_eq!(BATCHES * BATCH_SIZE, IMAGES);
+    }
+
+    #[test]
+    fn batches_are_deterministic_and_distinct() {
+        let d = SyntheticCifar10::new(1);
+        let a = d.batch_sized(0, 4);
+        let b = d.batch_sized(0, 4);
+        assert_eq!(a, b);
+        let c = d.batch_sized(1, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sized_batch_is_prefix() {
+        let d = SyntheticCifar10::new(3);
+        let big = d.batch_sized(2, 8);
+        let small = d.batch_sized(2, 3);
+        assert_eq!(big.batch_slice(0, 3), small);
+    }
+
+    #[test]
+    fn images_normalized() {
+        let d = SyntheticCifar10::new(7);
+        let b = d.batch_sized(0, 2);
+        assert!(b.as_slice().iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn labels_in_range() {
+        let d = SyntheticCifar10::new(7);
+        assert!(d.labels(0, 100).iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn argmax_and_agreement() {
+        let a = Tensor::from_vec(
+            Shape4::new(2, 1, 1, 3),
+            vec![0.1, 0.8, 0.1, 0.6, 0.2, 0.2],
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            Shape4::new(2, 1, 1, 3),
+            vec![0.2, 0.7, 0.1, 0.1, 0.8, 0.1],
+        )
+        .unwrap();
+        assert_eq!(argmax_classes(&a), vec![1, 0]);
+        assert_eq!(top1_agreement(&a, &b), 0.5);
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Errors from graph construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A layer received the wrong number of inputs.
+    InputArity {
+        /// The layer's name.
+        layer: String,
+        /// Inputs expected.
+        expected: usize,
+        /// Inputs received.
+        got: usize,
+    },
+    /// A shape error bubbled up from the tensor layer.
+    Tensor(axtensor::TensorError),
+    /// A node referenced an id that does not exist (yet).
+    UnknownNode(usize),
+    /// A graph was built without an output node.
+    NoOutput,
+    /// A depth not of the form `6n + 2` was requested for a CIFAR ResNet.
+    BadResNetDepth(usize),
+    /// A layer-specific invariant was violated.
+    Layer {
+        /// The layer's name.
+        layer: String,
+        /// Description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::InputArity {
+                layer,
+                expected,
+                got,
+            } => write!(f, "layer '{layer}' expects {expected} inputs, got {got}"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            NnError::NoOutput => write!(f, "graph has no output node"),
+            NnError::BadResNetDepth(d) => {
+                write!(f, "CIFAR ResNet depth must be 6n+2, got {d}")
+            }
+            NnError::Layer { layer, message } => write!(f, "layer '{layer}': {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<axtensor::TensorError> for NnError {
+    fn from(e: axtensor::TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}

@@ -1,0 +1,70 @@
+//! The operator interface every graph node implements.
+
+use crate::layers::Conv2D;
+use crate::NnError;
+use axtensor::{Shape4, Tensor};
+use std::fmt;
+
+/// A neural-network operator.
+///
+/// Layers are stateless at execution time (weights are owned by the layer,
+/// activations flow through `forward`). Multi-input operators (residual
+/// `Add`, the approximate convolution with its range scalars) receive
+/// their inputs in the order the graph edges were declared.
+pub trait Layer: fmt::Debug + Send + Sync {
+    /// Operator type name (`"Conv2D"`, `"AxConv2D"`, `"ReLU"`, ...).
+    fn op_name(&self) -> &str;
+
+    /// Number of inputs the operator consumes.
+    fn arity(&self) -> usize {
+        1
+    }
+
+    /// Infer the output shape from the input shapes.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error when arity or shapes are invalid.
+    fn output_shape(&self, inputs: &[Shape4]) -> Result<Shape4, NnError>;
+
+    /// Execute the operator.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error when arity or shapes are invalid.
+    fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError>;
+
+    /// Multiply-accumulate operations performed for the given input
+    /// shapes; 0 for non-arithmetic layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures.
+    fn mac_count(&self, _inputs: &[Shape4]) -> Result<u64, NnError> {
+        Ok(0)
+    }
+
+    /// Downcast hook used by the graph-rewrite pass: a standard 2D
+    /// convolution exposes itself so it can be replaced by an approximate
+    /// variant.
+    fn as_conv2d(&self) -> Option<&Conv2D> {
+        None
+    }
+}
+
+/// Check an input slice length against the layer's arity.
+///
+/// # Errors
+///
+/// Returns [`NnError::InputArity`] on mismatch.
+pub fn check_arity<T>(layer: &str, inputs: &[T], expected: usize) -> Result<(), NnError> {
+    if inputs.len() == expected {
+        Ok(())
+    } else {
+        Err(NnError::InputArity {
+            layer: layer.to_owned(),
+            expected,
+            got: inputs.len(),
+        })
+    }
+}

@@ -1,0 +1,146 @@
+//! The standard (accurate) 2D convolution.
+
+use crate::layer::{check_arity, Layer};
+use crate::NnError;
+use axtensor::{ops, ConvGeometry, Filter, Shape4, Tensor};
+
+/// Accurate `Conv2D`: f32 GEMM-based convolution, the baseline the paper's
+/// `AxConv2D` replaces.
+#[derive(Debug, Clone)]
+pub struct Conv2D {
+    filter: Filter,
+    geometry: ConvGeometry,
+    bias: Option<Vec<f32>>,
+}
+
+impl Conv2D {
+    /// Create a convolution from a filter bank and geometry.
+    #[must_use]
+    pub fn new(filter: Filter, geometry: ConvGeometry) -> Self {
+        Conv2D {
+            filter,
+            geometry,
+            bias: None,
+        }
+    }
+
+    /// Attach a per-output-channel bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len()` differs from the filter's output channels.
+    #[must_use]
+    pub fn with_bias(mut self, bias: Vec<f32>) -> Self {
+        assert_eq!(
+            bias.len(),
+            self.filter.shape().c_out,
+            "bias length must equal output channels"
+        );
+        self.bias = Some(bias);
+        self
+    }
+
+    /// The filter bank.
+    #[must_use]
+    pub fn filter(&self) -> &Filter {
+        &self.filter
+    }
+
+    /// The convolution geometry.
+    #[must_use]
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geometry
+    }
+
+    /// The bias, if any.
+    #[must_use]
+    pub fn bias(&self) -> Option<&[f32]> {
+        self.bias.as_deref()
+    }
+
+    fn apply_bias(&self, mut out: Tensor<f32>) -> Tensor<f32> {
+        if let Some(bias) = &self.bias {
+            let c = out.shape().c;
+            for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+                *v += bias[i % c];
+            }
+        }
+        out
+    }
+}
+
+impl Layer for Conv2D {
+    fn op_name(&self) -> &str {
+        "Conv2D"
+    }
+
+    fn output_shape(&self, inputs: &[Shape4]) -> Result<Shape4, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        Ok(self.geometry.output_shape(inputs[0], self.filter.shape())?)
+    }
+
+    fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        let out = ops::conv2d_gemm(inputs[0], &self.filter, self.geometry)?;
+        Ok(self.apply_bias(out))
+    }
+
+    fn mac_count(&self, inputs: &[Shape4]) -> Result<u64, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        Ok(self.geometry.mac_count(inputs[0], self.filter.shape())?)
+    }
+
+    fn as_conv2d(&self) -> Option<&Conv2D> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axtensor::{rng, FilterShape};
+
+    #[test]
+    fn forward_matches_direct_reference() {
+        let input = rng::uniform(Shape4::new(1, 8, 8, 3), 1, -1.0, 1.0);
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 3, 4), 2, -0.5, 0.5);
+        let conv = Conv2D::new(filter.clone(), ConvGeometry::default());
+        let out = conv.forward(&[&input]).unwrap();
+        let reference = ops::conv2d_direct(&input, &filter, ConvGeometry::default()).unwrap();
+        assert!(out.max_abs_diff(&reference).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn bias_added_per_channel() {
+        let input = Tensor::<f32>::full(Shape4::new(1, 2, 2, 1), 0.0);
+        let filter = rng::uniform_filter(FilterShape::new(1, 1, 1, 2), 3, -0.5, 0.5);
+        let conv = Conv2D::new(filter, ConvGeometry::default()).with_bias(vec![1.0, -2.0]);
+        let out = conv.forward(&[&input]).unwrap();
+        for i in 0..4 {
+            assert_eq!(out.as_slice()[2 * i], 1.0);
+            assert_eq!(out.as_slice()[2 * i + 1], -2.0);
+        }
+    }
+
+    #[test]
+    fn mac_count_delegates_to_geometry() {
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 16, 16), 4, -0.1, 0.1);
+        let conv = Conv2D::new(filter, ConvGeometry::default());
+        let macs = conv.mac_count(&[Shape4::new(1, 32, 32, 16)]).unwrap();
+        assert_eq!(macs, 32 * 32 * 16 * 9 * 16);
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let filter = rng::uniform_filter(FilterShape::new(1, 1, 1, 1), 5, -1.0, 1.0);
+        let conv = Conv2D::new(filter, ConvGeometry::default());
+        assert!(conv.forward(&[]).is_err());
+    }
+
+    #[test]
+    fn exposes_itself_to_rewrite() {
+        let filter = rng::uniform_filter(FilterShape::new(1, 1, 1, 1), 5, -1.0, 1.0);
+        let conv = Conv2D::new(filter, ConvGeometry::default());
+        assert!(conv.as_conv2d().is_some());
+    }
+}

@@ -1,0 +1,139 @@
+//! Fully connected layer.
+
+use crate::layer::{check_arity, Layer};
+use crate::NnError;
+use axtensor::{Shape4, Tensor};
+
+/// Dense (fully connected) layer over flattened `[n, 1, 1, c]` features.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Row-major `[in, out]` weights.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Dense {
+    /// Create from row-major `[in, out]` weights and a bias of length
+    /// `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer sizes are inconsistent.
+    #[must_use]
+    pub fn new(in_features: usize, out_features: usize, weights: Vec<f32>, bias: Vec<f32>) -> Self {
+        assert_eq!(weights.len(), in_features * out_features);
+        assert_eq!(bias.len(), out_features);
+        Dense {
+            weights,
+            bias,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input feature count.
+    #[must_use]
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    #[must_use]
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Row-major `[in, out]` weights.
+    #[must_use]
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Per-output bias.
+    #[must_use]
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+}
+
+impl Layer for Dense {
+    fn op_name(&self) -> &str {
+        "Dense"
+    }
+
+    fn output_shape(&self, inputs: &[Shape4]) -> Result<Shape4, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        let s = inputs[0];
+        if s.h * s.w * s.c != self.in_features {
+            return Err(NnError::Layer {
+                layer: self.op_name().to_owned(),
+                message: format!(
+                    "input features {} != layer in_features {}",
+                    s.h * s.w * s.c,
+                    self.in_features
+                ),
+            });
+        }
+        Ok(Shape4::new(s.n, 1, 1, self.out_features))
+    }
+
+    fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError> {
+        let out_shape = self.output_shape(&[inputs[0].shape()])?;
+        let x = inputs[0];
+        let n = x.shape().n;
+        let mut out = Tensor::<f32>::zeros(out_shape);
+        let src = x.as_slice();
+        for b in 0..n {
+            let row = &src[b * self.in_features..(b + 1) * self.in_features];
+            for o in 0..self.out_features {
+                let mut acc = self.bias[o];
+                for (i, &v) in row.iter().enumerate() {
+                    acc += v * self.weights[i * self.out_features + o];
+                }
+                *out.at_mut(b, 0, 0, o) = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    fn mac_count(&self, inputs: &[Shape4]) -> Result<u64, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        Ok((inputs[0].n * self.in_features * self.out_features) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_weights() {
+        let d = Dense::new(2, 2, vec![1.0, 0.0, 0.0, 1.0], vec![0.0, 0.0]);
+        let x = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![3.0, -1.0]).unwrap();
+        let out = d.forward(&[&x]).unwrap();
+        assert_eq!(out.as_slice(), &[3.0, -1.0]);
+    }
+
+    #[test]
+    fn bias_and_mixing() {
+        let d = Dense::new(2, 1, vec![2.0, -1.0], vec![0.5]);
+        let x = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![1.0, 3.0]).unwrap();
+        let out = d.forward(&[&x]).unwrap();
+        assert_eq!(out.as_slice(), &[2.0 - 3.0 + 0.5]);
+    }
+
+    #[test]
+    fn feature_mismatch_rejected() {
+        let d = Dense::new(4, 2, vec![0.0; 8], vec![0.0; 2]);
+        let x = Tensor::<f32>::zeros(Shape4::new(1, 1, 1, 3));
+        assert!(d.forward(&[&x]).is_err());
+    }
+
+    #[test]
+    fn mac_count_scales_with_batch() {
+        let d = Dense::new(64, 10, vec![0.0; 640], vec![0.0; 10]);
+        assert_eq!(d.mac_count(&[Shape4::new(5, 1, 1, 64)]).unwrap(), 3200);
+    }
+}

@@ -1,0 +1,120 @@
+//! Spatial max pooling.
+
+use crate::layer::{check_arity, Layer};
+use crate::NnError;
+use axtensor::{Shape4, Tensor};
+
+/// Max pooling over non-overlapping (or strided) spatial windows.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool2D {
+    kernel: usize,
+    stride: usize,
+}
+
+impl MaxPool2D {
+    /// A `kernel × kernel` max pool with the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if kernel or stride is 0.
+    #[must_use]
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "degenerate pooling window");
+        MaxPool2D { kernel, stride }
+    }
+
+    /// The classic 2×2 stride-2 pool.
+    #[must_use]
+    pub fn halving() -> Self {
+        MaxPool2D::new(2, 2)
+    }
+}
+
+impl Layer for MaxPool2D {
+    fn op_name(&self) -> &str {
+        "MaxPool2D"
+    }
+
+    fn output_shape(&self, inputs: &[Shape4]) -> Result<Shape4, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        let s = inputs[0];
+        if s.h < self.kernel || s.w < self.kernel {
+            return Err(NnError::Layer {
+                layer: self.op_name().to_owned(),
+                message: format!(
+                    "input {}x{} smaller than window {}",
+                    s.h, s.w, self.kernel
+                ),
+            });
+        }
+        Ok(Shape4::new(
+            s.n,
+            (s.h - self.kernel) / self.stride + 1,
+            (s.w - self.kernel) / self.stride + 1,
+            s.c,
+        ))
+    }
+
+    fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError> {
+        let out_shape = self.output_shape(&[inputs[0].shape()])?;
+        let x = inputs[0];
+        let mut out = Tensor::<f32>::zeros(out_shape);
+        for n in 0..out_shape.n {
+            for oy in 0..out_shape.h {
+                for ox in 0..out_shape.w {
+                    for c in 0..out_shape.c {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                best = best.max(x.at(
+                                    n,
+                                    oy * self.stride + ky,
+                                    ox * self.stride + kx,
+                                    c,
+                                ));
+                            }
+                        }
+                        *out.at_mut(n, oy, ox, c) = best;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halving_pool_takes_window_max() {
+        let t = Tensor::from_fn(Shape4::new(1, 4, 4, 1), |_, h, w, _| (h * 4 + w) as f32);
+        let out = MaxPool2D::halving().forward(&[&t]).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 2, 2, 1));
+        assert_eq!(out.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn channels_pooled_independently() {
+        let t = Tensor::from_fn(Shape4::new(1, 2, 2, 2), |_, h, w, c| {
+            if c == 0 { (h + w) as f32 } else { -(h as f32) }
+        });
+        let out = MaxPool2D::halving().forward(&[&t]).unwrap();
+        assert_eq!(out.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn undersized_input_rejected() {
+        let t = Tensor::<f32>::zeros(Shape4::new(1, 1, 1, 1));
+        assert!(MaxPool2D::halving().forward(&[&t]).is_err());
+    }
+
+    #[test]
+    fn overlapping_windows() {
+        let t = Tensor::from_fn(Shape4::new(1, 3, 3, 1), |_, h, w, _| (h * 3 + w) as f32);
+        let out = MaxPool2D::new(2, 1).forward(&[&t]).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 2, 2, 1));
+        assert_eq!(out.as_slice(), &[4.0, 5.0, 7.0, 8.0]);
+    }
+}

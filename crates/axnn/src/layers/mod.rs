@@ -1,0 +1,19 @@
+//! The layer zoo.
+
+mod activation;
+mod conv;
+mod dense;
+mod maxpool;
+mod norm;
+mod pool;
+mod reduce;
+mod shortcut;
+
+pub use activation::{ReLU, Softmax};
+pub use conv::Conv2D;
+pub use dense::Dense;
+pub use maxpool::MaxPool2D;
+pub use norm::BatchNorm;
+pub use pool::GlobalAvgPool;
+pub use reduce::{Add, MaxOf, MinOf};
+pub use shortcut::ShortcutA;

@@ -1,0 +1,75 @@
+//! Pooling layers.
+
+use crate::layer::{check_arity, Layer};
+use crate::NnError;
+use axtensor::{Shape4, Tensor};
+
+/// Global average pooling: `[n, h, w, c] → [n, 1, 1, c]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalAvgPool;
+
+impl GlobalAvgPool {
+    /// Create a global average pooling layer.
+    #[must_use]
+    pub fn new() -> Self {
+        GlobalAvgPool
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn op_name(&self) -> &str {
+        "GlobalAvgPool"
+    }
+
+    fn output_shape(&self, inputs: &[Shape4]) -> Result<Shape4, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        Ok(Shape4::new(inputs[0].n, 1, 1, inputs[0].c))
+    }
+
+    fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        let x = inputs[0];
+        let s = x.shape();
+        let area = (s.h * s.w) as f32;
+        let mut out = Tensor::<f32>::zeros(Shape4::new(s.n, 1, 1, s.c));
+        for n in 0..s.n {
+            for h in 0..s.h {
+                for w in 0..s.w {
+                    for c in 0..s.c {
+                        *out.at_mut(n, 0, 0, c) += x.at(n, h, w, c);
+                    }
+                }
+            }
+        }
+        for v in out.as_mut_slice() {
+            *v /= area;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_spatially_per_channel() {
+        let t = Tensor::from_fn(Shape4::new(1, 2, 2, 2), |_, h, w, c| {
+            if c == 0 {
+                (h * 2 + w) as f32 // 0,1,2,3 -> mean 1.5
+            } else {
+                4.0
+            }
+        });
+        let out = GlobalAvgPool::new().forward(&[&t]).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 1, 1, 2));
+        assert_eq!(out.as_slice(), &[1.5, 4.0]);
+    }
+
+    #[test]
+    fn batch_entries_independent() {
+        let t = Tensor::from_fn(Shape4::new(2, 2, 2, 1), |n, _, _, _| n as f32);
+        let out = GlobalAvgPool::new().forward(&[&t]).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Residual addition and the min/max observer operators of Fig. 1.
+
+use crate::layer::{check_arity, Layer};
+use crate::NnError;
+use axtensor::{ops, Shape4, Tensor};
+
+/// Element-wise residual addition of two tensors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Add;
+
+impl Add {
+    /// Create an addition layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Add
+    }
+}
+
+impl Layer for Add {
+    fn op_name(&self) -> &str {
+        "Add"
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn output_shape(&self, inputs: &[Shape4]) -> Result<Shape4, NnError> {
+        check_arity(self.op_name(), inputs, 2)?;
+        if inputs[0] != inputs[1] {
+            return Err(NnError::Tensor(axtensor::TensorError::ShapeMismatch {
+                a: inputs[0],
+                b: inputs[1],
+            }));
+        }
+        Ok(inputs[0])
+    }
+
+    fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError> {
+        check_arity(self.op_name(), inputs, 2)?;
+        Ok(ops::add(inputs[0], inputs[1])?)
+    }
+}
+
+/// The `Min` observer the graph transform inserts before each approximate
+/// layer: reduces its input to a `[1,1,1,1]` scalar tensor, evaluated once
+/// per batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinOf;
+
+impl MinOf {
+    /// Create a min observer.
+    #[must_use]
+    pub fn new() -> Self {
+        MinOf
+    }
+}
+
+impl Layer for MinOf {
+    fn op_name(&self) -> &str {
+        "Min"
+    }
+
+    fn output_shape(&self, inputs: &[Shape4]) -> Result<Shape4, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        Ok(Shape4::new(1, 1, 1, 1))
+    }
+
+    fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        let (lo, _) = ops::min_max(inputs[0]);
+        Ok(Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![lo])?)
+    }
+}
+
+/// The `Max` observer, the counterpart of [`MinOf`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxOf;
+
+impl MaxOf {
+    /// Create a max observer.
+    #[must_use]
+    pub fn new() -> Self {
+        MaxOf
+    }
+}
+
+impl Layer for MaxOf {
+    fn op_name(&self) -> &str {
+        "Max"
+    }
+
+    fn output_shape(&self, inputs: &[Shape4]) -> Result<Shape4, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        Ok(Shape4::new(1, 1, 1, 1))
+    }
+
+    fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        let (_, hi) = ops::min_max(inputs[0]);
+        Ok(Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![hi])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_two_tensors() {
+        let a = Tensor::from_vec(Shape4::new(1, 1, 2, 1), vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(Shape4::new(1, 1, 2, 1), vec![0.5, -2.0]).unwrap();
+        let out = Add::new().forward(&[&a, &b]).unwrap();
+        assert_eq!(out.as_slice(), &[1.5, 0.0]);
+    }
+
+    #[test]
+    fn add_rejects_mismatched_shapes() {
+        let a = Tensor::<f32>::zeros(Shape4::new(1, 1, 2, 1));
+        let b = Tensor::<f32>::zeros(Shape4::new(1, 1, 3, 1));
+        assert!(Add::new().forward(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn observers_reduce_to_scalars() {
+        let t = Tensor::from_vec(Shape4::new(1, 1, 3, 1), vec![-4.0, 2.0, 9.0]).unwrap();
+        let lo = MinOf::new().forward(&[&t]).unwrap();
+        let hi = MaxOf::new().forward(&[&t]).unwrap();
+        assert_eq!(lo.shape(), Shape4::new(1, 1, 1, 1));
+        assert_eq!(lo.as_slice(), &[-4.0]);
+        assert_eq!(hi.as_slice(), &[9.0]);
+    }
+}

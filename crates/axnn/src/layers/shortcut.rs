@@ -1,0 +1,111 @@
+//! The parameter-free ResNet shortcut (He et al., "option A").
+//!
+//! When a residual block changes the spatial resolution and channel count,
+//! the identity path must match: option A subsamples spatially (stride)
+//! and zero-pads the new channels, adding **no** parameters and **no**
+//! convolution layers — which is why a CIFAR ResNet-(6n+2) has exactly
+//! `6n + 1` convolution layers, matching the `L` column of Table I.
+
+use crate::layer::{check_arity, Layer};
+use crate::NnError;
+use axtensor::{Shape4, Tensor};
+
+/// Identity shortcut with optional spatial stride and channel zero-padding.
+#[derive(Debug, Clone, Copy)]
+pub struct ShortcutA {
+    stride: usize,
+    out_channels: usize,
+}
+
+impl ShortcutA {
+    /// Create a shortcut that subsamples by `stride` and pads channels up
+    /// to `out_channels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is 0.
+    #[must_use]
+    pub fn new(stride: usize, out_channels: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        ShortcutA {
+            stride,
+            out_channels,
+        }
+    }
+}
+
+impl Layer for ShortcutA {
+    fn op_name(&self) -> &str {
+        "ShortcutA"
+    }
+
+    fn output_shape(&self, inputs: &[Shape4]) -> Result<Shape4, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        let s = inputs[0];
+        if self.out_channels < s.c {
+            return Err(NnError::Layer {
+                layer: self.op_name().to_owned(),
+                message: format!(
+                    "cannot shrink channels: input {} > output {}",
+                    s.c, self.out_channels
+                ),
+            });
+        }
+        Ok(Shape4::new(
+            s.n,
+            s.h.div_ceil(self.stride),
+            s.w.div_ceil(self.stride),
+            self.out_channels,
+        ))
+    }
+
+    fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError> {
+        let out_shape = self.output_shape(&[inputs[0].shape()])?;
+        let x = inputs[0];
+        let s = x.shape();
+        let mut out = Tensor::<f32>::zeros(out_shape);
+        for n in 0..out_shape.n {
+            for h in 0..out_shape.h {
+                for w in 0..out_shape.w {
+                    for c in 0..s.c {
+                        *out.at_mut(n, h, w, c) = x.at(n, h * self.stride, w * self.stride, c);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_when_unit() {
+        let t = Tensor::from_fn(Shape4::new(1, 2, 2, 2), |_, h, w, c| (h + w + c) as f32);
+        let out = ShortcutA::new(1, 2).forward(&[&t]).unwrap();
+        assert_eq!(out, t);
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let t = Tensor::from_fn(Shape4::new(1, 4, 4, 1), |_, h, w, _| (h * 4 + w) as f32);
+        let out = ShortcutA::new(2, 1).forward(&[&t]).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 2, 2, 1));
+        assert_eq!(out.as_slice(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn channel_padding_zeros() {
+        let t = Tensor::<f32>::full(Shape4::new(1, 1, 1, 2), 3.0);
+        let out = ShortcutA::new(1, 4).forward(&[&t]).unwrap();
+        assert_eq!(out.as_slice(), &[3.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn shrinking_channels_rejected() {
+        let t = Tensor::<f32>::zeros(Shape4::new(1, 1, 1, 4));
+        assert!(ShortcutA::new(1, 2).forward(&[&t]).is_err());
+    }
+}

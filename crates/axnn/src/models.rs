@@ -1,0 +1,231 @@
+//! Additional network families: VGG-style and LeNet-style CIFAR models.
+//!
+//! The paper evaluates on ResNets because depth is easy to sweep; a
+//! credible emulator must also handle other topologies. These builders
+//! provide a plain (non-residual) VGG-style stack with max pooling and a
+//! small LeNet — both consume 32×32×3 inputs and emit 10-way
+//! distributions, so every experiment harness works on them unchanged.
+
+use crate::graph::Graph;
+use crate::layers::{BatchNorm, Conv2D, Dense, GlobalAvgPool, MaxPool2D, ReLU, Softmax};
+use crate::{NnError, NodeId};
+use axtensor::{rng, ConvGeometry, FilterShape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Configuration of a VGG-style plain convolutional network.
+#[derive(Debug, Clone)]
+pub struct VggConfig {
+    /// Channel widths per stage; each stage is `convs_per_stage`
+    /// conv+BN+ReLU blocks followed by a 2×2 max pool.
+    pub stage_widths: Vec<usize>,
+    /// Convolutions per stage.
+    pub convs_per_stage: usize,
+}
+
+impl VggConfig {
+    /// The scaled-down CIFAR VGG used in the examples: three stages of
+    /// {32, 64, 128} channels, two convs each (a "VGG-8").
+    #[must_use]
+    pub fn vgg8() -> Self {
+        VggConfig {
+            stage_widths: vec![32, 64, 128],
+            convs_per_stage: 2,
+        }
+    }
+
+    /// Number of convolution layers.
+    #[must_use]
+    pub fn conv_layers(&self) -> usize {
+        self.stage_widths.len() * self.convs_per_stage
+    }
+
+    /// Build the graph with deterministic weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction failures.
+    pub fn build(&self, seed: u64) -> Result<Graph, NnError> {
+        let mut b = ModelBuilder::new(seed);
+        let mut x = b.graph.input();
+        let mut c_in = 3usize;
+        for (stage, &width) in self.stage_widths.iter().enumerate() {
+            for conv in 0..self.convs_per_stage {
+                x = b.conv_bn_relu(
+                    &format!("stage{}_conv{}", stage + 1, conv + 1),
+                    x,
+                    c_in,
+                    width,
+                )?;
+                c_in = width;
+            }
+            x = b.graph.add(
+                format!("stage{}_pool", stage + 1),
+                Arc::new(MaxPool2D::halving()),
+                &[x],
+            )?;
+        }
+        let pool = b.graph.add("gap", Arc::new(GlobalAvgPool::new()), &[x])?;
+        let last = *self.stage_widths.last().expect("non-empty stages");
+        let dense = b.dense("fc", pool, last, 10)?;
+        let out = b.graph.add("softmax", Arc::new(Softmax::new()), &[dense])?;
+        b.graph.set_output(out)?;
+        Ok(b.graph)
+    }
+}
+
+/// A LeNet-style small CNN for 32×32×3 inputs: two 5×5 conv+pool stages
+/// and a dense classifier.
+///
+/// # Errors
+///
+/// Propagates graph-construction failures.
+pub fn lenet(seed: u64) -> Result<Graph, NnError> {
+    let mut b = ModelBuilder::new(seed);
+    let x = b.graph.input();
+    let c1 = b.conv5("conv1", x, 3, 6)?;
+    let r1 = b.graph.add("relu1", Arc::new(ReLU::new()), &[c1])?;
+    let p1 = b
+        .graph
+        .add("pool1", Arc::new(MaxPool2D::halving()), &[r1])?;
+    let c2 = b.conv5("conv2", p1, 6, 16)?;
+    let r2 = b.graph.add("relu2", Arc::new(ReLU::new()), &[c2])?;
+    let p2 = b
+        .graph
+        .add("pool2", Arc::new(MaxPool2D::halving()), &[r2])?;
+    // 32 -> (SAME conv) 32 -> pool 16 -> conv 16 -> pool 8: 8*8*16 feats.
+    let d1 = b.dense("fc1", p2, 8 * 8 * 16, 84)?;
+    let r3 = b.graph.add("relu3", Arc::new(ReLU::new()), &[d1])?;
+    let d2 = b.dense("fc2", r3, 84, 10)?;
+    let out = b.graph.add("softmax", Arc::new(Softmax::new()), &[d2])?;
+    b.graph.set_output(out)?;
+    Ok(b.graph)
+}
+
+struct ModelBuilder {
+    graph: Graph,
+    seed: u64,
+    counter: u64,
+}
+
+impl ModelBuilder {
+    fn new(seed: u64) -> Self {
+        ModelBuilder {
+            graph: Graph::new(),
+            seed,
+            counter: 0,
+        }
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.counter += 1;
+        self.seed
+            .wrapping_mul(0xD134_2543_DE82_EF95)
+            .wrapping_add(self.counter)
+    }
+
+    fn conv_bn_relu(
+        &mut self,
+        prefix: &str,
+        input: NodeId,
+        c_in: usize,
+        c_out: usize,
+    ) -> Result<NodeId, NnError> {
+        let filter = rng::he_filter(FilterShape::new(3, 3, c_in, c_out), self.next_seed());
+        let conv = self.graph.add(
+            format!("{prefix}/conv"),
+            Arc::new(Conv2D::new(filter, ConvGeometry::default())),
+            &[input],
+        )?;
+        let mut r = StdRng::seed_from_u64(self.next_seed());
+        let scale: Vec<f32> = (0..c_out).map(|_| r.gen_range(0.8..1.2)).collect();
+        let shift: Vec<f32> = (0..c_out).map(|_| r.gen_range(-0.1..0.1)).collect();
+        let bn = self.graph.add(
+            format!("{prefix}/bn"),
+            Arc::new(BatchNorm::new(scale, shift)),
+            &[conv],
+        )?;
+        self.graph
+            .add(format!("{prefix}/relu"), Arc::new(ReLU::new()), &[bn])
+    }
+
+    fn conv5(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        c_in: usize,
+        c_out: usize,
+    ) -> Result<NodeId, NnError> {
+        let filter = rng::he_filter(FilterShape::new(5, 5, c_in, c_out), self.next_seed());
+        self.graph.add(
+            name,
+            Arc::new(Conv2D::new(filter, ConvGeometry::default())),
+            &[input],
+        )
+    }
+
+    fn dense(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        in_features: usize,
+        out_features: usize,
+    ) -> Result<NodeId, NnError> {
+        let mut r = StdRng::seed_from_u64(self.next_seed());
+        let bound = (6.0 / in_features as f32).sqrt();
+        let weights: Vec<f32> = (0..in_features * out_features)
+            .map(|_| r.gen_range(-bound..bound))
+            .collect();
+        self.graph.add(
+            name,
+            Arc::new(Dense::new(
+                in_features,
+                out_features,
+                weights,
+                vec![0.0; out_features],
+            )),
+            &[input],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resnet::cifar_input_shape;
+    use axtensor::Shape4;
+
+    #[test]
+    fn vgg8_builds_and_runs() {
+        let cfg = VggConfig::vgg8();
+        assert_eq!(cfg.conv_layers(), 6);
+        let g = cfg.build(1).unwrap();
+        assert_eq!(g.conv_layer_count(), 6);
+        let input = axtensor::rng::uniform(cifar_input_shape(2), 2, -1.0, 1.0);
+        let out = g.forward(&input).unwrap();
+        assert_eq!(out.shape(), Shape4::new(2, 1, 1, 10));
+        for row in out.as_slice().chunks(10) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn lenet_builds_and_runs() {
+        let g = lenet(3).unwrap();
+        assert_eq!(g.conv_layer_count(), 2);
+        let input = axtensor::rng::uniform(cifar_input_shape(1), 4, -1.0, 1.0);
+        let out = g.forward(&input).unwrap();
+        assert_eq!(out.shape(), Shape4::new(1, 1, 1, 10));
+    }
+
+    #[test]
+    fn vgg_mac_count_positive_and_deterministic() {
+        let cfg = VggConfig::vgg8();
+        let a = cfg.build(7).unwrap().mac_count(cifar_input_shape(1)).unwrap();
+        let b = cfg.build(9).unwrap().mac_count(cifar_input_shape(1)).unwrap();
+        assert_eq!(a, b, "MACs are architecture-determined");
+        assert!(a > 10_000_000);
+    }
+}

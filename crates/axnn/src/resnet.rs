@@ -1,0 +1,319 @@
+//! The CIFAR-10 ResNet-(6n+2) family of Table I.
+//!
+//! He et al.'s CIFAR-10 residual networks: a 3×3 stem convolution with 16
+//! filters, three stages of `n` residual blocks with {16, 32, 64} channels
+//! (spatial resolution halving at stage transitions via stride-2
+//! convolutions and parameter-free option-A shortcuts), global average
+//! pooling and a 10-way dense classifier. Depth `6n + 2` gives the
+//! ResNet-8 … ResNet-62 models of the paper; the number of 2D convolution
+//! layers is `L = 6n + 1`, exactly the `L` column of Table I.
+//!
+//! Weights are synthetic but deterministic (He-style initialization from a
+//! seed): the paper's measurements are weight-independent ("the content of
+//! the LUT table ... does not have any impact on the execution time"), and
+//! accuracy experiments only compare exact vs. approximate execution of
+//! the *same* network.
+
+use crate::graph::Graph;
+use crate::layers::{BatchNorm, Conv2D, Dense, GlobalAvgPool, ReLU, ShortcutA, Softmax};
+use crate::{NnError, NodeId};
+use axtensor::{rng, ConvGeometry, FilterShape, Shape4};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The CIFAR-10 input shape (one image).
+#[must_use]
+pub fn cifar_input_shape(batch: usize) -> Shape4 {
+    Shape4::new(batch, 32, 32, 3)
+}
+
+/// The ten depths evaluated in Table I: ResNet-8 … ResNet-62.
+pub const TABLE1_DEPTHS: [usize; 10] = [8, 14, 20, 26, 32, 38, 44, 50, 56, 62];
+
+/// Configuration of a CIFAR-10 ResNet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResNetConfig {
+    n: usize,
+}
+
+impl ResNetConfig {
+    /// `n` residual blocks per stage (depth `6n + 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "at least one block per stage");
+        ResNetConfig { n }
+    }
+
+    /// Construct from a depth of the form `6n + 2` (8, 14, 20, …).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadResNetDepth`] otherwise.
+    pub fn with_depth(depth: usize) -> Result<Self, NnError> {
+        if depth < 8 || (depth - 2) % 6 != 0 {
+            return Err(NnError::BadResNetDepth(depth));
+        }
+        Ok(ResNetConfig { n: (depth - 2) / 6 })
+    }
+
+    /// Blocks per stage.
+    #[must_use]
+    pub fn blocks_per_stage(&self) -> usize {
+        self.n
+    }
+
+    /// Network depth (`6n + 2`).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        6 * self.n + 2
+    }
+
+    /// Number of 2D convolution layers (`6n + 1`) — Table I's `L`.
+    #[must_use]
+    pub fn conv_layers(&self) -> usize {
+        6 * self.n + 1
+    }
+
+    /// Build the graph with deterministic weights derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction failures (which would indicate a bug
+    /// in this builder rather than bad input).
+    pub fn build(&self, seed: u64) -> Result<Graph, NnError> {
+        let mut b = Builder {
+            graph: Graph::new(),
+            seed,
+            counter: 0,
+        };
+        let mut x = b.graph.input();
+        // Stem.
+        x = b.conv_bn_relu("stem", x, 3, 16, 1)?;
+        // Stages.
+        let widths = [16usize, 32, 64];
+        let mut in_ch = 16usize;
+        for (stage, &width) in widths.iter().enumerate() {
+            for block in 0..self.n {
+                let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+                x = b.residual_block(
+                    &format!("stage{}_block{}", stage + 1, block + 1),
+                    x,
+                    in_ch,
+                    width,
+                    stride,
+                )?;
+                in_ch = width;
+            }
+        }
+        // Head.
+        let pool = b
+            .graph
+            .add("avgpool", Arc::new(GlobalAvgPool::new()), &[x])?;
+        let dense = b.dense("fc", pool, 64, 10)?;
+        let softmax = b
+            .graph
+            .add("softmax", Arc::new(Softmax::new()), &[dense])?;
+        b.graph.set_output(softmax)?;
+        Ok(b.graph)
+    }
+
+    /// Per-image MAC count of this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build/shape failures.
+    pub fn mac_count(&self) -> Result<u64, NnError> {
+        self.build(0)?.mac_count(cifar_input_shape(1))
+    }
+}
+
+struct Builder {
+    graph: Graph,
+    seed: u64,
+    counter: u64,
+}
+
+impl Builder {
+    fn next_seed(&mut self) -> u64 {
+        self.counter += 1;
+        // Distinct, deterministic per-layer stream.
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.counter)
+    }
+
+    fn conv(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        c_in: usize,
+        c_out: usize,
+        stride: usize,
+    ) -> Result<NodeId, NnError> {
+        let filter = rng::he_filter(FilterShape::new(3, 3, c_in, c_out), self.next_seed());
+        let layer = Conv2D::new(filter, ConvGeometry::default().with_stride(stride));
+        self.graph.add(name, Arc::new(layer), &[input])
+    }
+
+    fn batch_norm(&mut self, name: &str, input: NodeId, c: usize) -> Result<NodeId, NnError> {
+        let mut rng = StdRng::seed_from_u64(self.next_seed());
+        let scale: Vec<f32> = (0..c).map(|_| rng.gen_range(0.8..1.2)).collect();
+        let shift: Vec<f32> = (0..c).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        self.graph
+            .add(name, Arc::new(BatchNorm::new(scale, shift)), &[input])
+    }
+
+    fn conv_bn_relu(
+        &mut self,
+        prefix: &str,
+        input: NodeId,
+        c_in: usize,
+        c_out: usize,
+        stride: usize,
+    ) -> Result<NodeId, NnError> {
+        let c = self.conv(&format!("{prefix}/conv"), input, c_in, c_out, stride)?;
+        let bn = self.batch_norm(&format!("{prefix}/bn"), c, c_out)?;
+        self.graph
+            .add(format!("{prefix}/relu"), Arc::new(ReLU::new()), &[bn])
+    }
+
+    fn residual_block(
+        &mut self,
+        prefix: &str,
+        input: NodeId,
+        c_in: usize,
+        c_out: usize,
+        stride: usize,
+    ) -> Result<NodeId, NnError> {
+        let main1 = self.conv_bn_relu(&format!("{prefix}/a"), input, c_in, c_out, stride)?;
+        let conv2 = self.conv(&format!("{prefix}/b/conv"), main1, c_out, c_out, 1)?;
+        let main2 = self.batch_norm(&format!("{prefix}/b/bn"), conv2, c_out)?;
+        let shortcut = if stride != 1 || c_in != c_out {
+            self.graph.add(
+                format!("{prefix}/shortcut"),
+                Arc::new(ShortcutA::new(stride, c_out)),
+                &[input],
+            )?
+        } else {
+            input
+        };
+        let add = self.graph.add(
+            format!("{prefix}/add"),
+            Arc::new(crate::layers::Add::new()),
+            &[main2, shortcut],
+        )?;
+        self.graph
+            .add(format!("{prefix}/relu"), Arc::new(ReLU::new()), &[add])
+    }
+
+    fn dense(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        in_features: usize,
+        out_features: usize,
+    ) -> Result<NodeId, NnError> {
+        let mut rng = StdRng::seed_from_u64(self.next_seed());
+        let bound = (6.0 / in_features as f32).sqrt();
+        let weights: Vec<f32> = (0..in_features * out_features)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        let bias = vec![0.0; out_features];
+        self.graph.add(
+            name,
+            Arc::new(Dense::new(in_features, out_features, weights, bias)),
+            &[input],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axtensor::Tensor;
+
+    #[test]
+    fn depth_parsing() {
+        assert_eq!(ResNetConfig::with_depth(8).unwrap().blocks_per_stage(), 1);
+        assert_eq!(ResNetConfig::with_depth(62).unwrap().blocks_per_stage(), 10);
+        assert!(ResNetConfig::with_depth(9).is_err());
+        assert!(ResNetConfig::with_depth(2).is_err());
+    }
+
+    #[test]
+    fn conv_layer_count_matches_table1_l_column() {
+        // Table I: ResNet-8 -> L=7, ResNet-62 -> L=61.
+        for (depth, l) in [(8usize, 7usize), (14, 13), (20, 19), (62, 61)] {
+            let cfg = ResNetConfig::with_depth(depth).unwrap();
+            assert_eq!(cfg.conv_layers(), l);
+            let g = cfg.build(1).unwrap();
+            assert_eq!(g.conv_layer_count(), l, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn resnet8_forward_produces_distribution() {
+        let g = ResNetConfig::with_depth(8).unwrap().build(7).unwrap();
+        let input = axtensor::rng::uniform(cifar_input_shape(2), 3, -1.0, 1.0);
+        let out = g.forward(&input).unwrap();
+        assert_eq!(out.shape(), Shape4::new(2, 1, 1, 10));
+        for row in out.as_slice().chunks(10) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&p| p.is_finite() && p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn mac_count_increment_is_14m_per_n() {
+        // The paper's # MACs column grows by ~14.2e6 per added n
+        // (six 3x3 convolutions at 2.36e6 MACs each).
+        let m1 = ResNetConfig::new(1).mac_count().unwrap();
+        let m2 = ResNetConfig::new(2).mac_count().unwrap();
+        let inc = m2 - m1;
+        assert!(
+            (13_500_000..15_000_000).contains(&inc),
+            "increment = {inc}"
+        );
+    }
+
+    #[test]
+    fn mac_counts_grow_linearly_across_family() {
+        let counts: Vec<u64> = TABLE1_DEPTHS
+            .iter()
+            .map(|&d| ResNetConfig::with_depth(d).unwrap().mac_count().unwrap())
+            .collect();
+        let inc0 = counts[1] - counts[0];
+        for w in counts.windows(2) {
+            let inc = w[1] - w[0];
+            assert_eq!(inc, inc0, "constant slope");
+        }
+    }
+
+    #[test]
+    fn deterministic_weights() {
+        let cfg = ResNetConfig::with_depth(8).unwrap();
+        let a = cfg.build(5).unwrap();
+        let b = cfg.build(5).unwrap();
+        let input = axtensor::rng::uniform(cifar_input_shape(1), 9, -1.0, 1.0);
+        let oa = a.forward(&input).unwrap();
+        let ob = b.forward(&input).unwrap();
+        assert_eq!(oa, ob);
+        let c = cfg.build(6).unwrap();
+        let oc = c.forward(&input).unwrap();
+        assert_ne!(oa, oc);
+    }
+
+    #[test]
+    fn activations_stay_finite_in_deep_network() {
+        let g = ResNetConfig::with_depth(32).unwrap().build(11).unwrap();
+        let input = axtensor::rng::uniform(cifar_input_shape(1), 13, -1.0, 1.0);
+        let out: Tensor<f32> = g.forward(&input).unwrap();
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

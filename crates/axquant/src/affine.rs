@@ -1,0 +1,287 @@
+//! The `(scale, zero_point)` pair and its computation from a value range.
+
+use crate::RoundMode;
+use serde::{Deserialize, Serialize};
+
+/// The integer range quantized values live in.
+///
+/// The paper: "expected range of the quantized values (\[-128, 127\] for
+/// signed, \[0, 255\] for unsigned multipliers)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuantRange {
+    qmin: i32,
+    qmax: i32,
+}
+
+impl QuantRange {
+    /// Signed 8-bit range `[-128, 127]`.
+    #[must_use]
+    pub fn i8() -> Self {
+        QuantRange {
+            qmin: -128,
+            qmax: 127,
+        }
+    }
+
+    /// Unsigned 8-bit range `[0, 255]`.
+    #[must_use]
+    pub fn u8() -> Self {
+        QuantRange { qmin: 0, qmax: 255 }
+    }
+
+    /// An arbitrary custom range (e.g. for reduced-width studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `qmin < qmax` and the range contains 0.
+    #[must_use]
+    pub fn custom(qmin: i32, qmax: i32) -> Self {
+        assert!(qmin < qmax, "empty quantized range");
+        assert!(
+            qmin <= 0 && 0 <= qmax,
+            "range must contain 0 for an exact zero-point"
+        );
+        QuantRange { qmin, qmax }
+    }
+
+    /// Smallest representable integer.
+    #[must_use]
+    pub fn qmin(&self) -> i32 {
+        self.qmin
+    }
+
+    /// Largest representable integer.
+    #[must_use]
+    pub fn qmax(&self) -> i32 {
+        self.qmax
+    }
+
+    /// Number of quantization steps (`qmax − qmin`).
+    #[must_use]
+    pub fn steps(&self) -> i32 {
+        self.qmax - self.qmin
+    }
+}
+
+impl Default for QuantRange {
+    fn default() -> Self {
+        QuantRange::i8()
+    }
+}
+
+/// Affine quantization parameters: `r = scale · (i − zero_point)`.
+///
+/// Constructed from a real value range via [`QuantParams::from_range`] —
+/// the paper's `ComputeCoeffs(range)` — which guarantees real 0 maps to an
+/// exact integer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    scale: f32,
+    zero_point: i32,
+    range: QuantRange,
+    round: RoundMode,
+}
+
+impl QuantParams {
+    /// Compute `(α, β)` from the observed real range `[min, max]`
+    /// (Algorithm 1's `ComputeCoeffs`).
+    ///
+    /// The range is first widened to include 0 (so zero is exactly
+    /// representable); a degenerate range collapses to scale 1. The
+    /// zero-point is the integer nearest to `qmin − min/α`, clamped into
+    /// the quantized range.
+    #[must_use]
+    pub fn from_range(min: f32, max: f32, range: QuantRange, round: RoundMode) -> Self {
+        // Widen to include zero.
+        let min = min.min(0.0);
+        let max = max.max(0.0);
+        let span = max - min;
+        let scale = if span > 0.0 {
+            span / range.steps() as f32
+        } else {
+            1.0
+        };
+        // Choose β so that real min maps near qmin; then 0 maps to β exactly.
+        let zp_real = range.qmin() as f32 - min / scale;
+        let zero_point = (zp_real.round() as i32).clamp(range.qmin(), range.qmax());
+        QuantParams {
+            scale,
+            zero_point,
+            range,
+            round,
+        }
+    }
+
+    /// Construct directly from known `(α, β)` (e.g. loaded from a model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive or the zero-point lies
+    /// outside the quantized range.
+    #[must_use]
+    pub fn from_parts(scale: f32, zero_point: i32, range: QuantRange, round: RoundMode) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        assert!(
+            (range.qmin()..=range.qmax()).contains(&zero_point),
+            "zero-point outside quantized range"
+        );
+        QuantParams {
+            scale,
+            zero_point,
+            range,
+            round,
+        }
+    }
+
+    /// The scale `α`.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The zero-point `β`.
+    #[must_use]
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// The quantized integer range.
+    #[must_use]
+    pub fn range(&self) -> QuantRange {
+        self.range
+    }
+
+    /// The rounding mode used by [`QuantParams::quantize`].
+    #[must_use]
+    pub fn round_mode(&self) -> RoundMode {
+        self.round
+    }
+
+    /// Quantize a real value: `i = clamp(round(r/α) + β)`.
+    #[inline]
+    #[must_use]
+    pub fn quantize(&self, r: f32) -> i32 {
+        let q = self.round.round(r / self.scale) + self.zero_point;
+        q.clamp(self.range.qmin(), self.range.qmax())
+    }
+
+    /// Dequantize an integer: `r = α · (i − β)` (Eq. 1).
+    #[inline]
+    #[must_use]
+    pub fn dequantize(&self, i: i32) -> f32 {
+        self.scale * (i - self.zero_point) as f32
+    }
+
+    /// Quantize a slice into logical integer values.
+    #[must_use]
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<i32> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Quantize a slice directly to 8-bit byte patterns (two's-complement
+    /// for signed ranges) — the format the LUT-indexed GEMM consumes.
+    #[must_use]
+    pub fn quantize_slice_to_bytes(&self, xs: &[f32]) -> Vec<u8> {
+        xs.iter().map(|&x| (self.quantize(x) & 0xFF) as u8).collect()
+    }
+}
+
+impl Default for QuantParams {
+    fn default() -> Self {
+        QuantParams::from_range(-1.0, 1.0, QuantRange::default(), RoundMode::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        for (lo, hi) in [(-1.0f32, 1.0f32), (0.1, 2.0), (-5.0, -0.2), (0.0, 0.0)] {
+            for range in [QuantRange::i8(), QuantRange::u8()] {
+                let p = QuantParams::from_range(lo, hi, range, RoundMode::NearestEven);
+                let q0 = p.quantize(0.0);
+                assert_eq!(p.dequantize(q0), 0.0, "range [{lo}, {hi}] {range:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_scale() {
+        let p = QuantParams::from_range(-3.0, 5.0, QuantRange::i8(), RoundMode::NearestEven);
+        for i in 0..=100 {
+            let r = -3.0 + 8.0 * (i as f32) / 100.0;
+            let back = p.dequantize(p.quantize(r));
+            assert!(
+                (back - r).abs() <= 0.5 * p.scale() + 1e-6,
+                "r={r} back={back} scale={}",
+                p.scale()
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_map_inside_range() {
+        let p = QuantParams::from_range(-1.0, 1.0, QuantRange::i8(), RoundMode::NearestEven);
+        assert!(p.quantize(-1.0) >= -128);
+        assert!(p.quantize(1.0) <= 127);
+        // Out-of-range reals clamp.
+        assert_eq!(p.quantize(1e6), 127);
+        assert_eq!(p.quantize(-1e6), -128);
+    }
+
+    #[test]
+    fn unsigned_range_for_nonnegative_data() {
+        let p = QuantParams::from_range(0.0, 4.0, QuantRange::u8(), RoundMode::NearestEven);
+        assert_eq!(p.zero_point(), 0);
+        assert_eq!(p.quantize(4.0), 255);
+        // 2 / (4/255) ≈ 127.5; either neighbour is acceptable in f32.
+        let mid = p.quantize(2.0);
+        assert!(mid == 127 || mid == 128, "got {mid}");
+    }
+
+    #[test]
+    fn degenerate_range_uses_unit_scale() {
+        let p = QuantParams::from_range(0.0, 0.0, QuantRange::i8(), RoundMode::NearestEven);
+        assert_eq!(p.scale(), 1.0);
+        assert_eq!(p.quantize(0.0), p.zero_point());
+    }
+
+    #[test]
+    fn range_not_containing_zero_is_widened() {
+        // All-positive data still gets an exact zero.
+        let p = QuantParams::from_range(2.0, 6.0, QuantRange::i8(), RoundMode::NearestEven);
+        assert_eq!(p.dequantize(p.quantize(0.0)), 0.0);
+        // And the top of the range is still representable reasonably.
+        let back = p.dequantize(p.quantize(6.0));
+        assert!((back - 6.0).abs() <= p.scale());
+    }
+
+    #[test]
+    fn bytes_encoding_two_complement() {
+        let p = QuantParams::from_range(-1.0, 1.0, QuantRange::i8(), RoundMode::NearestEven);
+        let bytes = p.quantize_slice_to_bytes(&[-1.0, 0.0, 1.0]);
+        assert_eq!(bytes.len(), 3);
+        assert_eq!(bytes[1], (p.zero_point() & 0xFF) as u8);
+        assert_eq!(bytes[0] as i8 as i32, p.quantize(-1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn from_parts_validates_scale() {
+        let _ = QuantParams::from_parts(0.0, 0, QuantRange::i8(), RoundMode::NearestEven);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must contain 0")]
+    fn custom_range_must_contain_zero() {
+        let _ = QuantRange::custom(1, 10);
+    }
+
+    #[test]
+    fn custom_range_steps() {
+        let r = QuantRange::custom(-8, 7);
+        assert_eq!(r.steps(), 15);
+    }
+}

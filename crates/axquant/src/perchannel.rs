@@ -1,0 +1,110 @@
+//! Per-channel (per-output-filter) quantization.
+//!
+//! TensorFlow quantizes convolution filters either with one `(α, β)` pair
+//! for the whole bank (*per-tensor*) or with one pair per output channel
+//! (*per-channel*), which tightens each filter's range and reduces
+//! quantization error at no runtime cost: the Eq. 4 correction already
+//! operates column-wise (`Sf` is per output channel), so only the scale
+//! and zero-point used per column change.
+
+use crate::{QuantParams, QuantRange, RoundMode};
+use serde::{Deserialize, Serialize};
+
+/// Filter-side quantization: one parameter set, or one per output channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FilterQuantization {
+    /// A single `(α₂, β₂)` for the whole filter bank.
+    PerTensor(QuantParams),
+    /// One `(α₂ᶜ, β₂ᶜ)` per output channel.
+    PerChannel(Vec<QuantParams>),
+}
+
+impl FilterQuantization {
+    /// Build per-channel parameters from per-channel `(min, max)` ranges.
+    #[must_use]
+    pub fn from_channel_ranges(
+        ranges: &[(f32, f32)],
+        range: QuantRange,
+        round: RoundMode,
+    ) -> Self {
+        FilterQuantization::PerChannel(
+            ranges
+                .iter()
+                .map(|&(lo, hi)| QuantParams::from_range(lo, hi, range, round))
+                .collect(),
+        )
+    }
+
+    /// The parameters used for output channel `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range for a per-channel set.
+    #[must_use]
+    pub fn for_channel(&self, c: usize) -> QuantParams {
+        match self {
+            FilterQuantization::PerTensor(q) => *q,
+            FilterQuantization::PerChannel(qs) => qs[c],
+        }
+    }
+
+    /// Number of channels this quantization covers (`None` = any).
+    #[must_use]
+    pub fn channels(&self) -> Option<usize> {
+        match self {
+            FilterQuantization::PerTensor(_) => None,
+            FilterQuantization::PerChannel(qs) => Some(qs.len()),
+        }
+    }
+
+    /// Whether this is the per-channel variant.
+    #[must_use]
+    pub fn is_per_channel(&self) -> bool {
+        matches!(self, FilterQuantization::PerChannel(_))
+    }
+}
+
+impl From<QuantParams> for FilterQuantization {
+    fn from(q: QuantParams) -> Self {
+        FilterQuantization::PerTensor(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tensor_is_uniform() {
+        let q = QuantParams::from_range(-1.0, 1.0, QuantRange::i8(), RoundMode::NearestEven);
+        let fq: FilterQuantization = q.into();
+        assert_eq!(fq.for_channel(0), q);
+        assert_eq!(fq.for_channel(99), q);
+        assert_eq!(fq.channels(), None);
+        assert!(!fq.is_per_channel());
+    }
+
+    #[test]
+    fn per_channel_tracks_ranges() {
+        let fq = FilterQuantization::from_channel_ranges(
+            &[(-1.0, 1.0), (-0.1, 0.1)],
+            QuantRange::i8(),
+            RoundMode::NearestEven,
+        );
+        assert_eq!(fq.channels(), Some(2));
+        assert!(fq.is_per_channel());
+        // Tighter range -> smaller scale -> finer resolution.
+        assert!(fq.for_channel(1).scale() < fq.for_channel(0).scale());
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn per_channel_bounds_checked() {
+        let fq = FilterQuantization::from_channel_ranges(
+            &[(-1.0, 1.0)],
+            QuantRange::i8(),
+            RoundMode::NearestEven,
+        );
+        let _ = fq.for_channel(5);
+    }
+}

@@ -1,0 +1,200 @@
+//! Min/max range observers.
+//!
+//! The paper's graph transform (Fig. 1) inserts `Min` and `Max` operators
+//! in front of every approximate layer; "the minimum and maximum values of
+//! the input tensors are determined once per a batch". `RangeTracker` is
+//! that observer.
+
+use serde::{Deserialize, Serialize};
+
+/// Running min/max over observed values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RangeTracker {
+    min: f32,
+    max: f32,
+    count: u64,
+}
+
+impl RangeTracker {
+    /// An empty tracker (no observations yet).
+    #[must_use]
+    pub fn new() -> Self {
+        RangeTracker {
+            min: f32::INFINITY,
+            max: f32::NEG_INFINITY,
+            count: 0,
+        }
+    }
+
+    /// Observe one value.
+    #[inline]
+    pub fn observe(&mut self, v: f32) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.count += 1;
+    }
+
+    /// Observe every value of a slice.
+    pub fn observe_slice(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.observe(x);
+        }
+    }
+
+    /// Merge another tracker into this one.
+    pub fn merge(&mut self, other: &RangeTracker) {
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+
+    /// Number of observed values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The observed `(min, max)`, or `(0, 0)` if nothing was observed.
+    #[must_use]
+    pub fn bounds(&self) -> (f32, f32) {
+        if self.count == 0 {
+            (0.0, 0.0)
+        } else {
+            (self.min, self.max)
+        }
+    }
+}
+
+impl Default for RangeTracker {
+    fn default() -> Self {
+        RangeTracker::new()
+    }
+}
+
+/// Exponential-moving-average range tracker for *training-time*
+/// calibration.
+///
+/// The paper's transformed graph "is suitable for the inference as well as
+/// training because the minimum and maximum values of the input tensors
+/// are determined once per a batch". During training, frameworks smooth
+/// those per-batch observations with an EMA so the deployed quantization
+/// range is stable; this tracker implements that smoothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmaRangeTracker {
+    momentum: f32,
+    min: Option<f32>,
+    max: Option<f32>,
+}
+
+impl EmaRangeTracker {
+    /// Create with the given momentum (the weight of the *old* estimate;
+    /// TensorFlow's default is 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= momentum < 1.0`.
+    #[must_use]
+    pub fn new(momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum in [0, 1)");
+        EmaRangeTracker {
+            momentum,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Fold in one batch's observed `(min, max)`.
+    pub fn observe_batch(&mut self, min: f32, max: f32) {
+        let m = self.momentum;
+        self.min = Some(match self.min {
+            Some(old) => m * old + (1.0 - m) * min,
+            None => min,
+        });
+        self.max = Some(match self.max {
+            Some(old) => m * old + (1.0 - m) * max,
+            None => max,
+        });
+    }
+
+    /// The smoothed `(min, max)`, or `(0, 0)` before any observation.
+    #[must_use]
+    pub fn bounds(&self) -> (f32, f32) {
+        (self.min.unwrap_or(0.0), self.max.unwrap_or(0.0))
+    }
+}
+
+#[cfg(test)]
+mod ema_tests {
+    use super::*;
+
+    #[test]
+    fn first_batch_initializes() {
+        let mut t = EmaRangeTracker::new(0.9);
+        t.observe_batch(-2.0, 3.0);
+        assert_eq!(t.bounds(), (-2.0, 3.0));
+    }
+
+    #[test]
+    fn smoothing_dampens_outliers() {
+        let mut t = EmaRangeTracker::new(0.9);
+        t.observe_batch(-1.0, 1.0);
+        t.observe_batch(-100.0, 100.0); // outlier batch
+        let (lo, hi) = t.bounds();
+        assert!(lo > -15.0 && hi < 15.0, "outlier dominated: ({lo}, {hi})");
+    }
+
+    #[test]
+    fn converges_to_stationary_range() {
+        let mut t = EmaRangeTracker::new(0.5);
+        for _ in 0..30 {
+            t.observe_batch(-4.0, 4.0);
+        }
+        let (lo, hi) = t.bounds();
+        assert!((lo + 4.0).abs() < 1e-3);
+        assert!((hi - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn momentum_validated() {
+        let _ = EmaRangeTracker::new(1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_reports_zero_bounds() {
+        assert_eq!(RangeTracker::new().bounds(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn observe_updates_bounds() {
+        let mut t = RangeTracker::new();
+        t.observe_slice(&[1.0, -3.0, 2.5]);
+        assert_eq!(t.bounds(), (-3.0, 2.5));
+        assert_eq!(t.count(), 3);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = RangeTracker::new();
+        a.observe_slice(&[0.0, 1.0]);
+        let mut b = RangeTracker::new();
+        b.observe_slice(&[-5.0, 0.5]);
+        a.merge(&b);
+        assert_eq!(a.bounds(), (-5.0, 1.0));
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RangeTracker::new();
+        a.observe_slice(&[2.0, 3.0]);
+        let before = a.bounds();
+        a.merge(&RangeTracker::new());
+        assert_eq!(a.bounds(), before);
+    }
+}

@@ -1,0 +1,102 @@
+//! Rounding modes applied during quantization.
+
+use serde::{Deserialize, Serialize};
+
+/// How a real quotient is rounded to an integer during quantization.
+///
+/// The paper lists the "requested round mode" among the extra inputs of the
+/// approximate convolutional layer; hardware quantizers commonly implement
+/// one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum RoundMode {
+    /// Round half to even (IEEE default; TensorFlow's choice).
+    #[default]
+    NearestEven,
+    /// Round half away from zero (classic `round()`).
+    NearestAway,
+    /// Round toward negative infinity.
+    Floor,
+    /// Round toward positive infinity.
+    Ceil,
+    /// Round toward zero (truncation).
+    TowardZero,
+}
+
+impl RoundMode {
+    /// Round a real value to an integer under this mode.
+    #[must_use]
+    pub fn round(self, x: f32) -> i32 {
+        match self {
+            RoundMode::NearestEven => {
+                // f32 -> round-half-even.
+                let r = x.round();
+                if (x - x.trunc()).abs() == 0.5 {
+                    // Exactly halfway: pick the even neighbour.
+                    let down = x.floor();
+                    let up = x.ceil();
+                    if (down as i64) % 2 == 0 {
+                        down as i32
+                    } else {
+                        up as i32
+                    }
+                } else {
+                    r as i32
+                }
+            }
+            RoundMode::NearestAway => x.round() as i32,
+            RoundMode::Floor => x.floor() as i32,
+            RoundMode::Ceil => x.ceil() as i32,
+            RoundMode::TowardZero => x.trunc() as i32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_even_ties() {
+        let m = RoundMode::NearestEven;
+        assert_eq!(m.round(0.5), 0);
+        assert_eq!(m.round(1.5), 2);
+        assert_eq!(m.round(2.5), 2);
+        assert_eq!(m.round(-0.5), 0);
+        assert_eq!(m.round(-1.5), -2);
+        assert_eq!(m.round(1.2), 1);
+        assert_eq!(m.round(1.8), 2);
+    }
+
+    #[test]
+    fn nearest_away_ties() {
+        let m = RoundMode::NearestAway;
+        assert_eq!(m.round(0.5), 1);
+        assert_eq!(m.round(-0.5), -1);
+        assert_eq!(m.round(2.5), 3);
+    }
+
+    #[test]
+    fn floor_ceil_trunc() {
+        assert_eq!(RoundMode::Floor.round(1.9), 1);
+        assert_eq!(RoundMode::Floor.round(-1.1), -2);
+        assert_eq!(RoundMode::Ceil.round(1.1), 2);
+        assert_eq!(RoundMode::Ceil.round(-1.9), -1);
+        assert_eq!(RoundMode::TowardZero.round(1.9), 1);
+        assert_eq!(RoundMode::TowardZero.round(-1.9), -1);
+    }
+
+    #[test]
+    fn integers_unchanged_under_all_modes() {
+        for m in [
+            RoundMode::NearestEven,
+            RoundMode::NearestAway,
+            RoundMode::Floor,
+            RoundMode::Ceil,
+            RoundMode::TowardZero,
+        ] {
+            for v in [-3f32, -1.0, 0.0, 2.0, 7.0] {
+                assert_eq!(m.round(v), v as i32, "{m:?} on {v}");
+            }
+        }
+    }
+}

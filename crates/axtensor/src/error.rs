@@ -1,0 +1,74 @@
+use crate::shape::{FilterShape, Shape4};
+use std::fmt;
+
+/// Errors from tensor construction and shape algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Buffer length does not match the shape's element count.
+    LengthMismatch {
+        /// Elements the shape requires.
+        expected: usize,
+        /// Elements supplied.
+        got: usize,
+    },
+    /// Filter input channels differ from the tensor's channels.
+    ChannelMismatch {
+        /// Channels of the input tensor.
+        input: usize,
+        /// Input channels of the filter.
+        filter: usize,
+    },
+    /// A convolution would produce an empty output (kernel larger than the
+    /// padded input).
+    EmptyOutput {
+        /// The input shape.
+        input: Shape4,
+        /// The filter shape.
+        filter: FilterShape,
+    },
+    /// A stride or dilation of zero was requested.
+    ZeroStride,
+    /// Two shapes that must match do not.
+    ShapeMismatch {
+        /// First shape.
+        a: Shape4,
+        /// Second shape.
+        b: Shape4,
+    },
+    /// Matrix dimensions incompatible for multiplication.
+    MatrixDims {
+        /// Columns of the left matrix.
+        left_cols: usize,
+        /// Rows of the right matrix.
+        right_rows: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, got } => {
+                write!(f, "buffer holds {got} elements, shape needs {expected}")
+            }
+            TensorError::ChannelMismatch { input, filter } => {
+                write!(f, "input has {input} channels but filter expects {filter}")
+            }
+            TensorError::EmptyOutput { input, filter } => write!(
+                f,
+                "convolution of {input} with {filter} yields an empty output"
+            ),
+            TensorError::ZeroStride => write!(f, "stride and dilation must be non-zero"),
+            TensorError::ShapeMismatch { a, b } => write!(f, "shape mismatch: {a} vs {b}"),
+            TensorError::MatrixDims {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "cannot multiply: left has {left_cols} columns, right has {right_rows} rows"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

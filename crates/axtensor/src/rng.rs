@@ -1,0 +1,79 @@
+//! Deterministic random tensor fills.
+//!
+//! All experiments in this workspace are seeded: the paper's timing results
+//! are data-independent ("the content of the LUT table ... does not have
+//! any impact on the execution time"), but accuracy comparisons need
+//! reproducible inputs and weights.
+
+use crate::ops::Filter;
+use crate::{FilterShape, Shape4, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A tensor with elements drawn uniformly from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+#[must_use]
+pub fn uniform(shape: Shape4, seed: u64, lo: f32, hi: f32) -> Tensor<f32> {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_fn(shape, |_, _, _, _| rng.gen_range(lo..hi))
+}
+
+/// A filter bank with weights drawn uniformly from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+#[must_use]
+pub fn uniform_filter(shape: FilterShape, seed: u64, lo: f32, hi: f32) -> Filter {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Filter::from_fn(shape, |_, _, _, _| rng.gen_range(lo..hi))
+}
+
+/// He-style initialization for a conv filter: zero-mean uniform with
+/// variance `2 / fan_in` — keeps activations in a realistic range through
+/// deep synthetic networks.
+#[must_use]
+pub fn he_filter(shape: FilterShape, seed: u64) -> Filter {
+    let fan_in = shape.patch_len() as f32;
+    let bound = (6.0 / fan_in).sqrt();
+    uniform_filter(shape, seed, -bound, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_tensor() {
+        let a = uniform(Shape4::new(1, 4, 4, 3), 11, -1.0, 1.0);
+        let b = uniform(Shape4::new(1, 4, 4, 3), 11, -1.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_tensor() {
+        let a = uniform(Shape4::new(1, 4, 4, 3), 11, -1.0, 1.0);
+        let b = uniform(Shape4::new(1, 4, 4, 3), 12, -1.0, 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn range_respected() {
+        let t = uniform(Shape4::new(2, 8, 8, 4), 5, 0.25, 0.75);
+        assert!(t.as_slice().iter().all(|&v| (0.25..0.75).contains(&v)));
+    }
+
+    #[test]
+    fn he_filter_bound_shrinks_with_fan_in() {
+        let small = he_filter(FilterShape::new(1, 1, 1, 4), 1);
+        let big = he_filter(FilterShape::new(3, 3, 64, 4), 1);
+        let max_small = small.as_slice().iter().fold(0f32, |m, &v| m.max(v.abs()));
+        let max_big = big.as_slice().iter().fold(0f32, |m, &v| m.max(v.abs()));
+        assert!(max_big < max_small);
+    }
+}

@@ -1,0 +1,387 @@
+//! Shape algebra for NHWC tensors and HWCF filter banks.
+
+use crate::TensorError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of a 4D tensor in NHWC layout (channels fastest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape4 {
+    /// Batch size.
+    pub n: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Channels.
+    pub c: usize,
+}
+
+impl Shape4 {
+    /// Construct a shape.
+    #[must_use]
+    pub fn new(n: usize, h: usize, w: usize, c: usize) -> Self {
+        Shape4 { n, h, w, c }
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n * self.h * self.w * self.c
+    }
+
+    /// Whether the shape holds zero elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(n, h, w, c)` in NHWC order.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts each coordinate is in range.
+    #[inline]
+    #[must_use]
+    pub fn index(&self, n: usize, h: usize, w: usize, c: usize) -> usize {
+        debug_assert!(n < self.n && h < self.h && w < self.w && c < self.c);
+        ((n * self.h + h) * self.w + w) * self.c + c
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.n, self.h, self.w, self.c)
+    }
+}
+
+/// Shape of a filter bank in HWCF layout (Height × Width × InChannels ×
+/// OutChannels, the TensorFlow filter format the paper describes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FilterShape {
+    /// Kernel height.
+    pub h: usize,
+    /// Kernel width.
+    pub w: usize,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels (number of filters, "Count" in the paper).
+    pub c_out: usize,
+}
+
+impl FilterShape {
+    /// Construct a filter shape.
+    #[must_use]
+    pub fn new(h: usize, w: usize, c_in: usize, c_out: usize) -> Self {
+        FilterShape { h, w, c_in, c_out }
+    }
+
+    /// Total number of weights.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.h * self.w * self.c_in * self.c_out
+    }
+
+    /// Whether the filter bank holds zero weights.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Elements of one flattened patch (`h * w * c_in`) — the GEMM
+    /// reduction depth.
+    #[must_use]
+    pub fn patch_len(&self) -> usize {
+        self.h * self.w * self.c_in
+    }
+
+    /// Linear index of `(h, w, c_in, c_out)` in HWCF order.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts each coordinate is in range.
+    #[inline]
+    #[must_use]
+    pub fn index(&self, h: usize, w: usize, ci: usize, co: usize) -> usize {
+        debug_assert!(h < self.h && w < self.w && ci < self.c_in && co < self.c_out);
+        ((h * self.w + w) * self.c_in + ci) * self.c_out + co
+    }
+}
+
+impl fmt::Display for FilterShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.h, self.w, self.c_in, self.c_out)
+    }
+}
+
+/// Spatial padding policy, following TensorFlow semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Padding {
+    /// No padding; output shrinks by the effective kernel size.
+    Valid,
+    /// Zero-pad so the output is `ceil(input / stride)`.
+    ///
+    /// The paper notes zero padding is common and motivates the
+    /// exact-zero-point requirement of the quantization scheme.
+    #[default]
+    Same,
+}
+
+/// Full geometry of a 2D convolution: strides, dilations and padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvGeometry {
+    /// Stride `(height, width)`.
+    pub stride: (usize, usize),
+    /// Dilation `(height, width)`.
+    pub dilation: (usize, usize),
+    /// Padding policy.
+    pub padding: Padding,
+}
+
+impl Default for ConvGeometry {
+    fn default() -> Self {
+        ConvGeometry {
+            stride: (1, 1),
+            dilation: (1, 1),
+            padding: Padding::Same,
+        }
+    }
+}
+
+impl ConvGeometry {
+    /// Unit geometry: stride 1, dilation 1, `SAME` padding.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the stride (same in both dimensions).
+    #[must_use]
+    pub fn with_stride(mut self, s: usize) -> Self {
+        self.stride = (s, s);
+        self
+    }
+
+    /// Set the dilation (same in both dimensions).
+    #[must_use]
+    pub fn with_dilation(mut self, d: usize) -> Self {
+        self.dilation = (d, d);
+        self
+    }
+
+    /// Set the padding policy.
+    #[must_use]
+    pub fn with_padding(mut self, p: Padding) -> Self {
+        self.padding = p;
+        self
+    }
+
+    /// Effective kernel extent after dilation: `(k - 1) * d + 1`.
+    fn effective(k: usize, d: usize) -> usize {
+        (k - 1) * d + 1
+    }
+
+    /// Padding at the leading edge `(top, left)` under this geometry.
+    ///
+    /// `SAME` splits the total padding evenly with the extra pixel at the
+    /// trailing edge, matching TensorFlow.
+    #[must_use]
+    pub fn pad_before(&self, input: Shape4, filter: FilterShape) -> (usize, usize) {
+        match self.padding {
+            Padding::Valid => (0, 0),
+            Padding::Same => {
+                let pad = |i: usize, k: usize, s: usize, d: usize| {
+                    let out = i.div_ceil(s);
+                    let eff = Self::effective(k, d);
+                    let total = ((out - 1) * s + eff).saturating_sub(i);
+                    total / 2
+                };
+                (
+                    pad(input.h, filter.h, self.stride.0, self.dilation.0),
+                    pad(input.w, filter.w, self.stride.1, self.dilation.1),
+                )
+            }
+        }
+    }
+
+    /// Output shape of convolving `input` with `filter`.
+    ///
+    /// # Errors
+    ///
+    /// - [`TensorError::ZeroStride`] for zero stride/dilation.
+    /// - [`TensorError::ChannelMismatch`] if channel counts disagree.
+    /// - [`TensorError::EmptyOutput`] if the kernel exceeds the padded
+    ///   input extent.
+    pub fn output_shape(
+        &self,
+        input: Shape4,
+        filter: FilterShape,
+    ) -> Result<Shape4, TensorError> {
+        if self.stride.0 == 0 || self.stride.1 == 0 || self.dilation.0 == 0 || self.dilation.1 == 0
+        {
+            return Err(TensorError::ZeroStride);
+        }
+        if input.c != filter.c_in {
+            return Err(TensorError::ChannelMismatch {
+                input: input.c,
+                filter: filter.c_in,
+            });
+        }
+        let (oh, ow) = match self.padding {
+            Padding::Same => (
+                input.h.div_ceil(self.stride.0),
+                input.w.div_ceil(self.stride.1),
+            ),
+            Padding::Valid => {
+                let eh = Self::effective(filter.h, self.dilation.0);
+                let ew = Self::effective(filter.w, self.dilation.1);
+                if input.h < eh || input.w < ew {
+                    return Err(TensorError::EmptyOutput { input, filter });
+                }
+                (
+                    (input.h - eh) / self.stride.0 + 1,
+                    (input.w - ew) / self.stride.1 + 1,
+                )
+            }
+        };
+        if oh == 0 || ow == 0 {
+            return Err(TensorError::EmptyOutput { input, filter });
+        }
+        Ok(Shape4::new(input.n, oh, ow, filter.c_out))
+    }
+
+    /// Number of multiply-accumulate operations this convolution performs
+    /// (one per filter tap per output element) — the paper's `# MACs`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConvGeometry::output_shape`].
+    pub fn mac_count(&self, input: Shape4, filter: FilterShape) -> Result<u64, TensorError> {
+        let out = self.output_shape(input, filter)?;
+        Ok(out.len() as u64 * filter.patch_len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nhwc_index_channels_fastest() {
+        let s = Shape4::new(2, 4, 4, 3);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 2), 2);
+        assert_eq!(s.index(0, 0, 1, 0), 3);
+        assert_eq!(s.index(0, 1, 0, 0), 12);
+        assert_eq!(s.index(1, 0, 0, 0), 48);
+        assert_eq!(s.len(), 96);
+    }
+
+    #[test]
+    fn hwcf_index_filters_fastest() {
+        let f = FilterShape::new(3, 3, 2, 4);
+        assert_eq!(f.index(0, 0, 0, 0), 0);
+        assert_eq!(f.index(0, 0, 0, 3), 3);
+        assert_eq!(f.index(0, 0, 1, 0), 4);
+        assert_eq!(f.index(0, 1, 0, 0), 8);
+        assert_eq!(f.index(1, 0, 0, 0), 24);
+        assert_eq!(f.patch_len(), 18);
+    }
+
+    #[test]
+    fn same_padding_preserves_spatial_dims_at_stride_1() {
+        let g = ConvGeometry::default();
+        let out = g
+            .output_shape(Shape4::new(1, 32, 32, 3), FilterShape::new(3, 3, 3, 16))
+            .unwrap();
+        assert_eq!(out, Shape4::new(1, 32, 32, 16));
+    }
+
+    #[test]
+    fn same_padding_halves_at_stride_2() {
+        let g = ConvGeometry::default().with_stride(2);
+        let out = g
+            .output_shape(Shape4::new(1, 32, 32, 16), FilterShape::new(3, 3, 16, 32))
+            .unwrap();
+        assert_eq!(out, Shape4::new(1, 16, 16, 32));
+        // Odd input: ceil(33/2) = 17.
+        let out = g
+            .output_shape(Shape4::new(1, 33, 33, 16), FilterShape::new(3, 3, 16, 32))
+            .unwrap();
+        assert_eq!((out.h, out.w), (17, 17));
+    }
+
+    #[test]
+    fn valid_padding_shrinks() {
+        let g = ConvGeometry::default().with_padding(Padding::Valid);
+        let out = g
+            .output_shape(Shape4::new(1, 32, 32, 3), FilterShape::new(5, 5, 3, 8))
+            .unwrap();
+        assert_eq!(out, Shape4::new(1, 28, 28, 8));
+    }
+
+    #[test]
+    fn dilation_expands_effective_kernel() {
+        let g = ConvGeometry::default()
+            .with_padding(Padding::Valid)
+            .with_dilation(2);
+        // Effective 3x3 kernel at dilation 2 spans 5 pixels.
+        let out = g
+            .output_shape(Shape4::new(1, 10, 10, 1), FilterShape::new(3, 3, 1, 1))
+            .unwrap();
+        assert_eq!((out.h, out.w), (6, 6));
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let g = ConvGeometry::default();
+        let err = g
+            .output_shape(Shape4::new(1, 8, 8, 3), FilterShape::new(3, 3, 4, 8))
+            .unwrap_err();
+        assert!(matches!(err, TensorError::ChannelMismatch { input: 3, filter: 4 }));
+    }
+
+    #[test]
+    fn oversized_kernel_rejected_for_valid() {
+        let g = ConvGeometry::default().with_padding(Padding::Valid);
+        let err = g
+            .output_shape(Shape4::new(1, 2, 2, 1), FilterShape::new(3, 3, 1, 1))
+            .unwrap_err();
+        assert!(matches!(err, TensorError::EmptyOutput { .. }));
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        let mut g = ConvGeometry::default();
+        g.stride = (0, 1);
+        let err = g
+            .output_shape(Shape4::new(1, 8, 8, 1), FilterShape::new(3, 3, 1, 1))
+            .unwrap_err();
+        assert_eq!(err, TensorError::ZeroStride);
+    }
+
+    #[test]
+    fn same_pad_before_tf_semantics() {
+        let g = ConvGeometry::default();
+        // 3x3 kernel, stride 1: pad 1 on each leading edge.
+        assert_eq!(
+            g.pad_before(Shape4::new(1, 32, 32, 3), FilterShape::new(3, 3, 3, 8)),
+            (1, 1)
+        );
+        // Even kernel: TF puts the smaller half first.
+        assert_eq!(
+            g.pad_before(Shape4::new(1, 32, 32, 3), FilterShape::new(2, 2, 3, 8)),
+            (0, 0)
+        );
+    }
+
+    #[test]
+    fn mac_count_matches_hand_computation() {
+        let g = ConvGeometry::default();
+        // 32x32x16 output, 3x3x16 patch: 32*32*16 * 144 MACs.
+        let macs = g
+            .mac_count(Shape4::new(1, 32, 32, 16), FilterShape::new(3, 3, 16, 16))
+            .unwrap();
+        assert_eq!(macs, 32 * 32 * 16 * 144);
+    }
+}

@@ -1,0 +1,304 @@
+//! Dense 4D tensors.
+
+use crate::{Shape4, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A dense 4D tensor in NHWC layout.
+///
+/// The element type is generic: `f32` for the floating-point interface the
+/// paper's approximate layer exposes, `u8`/`i8` for quantized patch
+/// matrices, `i32`/`f64` for accumulators.
+///
+/// # Example
+///
+/// ```
+/// use axtensor::{Shape4, Tensor};
+///
+/// # fn main() -> Result<(), axtensor::TensorError> {
+/// let mut t = Tensor::<f32>::zeros(Shape4::new(1, 2, 2, 1));
+/// *t.at_mut(0, 1, 1, 0) = 3.5;
+/// assert_eq!(t.at(0, 1, 1, 0), 3.5);
+/// assert_eq!(t.as_slice().len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor<T> {
+    shape: Shape4,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// A tensor filled with `T::default()` (zero for numeric types).
+    #[must_use]
+    pub fn zeros(shape: Shape4) -> Self {
+        Tensor {
+            shape,
+            data: vec![T::default(); shape.len()],
+        }
+    }
+
+    /// A tensor filled with a constant.
+    #[must_use]
+    pub fn full(shape: Shape4, value: T) -> Self {
+        Tensor {
+            shape,
+            data: vec![value; shape.len()],
+        }
+    }
+}
+
+impl<T> Tensor<T> {
+    /// Wrap an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the buffer length differs
+    /// from `shape.len()`.
+    pub fn from_vec(shape: Shape4, data: Vec<T>) -> Result<Self, TensorError> {
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                got: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Build a tensor by evaluating `f` at every coordinate.
+    pub fn from_fn(shape: Shape4, mut f: impl FnMut(usize, usize, usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for n in 0..shape.n {
+            for h in 0..shape.h {
+                for w in 0..shape.w {
+                    for c in 0..shape.c {
+                        data.push(f(n, h, w, c));
+                    }
+                }
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Flat view of the data in NHWC order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Map every element into a new tensor.
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Tensor<U> {
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+}
+
+impl<T: Copy> Tensor<T> {
+    /// Element at `(n, h, w, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion + slice bound) if a coordinate is out of
+    /// range.
+    #[inline]
+    #[must_use]
+    pub fn at(&self, n: usize, h: usize, w: usize, c: usize) -> T {
+        self.data[self.shape.index(n, h, w, c)]
+    }
+
+    /// Mutable element at `(n, h, w, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate is out of range.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, h: usize, w: usize, c: usize) -> &mut T {
+        let idx = self.shape.index(n, h, w, c);
+        &mut self.data[idx]
+    }
+
+    /// Extract one image of the batch as a new `[1, H, W, C]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn image(&self, n: usize) -> Tensor<T> {
+        assert!(n < self.shape.n, "batch index {n} out of range");
+        let per = self.shape.h * self.shape.w * self.shape.c;
+        Tensor {
+            shape: Shape4::new(1, self.shape.h, self.shape.w, self.shape.c),
+            data: self.data[n * per..(n + 1) * per].to_vec(),
+        }
+    }
+
+    /// Slice a contiguous sub-batch `[start, start + count)` as a new
+    /// tensor — the paper's batch *chunking* primitive (Algorithm 1's
+    /// `SplitData`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the batch dimension.
+    #[must_use]
+    pub fn batch_slice(&self, start: usize, count: usize) -> Tensor<T> {
+        assert!(start + count <= self.shape.n, "batch slice out of range");
+        let per = self.shape.h * self.shape.w * self.shape.c;
+        Tensor {
+            shape: Shape4::new(count, self.shape.h, self.shape.w, self.shape.c),
+            data: self.data[start * per..(start + count) * per].to_vec(),
+        }
+    }
+}
+
+impl Tensor<f32> {
+    /// Concatenate along the batch dimension (Algorithm 1's
+    /// `AppendOutput`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless H, W and C agree.
+    pub fn concat_batch(parts: &[Tensor<f32>]) -> Result<Tensor<f32>, TensorError> {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let first = parts[0].shape();
+        let mut n = 0;
+        for p in parts {
+            let s = p.shape();
+            if (s.h, s.w, s.c) != (first.h, first.w, first.c) {
+                return Err(TensorError::ShapeMismatch { a: first, b: s });
+            }
+            n += s.n;
+        }
+        let mut data = Vec::with_capacity(n * first.h * first.w * first.c);
+        for p in parts {
+            data.extend_from_slice(p.as_slice());
+        }
+        Ok(Tensor {
+            shape: Shape4::new(n, first.h, first.w, first.c),
+            data,
+        })
+    }
+
+    /// Maximum absolute element-wise difference to another tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor<f32>) -> Result<f32, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                a: self.shape,
+                b: other.shape,
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::<f32>::zeros(Shape4::new(1, 2, 2, 2));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let f = Tensor::<i32>::full(Shape4::new(1, 2, 2, 2), 7);
+        assert!(f.as_slice().iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn from_vec_length_checked() {
+        let err = Tensor::from_vec(Shape4::new(1, 2, 2, 1), vec![0f32; 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 4,
+                got: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn from_fn_coordinates() {
+        let t = Tensor::from_fn(Shape4::new(2, 2, 2, 2), |n, h, w, c| {
+            (n * 1000 + h * 100 + w * 10 + c) as i32
+        });
+        assert_eq!(t.at(1, 0, 1, 1), 1011);
+        assert_eq!(t.at(0, 1, 0, 0), 100);
+    }
+
+    #[test]
+    fn image_extracts_single_batch_entry() {
+        let t = Tensor::from_fn(Shape4::new(3, 2, 2, 1), |n, _, _, _| n as f32);
+        let img = t.image(2);
+        assert_eq!(img.shape(), Shape4::new(1, 2, 2, 1));
+        assert!(img.as_slice().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn batch_slice_extracts_chunk() {
+        let t = Tensor::from_fn(Shape4::new(5, 1, 1, 1), |n, _, _, _| n as f32);
+        let chunk = t.batch_slice(1, 3);
+        assert_eq!(chunk.shape().n, 3);
+        assert_eq!(chunk.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_batch_roundtrips_chunking() {
+        let t = Tensor::from_fn(Shape4::new(7, 2, 2, 3), |n, h, w, c| {
+            (n * 999 + h * 37 + w * 11 + c) as f32
+        });
+        let parts: Vec<_> = [0usize, 3, 6]
+            .iter()
+            .zip([3usize, 3, 1])
+            .map(|(&s, cnt)| t.batch_slice(s, cnt))
+            .collect();
+        let back = Tensor::concat_batch(&parts).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn concat_shape_mismatch_rejected() {
+        let a = Tensor::<f32>::zeros(Shape4::new(1, 2, 2, 1));
+        let b = Tensor::<f32>::zeros(Shape4::new(1, 2, 3, 1));
+        assert!(Tensor::concat_batch(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn max_abs_diff_finds_peak() {
+        let a = Tensor::from_vec(Shape4::new(1, 1, 2, 1), vec![1.0, 5.0]).unwrap();
+        let b = Tensor::from_vec(Shape4::new(1, 1, 2, 1), vec![1.5, 3.0]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn map_changes_type() {
+        let a = Tensor::from_vec(Shape4::new(1, 1, 2, 1), vec![1.4f32, 2.6]).unwrap();
+        let b: Tensor<i32> = a.map(|&v| v.round() as i32);
+        assert_eq!(b.as_slice(), &[1, 3]);
+    }
+}

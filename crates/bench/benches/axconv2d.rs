@@ -1,0 +1,44 @@
+//! End-to-end benchmark of the `AxConv2D` operator across backends —
+//! the measured counterpart to Table I's per-layer story: the direct
+//! nested-loop emulation vs. the GEMM formulation vs. the accurate f32
+//! convolution.
+
+use axmult::{MulLut, Signedness};
+use axtensor::{ops, rng, ConvGeometry, FilterShape, Shape4};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tfapprox::{AxConv2D, Backend, EmuContext};
+
+fn bench_axconv2d(c: &mut Criterion) {
+    let input = rng::uniform(Shape4::new(2, 32, 32, 16), 5, -1.0, 1.0);
+    let filter = rng::uniform_filter(FilterShape::new(3, 3, 16, 16), 6, -0.5, 0.5);
+    let lut = MulLut::exact(Signedness::Signed);
+
+    let mut group = c.benchmark_group("axconv2d");
+    group.sample_size(10);
+    group.bench_function("accurate_f32", |b| {
+        b.iter(|| {
+            black_box(ops::conv2d_gemm(&input, &filter, ConvGeometry::default()).expect("conv"))
+        });
+    });
+    for (label, backend) in [
+        ("cpu_direct", Backend::CpuDirect),
+        ("cpu_gemm", Backend::CpuGemm),
+        ("gpu_sim_functional", Backend::GpuSim),
+    ] {
+        let ctx = Arc::new(EmuContext::new(backend));
+        let layer = AxConv2D::new(
+            filter.clone(),
+            ConvGeometry::default(),
+            lut.clone(),
+            ctx,
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(layer.convolve(&input).expect("convolve")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_axconv2d);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Chunk-size sweep for Algorithm 1's `SplitData`: the paper splits the
+//! batch "into chunks of a constant size to decouple memory usage from
+//! convolution parameters". This bench shows throughput as a function of
+//! the chunk size (too small: per-chunk overhead; larger: flat, while
+//! memory grows).
+
+use axmult::{MulLut, Signedness};
+use axtensor::{rng, ConvGeometry, FilterShape, Shape4};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tfapprox::{AxConv2D, Backend, EmuContext};
+
+fn bench_chunking(c: &mut Criterion) {
+    let input = rng::uniform(Shape4::new(16, 32, 32, 8), 9, -1.0, 1.0);
+    let filter = rng::uniform_filter(FilterShape::new(3, 3, 8, 8), 10, -0.5, 0.5);
+    let lut = MulLut::exact(Signedness::Signed);
+
+    let mut group = c.benchmark_group("chunk_size");
+    group.sample_size(10);
+    for chunk in [1usize, 2, 4, 8, 16] {
+        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm).with_chunk_size(chunk));
+        let layer = AxConv2D::new(
+            filter.clone(),
+            ConvGeometry::default(),
+            lut.clone(),
+            ctx,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, _| {
+            b.iter(|| black_box(layer.convolve(&input).expect("convolve")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunking);
+criterion_main!(benches);

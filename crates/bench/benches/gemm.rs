@@ -1,0 +1,56 @@
+//! Benchmark of the ApproxGEMM phase (Algorithm 1, phase (ii)): the tiled
+//! LUT-based matrix multiplication with the Eq. 4 dequantization
+//! correction, against the plain f32 reference GEMM.
+
+use axmult::{MulLut, Signedness};
+use axquant::{QuantParams, QuantRange, RoundMode};
+use axtensor::{ops, Matrix};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpusim::kernels::gemm::{approx_gemm, GemmQuant};
+use gpusim::{DeviceConfig, TextureCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_gemm(c: &mut Criterion) {
+    let (rows, k, cols) = (256usize, 144usize, 32usize);
+    let mut rng = StdRng::seed_from_u64(3);
+    let quant = GemmQuant {
+        input: QuantParams::from_range(-1.0, 1.0, QuantRange::i8(), RoundMode::NearestEven),
+        filter: QuantParams::from_range(-0.5, 0.5, QuantRange::i8(), RoundMode::NearestEven)
+            .into(),
+    };
+    let mut mp_bytes = vec![0u8; rows * k];
+    let mut sp = vec![0i64; rows];
+    for r in 0..rows {
+        for kk in 0..k {
+            let q = quant.input.quantize(rng.gen_range(-1.0..1.0));
+            mp_bytes[r * k + kk] = (q & 0xFF) as u8;
+            sp[r] += i64::from(q);
+        }
+    }
+    let mp = Matrix::from_vec(rows, k, mp_bytes).expect("mp");
+    let filter_f32: Vec<f32> = (0..k * cols).map(|_| rng.gen_range(-0.5..0.5)).collect();
+    let filter = Matrix::from_vec(k, cols, filter_f32).expect("filter");
+    let lut = MulLut::exact(Signedness::Signed);
+    let dev = DeviceConfig::gtx1080();
+
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    group.bench_function("approx_lut_gemm", |b| {
+        let mut cache = TextureCache::new(dev.tex_cache_bytes, dev.tex_cache_line, 4);
+        b.iter(|| {
+            black_box(
+                approx_gemm(&mp, &sp, &filter, &quant, &lut, &mut cache).expect("gemm"),
+            )
+        });
+    });
+    group.bench_function("f32_reference_gemm", |b| {
+        let a_f32: Vec<f32> = mp.as_slice().iter().map(|&v| f32::from(v as i8)).collect();
+        let a = Matrix::from_vec(rows, k, a_f32).expect("a");
+        b.iter(|| black_box(ops::matmul(&a, &filter).expect("matmul")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benchmark of the quantizing image-to-columns phase (Algorithm 1,
+//! phase (i)) across kernel geometries and patch-sum strategies.
+
+use axquant::{QuantParams, QuantRange, RoundMode};
+use axtensor::{rng, ConvGeometry, FilterShape, Shape4};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpusim::kernels::im2col::{im2col_quant, PatchSumStrategy};
+
+fn bench_im2col(c: &mut Criterion) {
+    let input = rng::uniform(Shape4::new(4, 32, 32, 16), 7, -1.0, 1.0);
+    let q = QuantParams::from_range(-1.0, 1.0, QuantRange::i8(), RoundMode::NearestEven);
+
+    let mut group = c.benchmark_group("im2col_quant");
+    group.sample_size(20);
+    for (label, filter, stride) in [
+        ("3x3_s1", FilterShape::new(3, 3, 16, 16), 1usize),
+        ("3x3_s2", FilterShape::new(3, 3, 16, 32), 2),
+        ("5x5_s1", FilterShape::new(5, 5, 16, 16), 1),
+    ] {
+        let geom = ConvGeometry::default().with_stride(stride);
+        group.bench_function(format!("prefix_scan_{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    im2col_quant(&input, filter, geom, q, PatchSumStrategy::PrefixScan)
+                        .expect("im2col"),
+                )
+            });
+        });
+        group.bench_function(format!("per_patch_{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    im2col_quant(&input, filter, geom, q, PatchSumStrategy::PerPatchThread)
+                        .expect("im2col"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_im2col);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-benchmark of the emulated multiplication primitives: native `u8`
+//! multiply vs. LUT fetch (the paper's emulation step) vs. gate-level
+//! netlist evaluation (what the LUT replaces — the reason naive emulation
+//! is 2–3 orders of magnitude slow).
+
+use axcircuit::builder::MultiplierSpec;
+use axmult::{MulLut, Signedness};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_multiply_paths(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pairs: Vec<(u8, u8)> = (0..4096).map(|_| (rng.gen(), rng.gen())).collect();
+    let lut = MulLut::exact(Signedness::Unsigned);
+    let netlist = MultiplierSpec::unsigned(8, 8).build().expect("netlist");
+
+    let mut group = c.benchmark_group("mul8_emulation");
+    group.bench_function("native_mul", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(x, y) in &pairs {
+                acc = acc.wrapping_add(u32::from(x) * u32::from(y));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("lut_fetch", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(x, y) in &pairs {
+                acc = acc.wrapping_add(u32::from(lut.fetch(x, y)));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("netlist_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y) in &pairs[..64] {
+                acc = acc.wrapping_add(
+                    netlist
+                        .eval_words(&[u64::from(x), u64::from(y)])
+                        .expect("eval"),
+                );
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multiply_paths);
+criterion_main!(benches);

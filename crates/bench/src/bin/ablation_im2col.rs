@@ -1,0 +1,53 @@
+//! Ablation of the paper's im2col design choice (§III, phase (i)): the
+//! fixed-block-size **prefix-scan + atomicAdd** patch-sum strategy versus
+//! the rejected one-thread-per-patch alternative, compared on modeled cost
+//! and event mix.
+//!
+//! Usage: `ablation_im2col [--sample N]`
+
+use axnn::dataset::SyntheticCifar10;
+use axquant::{QuantParams, QuantRange, RoundMode};
+use axtensor::{ConvGeometry, FilterShape};
+use gpusim::kernels::im2col::{im2col_quant, PatchSumStrategy};
+use gpusim::DeviceConfig;
+use tfapprox_bench::arg_value;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sample: usize = arg_value(&args, "--sample")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let dev = DeviceConfig::gtx1080();
+    let batch = SyntheticCifar10::new(42).batch_sized(0, sample);
+    let q = QuantParams::from_range(-1.0, 1.0, QuantRange::i8(), RoundMode::NearestEven);
+
+    println!("IM2COL PATCH-SUM STRATEGY ABLATION — {sample} CIFAR images, modeled");
+    println!(
+        "{:<18} {:>14} {:>12} {:>12} {:>14} {:>12}",
+        "layer", "strategy", "DRAM read", "atomics", "shared ops", "seconds"
+    );
+    for (name, filter) in [
+        ("conv 3x3x3x16", FilterShape::new(3, 3, 3, 16)),
+        ("conv 3x3x3x64", FilterShape::new(3, 3, 3, 64)),
+        ("conv 7x7x3x16", FilterShape::new(7, 7, 3, 16)),
+    ] {
+        for strategy in [PatchSumStrategy::PrefixScan, PatchSumStrategy::PerPatchThread] {
+            let run = im2col_quant(&batch, filter, ConvGeometry::default(), q, strategy)
+                .expect("im2col");
+            let ev = run.total_events();
+            println!(
+                "{:<18} {:>14} {:>10}MB {:>12} {:>14} {:>12.5}",
+                name,
+                format!("{strategy:?}"),
+                ev.global_read_bytes / 1_000_000,
+                ev.atomic_ops,
+                ev.shared_ops,
+                dev.seconds(&ev),
+            );
+        }
+    }
+    println!();
+    println!("Reading: the per-patch strategy's uncoalesced reads inflate DRAM traffic;");
+    println!("the prefix-scan strategy trades a small atomic/shared-memory overhead for");
+    println!("coalesced loads and full thread occupancy — the paper's choice.");
+}

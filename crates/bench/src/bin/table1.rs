@@ -1,0 +1,138 @@
+//! Regenerate Table I of the TFApprox paper.
+//!
+//! For every ResNet depth the paper evaluates (8…62), print the time to
+//! process the 10⁴-image CIFAR-10-shaped dataset with accurate and
+//! approximate convolutional layers on CPU and GPU, plus the approximation
+//! overheads and GPU-vs-CPU speedups — side by side with the paper's
+//! published numbers.
+//!
+//! GPU columns: a sample of images is executed *functionally* on the
+//! simulated device (all kernels, every LUT fetch through the modeled
+//! texture cache) and the modeled `tcomp` is scaled linearly to the full
+//! image count. CPU columns: the Xeon-calibrated throughput model. Pass
+//! `--measure` to additionally print real wall-clock measurements of the
+//! Rust backends on this host (scaled from a small sample).
+//!
+//! Usage: `table1 [--images N] [--sample N] [--mult NAME] [--measure] [--depths 8,20,62]`
+
+use gpusim::DeviceConfig;
+use tfapprox::perfmodel::{self, CpuModel};
+use tfapprox_bench::{arg_value, fmt_pair, fmt_speedup, has_flag, PAPER_TABLE1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let images: usize = arg_value(&args, "--images")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let sample: usize = arg_value(&args, "--sample")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mult_name =
+        arg_value(&args, "--mult").unwrap_or_else(|| "mul8s_bam_v8h0".to_owned());
+    let depths: Vec<usize> = arg_value(&args, "--depths")
+        .map(|v| {
+            v.split(',')
+                .filter_map(|d| d.trim().parse().ok())
+                .collect()
+        })
+        .unwrap_or_else(|| axnn::resnet::TABLE1_DEPTHS.to_vec());
+
+    let mult = match axmult::catalog::by_name(&mult_name) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let dev = DeviceConfig::gtx1080();
+    let cpu = CpuModel::xeon_e5_2620();
+
+    println!("TABLE I — time to process {images} CIFAR-10 images (multiplier: {mult_name};");
+    println!("          LUT content does not affect timing, per the paper)");
+    println!();
+    println!(
+        "{:<10} {:>3} {:>9}  {:>15} {:>15}  {:>17} {:>15}  {:>10} {:>9}  {:>9} {:>9}",
+        "DNN",
+        "L",
+        "MACs(1e6)",
+        "acc CPU",
+        "acc GPU",
+        "approx CPU",
+        "approx GPU",
+        "ovh CPU",
+        "ovh GPU",
+        "spd acc",
+        "spd apx"
+    );
+    for &depth in &depths {
+        let row = match perfmodel::table1_row(depth, &mult, &dev, &cpu, images, sample, 42) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("ResNet-{depth}: error: {e}");
+                continue;
+            }
+        };
+        println!(
+            "{:<10} {:>3} {:>9.0}  {:>15} {:>15}  {:>17} {:>15}  {:>9.0}s {:>8.1}s  {:>9} {:>9}",
+            format!("ResNet-{depth}"),
+            row.l,
+            row.macs_per_image as f64 / 1e6,
+            fmt_pair(row.cpu_accurate.tinit, row.cpu_accurate.tcomp),
+            fmt_pair(row.gpu_accurate.tinit, row.gpu_accurate.tcomp),
+            fmt_pair(row.cpu_approx.tinit, row.cpu_approx.tcomp),
+            fmt_pair(row.gpu_approx.tinit, row.gpu_approx.tcomp),
+            row.approx_overhead_cpu(),
+            row.approx_overhead_gpu(),
+            fmt_speedup(row.speedup_accurate()),
+            fmt_speedup(row.speedup_approx()),
+        );
+        if let Some(p) = PAPER_TABLE1.iter().find(|p| p.0 == depth) {
+            let (d, l, macs, ca, ga, cx, gx) = *p;
+            let sa = (ca.0 + ca.1) / (ga.0 + ga.1);
+            let sx = (cx.0 + cx.1) / (gx.0 + gx.1);
+            println!(
+                "{:<10} {:>3} {:>9}  {:>15} {:>15}  {:>17} {:>15}  {:>9.0}s {:>8.1}s  {:>9} {:>9}",
+                format!("  (paper)"),
+                l,
+                macs,
+                fmt_pair(ca.0, ca.1),
+                fmt_pair(ga.0, ga.1),
+                fmt_pair(cx.0, cx.1),
+                fmt_pair(gx.0, gx.1),
+                (cx.0 + cx.1) - (ca.0 + ca.1),
+                (gx.0 + gx.1) - (ga.0 + ga.1),
+                fmt_speedup(sa),
+                fmt_speedup(sx),
+            );
+            let _ = d;
+        }
+    }
+
+    if has_flag(&args, "--measure") {
+        let m_images: usize = arg_value(&args, "--measure-images")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        println!();
+        println!(
+            "MEASURED on this host (real wall-clock, scaled {m_images} images from {sample}-image samples):"
+        );
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>14} {:>16}",
+            "DNN", "acc f32", "cpu-direct", "cpu-gemm", "gemm speedup", "emu slowdown"
+        );
+        for &depth in &depths {
+            match perfmodel::measured_row(depth, &mult, m_images, sample, 42) {
+                Ok(r) => println!(
+                    "{:<10} {:>11.2}s {:>11.2}s {:>11.2}s {:>13} {:>15}",
+                    format!("ResNet-{depth}"),
+                    r.accurate_cpu_s,
+                    r.cpu_direct_s,
+                    r.cpu_gemm_s,
+                    fmt_speedup(r.gemm_speedup()),
+                    fmt_speedup(r.emulation_slowdown()),
+                ),
+                Err(e) => eprintln!("ResNet-{depth}: error: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Event counting: the unit every kernel reports its work in.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Counts of costed events accumulated by a kernel execution.
+///
+/// Kernels count *what they do* (one texture fetch per emulated
+/// multiplication, one shared access per staged tile element, …); the
+/// [`crate::DeviceConfig`] decides what each event costs. This separation
+/// lets the same functional execution be timed under different device
+/// calibrations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// Fused multiply-add operations (f32).
+    pub fma_ops: u64,
+    /// Simple ALU ops: rounding, clamping, address arithmetic.
+    pub alu_ops: u64,
+    /// Quantize/dequantize chains (divide, round, clamp, zero-point) —
+    /// costed separately because they dominate the paper's
+    /// "Quantization" phase.
+    pub quant_ops: u64,
+    /// Texture fetches that hit the texture cache.
+    pub tex_hits: u64,
+    /// Texture fetches that missed and paid a DRAM access.
+    pub tex_misses: u64,
+    /// Shared-memory reads/writes.
+    pub shared_ops: u64,
+    /// Global atomic operations (`atomicAdd`).
+    pub atomic_ops: u64,
+    /// Bytes read from global memory (DRAM).
+    pub global_read_bytes: u64,
+    /// Bytes written to global memory (DRAM).
+    pub global_write_bytes: u64,
+}
+
+impl EventCounts {
+    /// An empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total texture fetches (hits + misses).
+    #[must_use]
+    pub fn tex_fetches(&self) -> u64 {
+        self.tex_hits + self.tex_misses
+    }
+
+    /// Scale every count by an integer factor — used to extrapolate a
+    /// measured sub-sample to a full workload (costs are linear in the
+    /// work, which the paper also observes: "tcomp increases linearly").
+    #[must_use]
+    pub fn scaled(&self, factor: u64) -> Self {
+        EventCounts {
+            fma_ops: self.fma_ops * factor,
+            alu_ops: self.alu_ops * factor,
+            quant_ops: self.quant_ops * factor,
+            tex_hits: self.tex_hits * factor,
+            tex_misses: self.tex_misses * factor,
+            shared_ops: self.shared_ops * factor,
+            atomic_ops: self.atomic_ops * factor,
+            global_read_bytes: self.global_read_bytes * factor,
+            global_write_bytes: self.global_write_bytes * factor,
+        }
+    }
+}
+
+impl Add for EventCounts {
+    type Output = EventCounts;
+
+    fn add(mut self, rhs: EventCounts) -> EventCounts {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for EventCounts {
+    fn add_assign(&mut self, rhs: EventCounts) {
+        self.fma_ops += rhs.fma_ops;
+        self.alu_ops += rhs.alu_ops;
+        self.quant_ops += rhs.quant_ops;
+        self.tex_hits += rhs.tex_hits;
+        self.tex_misses += rhs.tex_misses;
+        self.shared_ops += rhs.shared_ops;
+        self.atomic_ops += rhs.atomic_ops;
+        self.global_read_bytes += rhs.global_read_bytes;
+        self.global_write_bytes += rhs.global_write_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_fieldwise() {
+        let mut a = EventCounts::new();
+        a.fma_ops = 10;
+        a.tex_hits = 5;
+        let mut b = EventCounts::new();
+        b.fma_ops = 1;
+        b.tex_misses = 2;
+        let c = a + b;
+        assert_eq!(c.fma_ops, 11);
+        assert_eq!(c.tex_fetches(), 7);
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let mut a = EventCounts::new();
+        a.alu_ops = 3;
+        a.global_read_bytes = 4;
+        let s = a.scaled(5);
+        assert_eq!(s.alu_ops, 15);
+        assert_eq!(s.global_read_bytes, 20);
+    }
+}

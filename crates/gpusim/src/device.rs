@@ -1,0 +1,173 @@
+//! Device configurations and the events → seconds conversion.
+
+use crate::cost::EventCounts;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated GPU.
+///
+/// The throughput constants are *calibration constants*: they are chosen so
+/// that the analytic cost model lands in the same regime as the GTX 1080 of
+/// the paper's testbed (§IV). The reproduction targets the **shape** of
+/// Table I (who wins, linear growth in #MACs, where the speedup saturates),
+/// not the authors' absolute seconds; EXPERIMENTS.md records both sides.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// One-time context / runtime initialization in seconds (CUDA context,
+    /// framework startup). Dominates the paper's GPU `tinit`.
+    pub context_init_s: f64,
+    /// Host-to-device (PCIe) bandwidth in bytes/second.
+    pub pcie_bytes_per_s: f64,
+    /// Effective FP32 FMA throughput (FMA/s) for dense GEMM-like code.
+    pub fma_per_s: f64,
+    /// Effective texture-fetch throughput on cache **hits** (fetches/s).
+    pub tex_hit_per_s: f64,
+    /// Effective texture-fetch throughput on cache **misses** (fetches/s).
+    /// The whole 128 kB LUT fits in the GPU's multi-megabyte L2, so a
+    /// texture miss pays an L2 round-trip, not DRAM.
+    pub tex_miss_per_s: f64,
+    /// Effective shared-memory access throughput (accesses/s).
+    pub shared_per_s: f64,
+    /// Effective global atomic throughput (atomics/s).
+    pub atomic_per_s: f64,
+    /// Effective DRAM streaming bandwidth (bytes/s).
+    pub dram_bytes_per_s: f64,
+    /// Effective simple-ALU op throughput (ops/s) — address arithmetic,
+    /// index stitching.
+    pub alu_per_s: f64,
+    /// Effective quantize/dequantize chain throughput (chains/s); each
+    /// chain is a divide + round + clamp + zero-point adjust.
+    pub quant_per_s: f64,
+    /// Texture (L1) cache capacity in bytes.
+    pub tex_cache_bytes: usize,
+    /// Texture cache line size in bytes.
+    pub tex_cache_line: usize,
+}
+
+impl DeviceConfig {
+    /// A GTX-1080-class device (Pascal, 20 SMs, 1.6 GHz, 320 GB/s DRAM).
+    ///
+    /// Effective (not peak) throughputs: peak FP32 on a GTX 1080 is
+    /// ≈ 4.4 T FMA/s; dense GEMM sustains ~50%, and the LUT path is bound
+    /// by texture-unit throughput and shared-memory staging rather than
+    /// raw math.
+    #[must_use]
+    pub fn gtx1080() -> Self {
+        DeviceConfig {
+            name: "sim-gtx1080".to_owned(),
+            context_init_s: 1.7,
+            pcie_bytes_per_s: 12.0e9,
+            fma_per_s: 1.1e12,
+            tex_hit_per_s: 5.4e11,
+            tex_miss_per_s: 2.2e11,
+            shared_per_s: 5.0e11,
+            atomic_per_s: 5.0e10,
+            dram_bytes_per_s: 260.0e9,
+            alu_per_s: 2.2e12,
+            quant_per_s: 2.1e10,
+            tex_cache_bytes: 48 * 1024,
+            tex_cache_line: 32,
+        }
+    }
+
+    /// A deliberately small device for cache-behaviour studies: the LUT
+    /// does not fit the texture cache, so miss costs dominate.
+    #[must_use]
+    pub fn small_cache() -> Self {
+        DeviceConfig {
+            tex_cache_bytes: 4 * 1024,
+            name: "sim-small-cache".to_owned(),
+            ..Self::gtx1080()
+        }
+    }
+
+    /// Convert event counts into seconds.
+    ///
+    /// Compute-side and memory-side times overlap on a GPU; we take the
+    /// roofline maximum of the two and add serialized costs (atomics).
+    #[must_use]
+    pub fn seconds(&self, ev: &EventCounts) -> f64 {
+        let compute = ev.fma_ops as f64 / self.fma_per_s
+            + ev.alu_ops as f64 / self.alu_per_s
+            + ev.quant_ops as f64 / self.quant_per_s
+            + ev.tex_hits as f64 / self.tex_hit_per_s
+            + ev.tex_misses as f64 / self.tex_miss_per_s
+            + ev.shared_ops as f64 / self.shared_per_s;
+        let memory =
+            (ev.global_read_bytes + ev.global_write_bytes) as f64 / self.dram_bytes_per_s;
+        let serial = ev.atomic_ops as f64 / self.atomic_per_s;
+        compute.max(memory) + serial
+    }
+
+    /// Seconds to move `bytes` across PCIe (host ↔ device).
+    #[must_use]
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.pcie_bytes_per_s
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::gtx1080()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_workload_scales_with_fma() {
+        let dev = DeviceConfig::gtx1080();
+        let mut ev = EventCounts::default();
+        ev.fma_ops = 1_100_000_000_000; // one second of FMA
+        let t = dev.seconds(&ev);
+        assert!((t - 1.0).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn memory_bound_workload_uses_bandwidth() {
+        let dev = DeviceConfig::gtx1080();
+        let mut ev = EventCounts::default();
+        ev.global_read_bytes = 260_000_000_000; // one second of DRAM
+        ev.fma_ops = 1; // negligible compute
+        let t = dev.seconds(&ev);
+        assert!((t - 1.0).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn roofline_takes_max_not_sum() {
+        let dev = DeviceConfig::gtx1080();
+        let mut ev = EventCounts::default();
+        ev.fma_ops = 1_100_000_000_000;
+        ev.global_read_bytes = 260_000_000_000;
+        let t = dev.seconds(&ev);
+        assert!((t - 1.0).abs() < 1e-6, "overlapped, t = {t}");
+    }
+
+    #[test]
+    fn tex_misses_cost_more_than_hits() {
+        let dev = DeviceConfig::gtx1080();
+        let mut hits = EventCounts::default();
+        hits.tex_hits = 1_000_000;
+        let mut misses = EventCounts::default();
+        misses.tex_misses = 1_000_000;
+        assert!(dev.seconds(&misses) > dev.seconds(&hits));
+    }
+
+    #[test]
+    fn transfer_time_linear() {
+        let dev = DeviceConfig::gtx1080();
+        assert!(dev.transfer_seconds(24_000_000_000) - 2.0 < 1e-9);
+        assert_eq!(dev.transfer_seconds(0), 0.0);
+    }
+
+    #[test]
+    fn small_cache_preset_differs_only_in_cache() {
+        let a = DeviceConfig::gtx1080();
+        let b = DeviceConfig::small_cache();
+        assert!(b.tex_cache_bytes < a.tex_cache_bytes);
+        assert_eq!(a.fma_per_s, b.fma_per_s);
+    }
+}

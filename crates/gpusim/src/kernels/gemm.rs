@@ -1,0 +1,382 @@
+//! The tiled `ApproxGEMM` kernel (phase (ii) of Algorithm 1).
+//!
+//! "Implemented as a typical tiled GEMM, in which the threads of the block
+//! have to load a 2D tile from each matrix into the shared memory and each
+//! thread computes a single output value. ... The multiplication of
+//! quantized 8-bit values is implemented by a lookup table containing 256²
+//! 16-bit values ... `tex1Dfetch<ushort>` to perform the lookup based on
+//! the index created by stitching the multiplied 8-bit values into a single
+//! 16-bit value. The results ... are accumulated in a 32-bit floating point
+//! accumulator."
+//!
+//! The filter matrix is quantized on the fly ("multiplied by the matrix of
+//! filters (which are quantized at the same time)") and the final step
+//! applies the Eq. 4 dequantization correction with the precomputed `Sp`
+//! and `Sf` sums.
+
+use super::{KernelRun, GEMM_TILE};
+use crate::{EventCounts, Phase, TextureCache};
+use axmult::{MulLut, Signedness};
+use axquant::{FilterQuantization, QuantParams};
+use axtensor::{Matrix, TensorError};
+
+/// Quantization parameters of both GEMM operands.
+#[derive(Debug, Clone)]
+pub struct GemmQuant {
+    /// Input (patch matrix) quantization — `α₁`, `β₁`.
+    pub input: QuantParams,
+    /// Filter quantization — `α₂`, `β₂`, per-tensor or per-channel.
+    pub filter: FilterQuantization,
+}
+
+/// Run the approximate GEMM: `Mp (rows×K, u8)` × `filter (K×c_out, f32)`.
+///
+/// `sp` must hold the per-row logical quantized sums (`Σ ī`) produced by
+/// the im2col kernel. The filter matrix arrives in f32 and is quantized
+/// inside the kernel; its per-column sums `Sf` are computed on the fly.
+/// Every 8×8 multiplication is emulated by a fetch from `lut` through the
+/// texture `cache`.
+///
+/// Returns the dequantized f32 output matrix (`rows × c_out`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::MatrixDims`] if `K` differs between `Mp` and the
+/// filter matrix, or [`TensorError::LengthMismatch`] if `sp` has the wrong
+/// length.
+pub fn approx_gemm(
+    mp: &Matrix<u8>,
+    sp: &[i64],
+    filter: &Matrix<f32>,
+    quant: &GemmQuant,
+    lut: &MulLut,
+    cache: &mut TextureCache,
+) -> Result<KernelRun<Matrix<f32>>, TensorError> {
+    let k = mp.cols();
+    if filter.rows() != k {
+        return Err(TensorError::MatrixDims {
+            left_cols: k,
+            right_rows: filter.rows(),
+        });
+    }
+    if sp.len() != mp.rows() {
+        return Err(TensorError::LengthMismatch {
+            expected: mp.rows(),
+            got: sp.len(),
+        });
+    }
+    let rows = mp.rows();
+    let c_out = filter.cols();
+    let signed = lut.signedness();
+
+    // --- Filter quantization (+ Sf column sums), charged to Quantization.
+    // Per-channel quantization uses a distinct (α₂, β₂) per column.
+    let col_q: Vec<QuantParams> = (0..c_out).map(|c| quant.filter.for_channel(c)).collect();
+    let mut filter_bytes = vec![0u8; k * c_out];
+    let mut sf = vec![0i64; c_out];
+    for r in 0..k {
+        for c in 0..c_out {
+            let q = col_q[c].quantize(filter.at(r, c));
+            filter_bytes[r * c_out + c] = (q & 0xFF) as u8;
+            sf[c] += i64::from(q);
+        }
+    }
+    let mut quant_ev = EventCounts::new();
+    quant_ev.quant_ops = (k * c_out) as u64;
+    quant_ev.global_read_bytes = (k * c_out) as u64 * 4;
+
+    // --- Tiled multiplication.
+    let a1 = f64::from(quant.input.scale());
+    let b1 = i64::from(quant.input.zero_point());
+
+    let mut out = Matrix::<f32>::zeros(rows, c_out);
+    let mut lut_ev = EventCounts::new();
+    let mut stage_ev = EventCounts::new();
+
+    let tiles_r = rows.div_ceil(GEMM_TILE);
+    let tiles_c = c_out.div_ceil(GEMM_TILE);
+    let tiles_k = k.div_ceil(GEMM_TILE);
+    for tr in 0..tiles_r {
+        for tc in 0..tiles_c {
+            let r0 = tr * GEMM_TILE;
+            let c0 = tc * GEMM_TILE;
+            let r1 = (r0 + GEMM_TILE).min(rows);
+            let c1 = (c0 + GEMM_TILE).min(c_out);
+            // One f32 accumulator per thread (output element).
+            let mut acc = [[0f32; GEMM_TILE]; GEMM_TILE];
+            for tk in 0..tiles_k {
+                let k0 = tk * GEMM_TILE;
+                let k1 = (k0 + GEMM_TILE).min(k);
+                // Stage both tiles in shared memory: one global read and
+                // one shared write per element, then one shared read per
+                // use in the inner product.
+                let a_elems = ((r1 - r0) * (k1 - k0)) as u64;
+                let b_elems = ((k1 - k0) * (c1 - c0)) as u64;
+                stage_ev.global_read_bytes += a_elems + b_elems; // u8 tiles
+                stage_ev.shared_ops += a_elems + b_elems;
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        let mut local = acc[r - r0][c - c0];
+                        for kk in k0..k1 {
+                            let av = mp.at(r, kk);
+                            let bv = filter_bytes[kk * c_out + c];
+                            // Stitched 16-bit index, fetched through the
+                            // texture cache.
+                            let index = (u32::from(bv) << 8) | u32::from(av);
+                            cache.access(index);
+                            let raw = lut.fetch(av, bv);
+                            let prod = match signed {
+                                Signedness::Signed => f32::from(raw as i16),
+                                Signedness::Unsigned => f32::from(raw),
+                            };
+                            local += prod;
+                        }
+                        acc[r - r0][c - c0] = local;
+                        stage_ev.shared_ops += 2 * (k1 - k0) as u64;
+                        // The f32 accumulation belongs to the GEMM body;
+                        // only the fetch + index stitch are LUT work.
+                        stage_ev.fma_ops += (k1 - k0) as u64;
+                        lut_ev.alu_ops += (k1 - k0) as u64; // index stitch
+                    }
+                }
+            }
+            // Dequantization + Eq. 4 correction, then the output write.
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    let a2 = f64::from(col_q[c].scale());
+                    let b2 = i64::from(col_q[c].zero_point());
+                    let corrected = f64::from(acc[r - r0][c - c0])
+                        - (b2 * sp[r]) as f64
+                        - (b1 * sf[c]) as f64
+                        + (k as i64 * b1 * b2) as f64;
+                    *out.at_mut(r, c) = (a1 * a2 * corrected) as f32;
+                }
+            }
+            quant_ev.quant_ops += ((r1 - r0) * (c1 - c0)) as u64;
+            stage_ev.global_write_bytes += ((r1 - r0) * (c1 - c0)) as u64 * 4;
+        }
+    }
+    // Texture-cache classification of the fetch events.
+    let stats = cache.stats();
+    lut_ev.tex_hits = stats.hits;
+    lut_ev.tex_misses = stats.misses;
+    cache.reset_stats();
+
+    Ok(KernelRun {
+        output: out,
+        events: vec![
+            (Phase::Quantization, quant_ev),
+            (Phase::LutLookup, lut_ev),
+            (Phase::Other, stage_ev),
+        ],
+    })
+}
+
+/// Reference implementation of the same computation with exact integer
+/// arithmetic and `i64` accumulators — the golden model `approx_gemm` is
+/// validated against when given an exact LUT.
+///
+/// # Errors
+///
+/// Same conditions as [`approx_gemm`].
+pub fn reference_quantized_gemm(
+    mp: &Matrix<u8>,
+    filter: &Matrix<f32>,
+    quant: &GemmQuant,
+    signedness: Signedness,
+) -> Result<Matrix<f32>, TensorError> {
+    let k = mp.cols();
+    if filter.rows() != k {
+        return Err(TensorError::MatrixDims {
+            left_cols: k,
+            right_rows: filter.rows(),
+        });
+    }
+    let rows = mp.rows();
+    let c_out = filter.cols();
+    let decode = |byte: u8| -> i64 {
+        match signedness {
+            Signedness::Signed => i64::from(byte as i8),
+            Signedness::Unsigned => i64::from(byte),
+        }
+    };
+    let b1 = i64::from(quant.input.zero_point());
+    let mut out = Matrix::<f32>::zeros(rows, c_out);
+    for r in 0..rows {
+        for c in 0..c_out {
+            let q2 = quant.filter.for_channel(c);
+            let b2 = i64::from(q2.zero_point());
+            let a1a2 = f64::from(quant.input.scale()) * f64::from(q2.scale());
+            let mut acc = 0i64;
+            for kk in 0..k {
+                let i = decode(mp.at(r, kk));
+                let f = i64::from(q2.quantize(filter.at(kk, c)));
+                acc += (i - b1) * (f - b2);
+            }
+            *out.at_mut(r, c) = (a1a2 * acc as f64) as f32;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceConfig;
+    use axquant::{QuantRange, RoundMode};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn quant_pair() -> GemmQuant {
+        GemmQuant {
+            input: QuantParams::from_range(-1.0, 1.0, QuantRange::i8(), RoundMode::NearestEven),
+            filter: QuantParams::from_range(-0.5, 0.5, QuantRange::i8(), RoundMode::NearestEven)
+                .into(),
+        }
+    }
+
+    fn random_case(rows: usize, k: usize, c_out: usize, seed: u64) -> (Matrix<u8>, Vec<i64>, Matrix<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = quant_pair();
+        let mut mp = vec![0u8; rows * k];
+        let mut sp = vec![0i64; rows];
+        for r in 0..rows {
+            for kk in 0..k {
+                let v: f32 = rng.gen_range(-1.0..1.0);
+                let qi = q.input.quantize(v);
+                mp[r * k + kk] = (qi & 0xFF) as u8;
+                sp[r] += i64::from(qi);
+            }
+        }
+        let filter: Vec<f32> = (0..k * c_out).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        (
+            Matrix::from_vec(rows, k, mp).unwrap(),
+            sp,
+            Matrix::from_vec(k, c_out, filter).unwrap(),
+        )
+    }
+
+    fn fresh_cache() -> TextureCache {
+        let dev = DeviceConfig::gtx1080();
+        TextureCache::new(dev.tex_cache_bytes, dev.tex_cache_line, 4)
+    }
+
+    #[test]
+    fn exact_lut_matches_integer_reference() {
+        let (mp, sp, filter) = random_case(20, 27, 5, 3);
+        let q = quant_pair();
+        let lut = MulLut::exact(Signedness::Signed);
+        let run = approx_gemm(&mp, &sp, &filter, &q, &lut, &mut fresh_cache()).unwrap();
+        let reference = reference_quantized_gemm(&mp, &filter, &q, Signedness::Signed).unwrap();
+        for r in 0..20 {
+            for c in 0..5 {
+                let a = run.output.at(r, c);
+                let b = reference.at(r, c);
+                assert!(
+                    (a - b).abs() <= 1e-3 * b.abs().max(1.0),
+                    "({r},{c}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eq4_correction_cancels_zero_points() {
+        // All-zero input must produce an exactly-zero output regardless of
+        // the zero-point, because real 0 is exactly representable.
+        let q = quant_pair();
+        let k = 9;
+        let zero_byte = (q.input.quantize(0.0) & 0xFF) as u8;
+        let mp = Matrix::from_vec(4, k, vec![zero_byte; 4 * k]).unwrap();
+        let sp = vec![i64::from(q.input.quantize(0.0)) * k as i64; 4];
+        let filter = Matrix::from_vec(k, 3, vec![0.25f32; k * 3]).unwrap();
+        let lut = MulLut::exact(Signedness::Signed);
+        let run = approx_gemm(&mp, &sp, &filter, &q, &lut, &mut fresh_cache()).unwrap();
+        for &v in run.output.as_slice() {
+            assert!(v.abs() < 1e-5, "expected 0, got {v}");
+        }
+    }
+
+    #[test]
+    fn lut_fetch_count_equals_mac_count() {
+        let (mp, sp, filter) = random_case(10, 18, 4, 7);
+        let q = quant_pair();
+        let lut = MulLut::exact(Signedness::Signed);
+        let run = approx_gemm(&mp, &sp, &filter, &q, &lut, &mut fresh_cache()).unwrap();
+        let macs = 10 * 18 * 4;
+        assert_eq!(run.total_events().tex_fetches(), macs as u64);
+        assert_eq!(run.total_events().fma_ops, macs as u64);
+    }
+
+    #[test]
+    fn warm_cache_hits_dominate() {
+        let (mp, sp, filter) = random_case(64, 36, 16, 11);
+        let q = quant_pair();
+        let lut = MulLut::exact(Signedness::Signed);
+        let mut cache = fresh_cache();
+        // Warm-up pass.
+        let _ = approx_gemm(&mp, &sp, &filter, &q, &lut, &mut cache).unwrap();
+        let run = approx_gemm(&mp, &sp, &filter, &q, &lut, &mut cache).unwrap();
+        let ev = run.total_events();
+        let rate = ev.tex_hits as f64 / ev.tex_fetches() as f64;
+        assert!(rate > 0.5, "hit rate {rate}");
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let q = quant_pair();
+        let lut = MulLut::exact(Signedness::Signed);
+        let mp = Matrix::from_vec(2, 3, vec![0u8; 6]).unwrap();
+        let filter = Matrix::from_vec(4, 2, vec![0f32; 8]).unwrap();
+        let err = approx_gemm(&mp, &[0, 0], &filter, &q, &lut, &mut fresh_cache()).unwrap_err();
+        assert!(matches!(err, TensorError::MatrixDims { .. }));
+    }
+
+    #[test]
+    fn sp_length_checked() {
+        let q = quant_pair();
+        let lut = MulLut::exact(Signedness::Signed);
+        let mp = Matrix::from_vec(2, 3, vec![0u8; 6]).unwrap();
+        let filter = Matrix::from_vec(3, 2, vec![0f32; 6]).unwrap();
+        let err = approx_gemm(&mp, &[0], &filter, &q, &lut, &mut fresh_cache()).unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn truncated_lut_biases_output_down() {
+        // With an under-estimating multiplier and all-positive logical
+        // operands, outputs must not exceed the exact ones.
+        let q = GemmQuant {
+            input: QuantParams::from_range(0.0, 1.0, QuantRange::u8(), RoundMode::NearestEven),
+            filter: QuantParams::from_range(0.0, 1.0, QuantRange::u8(), RoundMode::NearestEven)
+                .into(),
+        };
+        let k = 9;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mp = vec![0u8; 6 * k];
+        let mut sp = vec![0i64; 6];
+        for r in 0..6 {
+            for kk in 0..k {
+                let qi = q.input.quantize(rng.gen_range(0.0..1.0));
+                mp[r * k + kk] = (qi & 0xFF) as u8;
+                sp[r] += i64::from(qi);
+            }
+        }
+        let mp = Matrix::from_vec(6, k, mp).unwrap();
+        let filter = Matrix::from_vec(
+            k,
+            2,
+            (0..k * 2).map(|_| rng.gen_range(0.0f32..1.0)).collect(),
+        )
+        .unwrap();
+        let exact = MulLut::exact(Signedness::Unsigned);
+        let trunc = MulLut::from_fn(Signedness::Unsigned, |a, b| {
+            axmult::behavioral::result_truncated(a as u32, b as u32, 6) as i32
+        });
+        let e = approx_gemm(&mp, &sp, &filter, &q, &exact, &mut fresh_cache()).unwrap();
+        let t = approx_gemm(&mp, &sp, &filter, &q, &trunc, &mut fresh_cache()).unwrap();
+        for (a, b) in t.output.as_slice().iter().zip(e.output.as_slice()) {
+            assert!(a <= &(b + 1e-4), "approx {a} > exact {b}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Block-parallel min/max reduction kernel.
+//!
+//! Computes the `(min, max)` of a tensor — the values the graph transform's
+//! inserted `Min`/`Max` nodes feed to `ComputeCoeffs`. Modeled as the
+//! classic two-level reduction: each block reduces its slice in shared
+//! memory, then one atomic per block combines the partials.
+
+use super::{KernelRun, BLOCK_SIZE};
+use crate::{EventCounts, Phase};
+
+/// Event counts of reducing `len` elements, without executing — used when
+/// the reduction result is already known and only the cost is needed.
+#[must_use]
+pub fn reduction_events(len: usize) -> EventCounts {
+    let n = len as u64;
+    let blocks = len.div_ceil(BLOCK_SIZE) as u64;
+    let mut ev = EventCounts::new();
+    ev.global_read_bytes = n * 4;
+    // Tree reduction in shared memory: each element is staged once and
+    // participates in ~log2(BLOCK_SIZE) compare steps; two reductions (min
+    // and max) run in the same pass.
+    ev.shared_ops = n * 2;
+    ev.alu_ops = n * 2 + blocks * (BLOCK_SIZE.ilog2() as u64) * 2;
+    ev.atomic_ops = if len == 0 { 0 } else { blocks * 2 };
+    ev
+}
+
+/// Run the reduction over `data`.
+///
+/// Returns `(0.0, 0.0)` for empty input, matching the host-side reference.
+#[must_use]
+pub fn min_max(data: &[f32]) -> KernelRun<(f32, f32)> {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in data {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let value = if data.is_empty() { (0.0, 0.0) } else { (lo, hi) };
+    KernelRun {
+        output: value,
+        events: vec![(Phase::Quantization, reduction_events(data.len()))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_extremes() {
+        let run = min_max(&[1.0, -7.5, 3.25, 0.0]);
+        assert_eq!(run.output, (-7.5, 3.25));
+    }
+
+    #[test]
+    fn empty_input_yields_zeros() {
+        let run = min_max(&[]);
+        assert_eq!(run.output, (0.0, 0.0));
+        assert_eq!(run.total_events().atomic_ops, 0);
+    }
+
+    #[test]
+    fn events_scale_with_input() {
+        let small = min_max(&vec![1.0f32; 256]).total_events();
+        let large = min_max(&vec![1.0f32; 2560]).total_events();
+        assert_eq!(large.global_read_bytes, 10 * small.global_read_bytes);
+        assert_eq!(large.atomic_ops, 10 * small.atomic_ops);
+    }
+
+    #[test]
+    fn attributed_to_quantization_phase() {
+        let run = min_max(&[1.0, 2.0]);
+        assert!(run.events.iter().all(|(p, _)| *p == Phase::Quantization));
+    }
+}

@@ -1,0 +1,41 @@
+//! Functional kernels with event accounting.
+//!
+//! Each kernel mirrors one CUDA kernel of the paper's implementation
+//! (§III): the min/max reduction feeding the quantization coefficients, the
+//! quantizing image-to-columns kernel (phase (i)), and the tiled
+//! `ApproxGEMM` with LUT fetches through the texture cache (phase (ii)).
+//! Kernels return their output together with per-phase [`EventCounts`].
+
+pub mod gemm;
+pub mod im2col;
+pub mod minmax;
+
+use crate::{EventCounts, Phase};
+
+/// Result of a kernel execution: the functional output plus the costed
+/// events attributed to profiling phases.
+#[derive(Debug, Clone)]
+pub struct KernelRun<T> {
+    /// The kernel's functional output.
+    pub output: T,
+    /// Events grouped by the Fig. 2 phase they belong to.
+    pub events: Vec<(Phase, EventCounts)>,
+}
+
+impl<T> KernelRun<T> {
+    /// Sum of all events regardless of phase.
+    #[must_use]
+    pub fn total_events(&self) -> EventCounts {
+        self.events
+            .iter()
+            .fold(EventCounts::new(), |acc, &(_, e)| acc + e)
+    }
+}
+
+/// Threads per simulated thread block. The paper fixes the block size
+/// independently of the patch length ("the thread block size in our
+/// solution is fixed"); 256 is the usual CUDA choice.
+pub const BLOCK_SIZE: usize = 256;
+
+/// Side of the square GEMM tile staged in shared memory.
+pub const GEMM_TILE: usize = 16;

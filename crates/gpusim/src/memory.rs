@@ -1,0 +1,118 @@
+//! Device global-memory bookkeeping and host↔device transfers.
+//!
+//! `tinit` in the paper's Table I "includ\[es\] the memory allocation and
+//! data transfer which is critical especially in case of GPUs". This
+//! module models exactly that: allocations are tracked (so the emulator
+//! can report footprint and chunking can be validated against memory
+//! limits) and transfers are charged PCIe time.
+
+use crate::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// A running tally of device memory and transfer time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DeviceMemory {
+    allocated_bytes: u64,
+    peak_bytes: u64,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
+}
+
+impl DeviceMemory {
+    /// Fresh, empty device memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an allocation of `bytes`.
+    pub fn alloc(&mut self, bytes: u64) {
+        self.allocated_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.allocated_bytes);
+    }
+
+    /// Record a free of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is freed than was allocated (a bookkeeping bug).
+    pub fn free(&mut self, bytes: u64) {
+        assert!(
+            bytes <= self.allocated_bytes,
+            "freeing {bytes} with only {} allocated",
+            self.allocated_bytes
+        );
+        self.allocated_bytes -= bytes;
+    }
+
+    /// Record a host-to-device copy; returns its modeled duration.
+    pub fn host_to_device(&mut self, bytes: u64, dev: &DeviceConfig) -> f64 {
+        self.h2d_bytes += bytes;
+        dev.transfer_seconds(bytes)
+    }
+
+    /// Record a device-to-host copy; returns its modeled duration.
+    pub fn device_to_host(&mut self, bytes: u64, dev: &DeviceConfig) -> f64 {
+        self.d2h_bytes += bytes;
+        dev.transfer_seconds(bytes)
+    }
+
+    /// Bytes currently allocated.
+    #[must_use]
+    pub fn allocated(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    /// High-water mark of allocations.
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Total bytes moved host→device.
+    #[must_use]
+    pub fn h2d_total(&self) -> u64 {
+        self.h2d_bytes
+    }
+
+    /// Total bytes moved device→host.
+    #[must_use]
+    pub fn d2h_total(&self) -> u64 {
+        self.d2h_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_tracks_peak() {
+        let mut m = DeviceMemory::new();
+        m.alloc(100);
+        m.alloc(50);
+        m.free(100);
+        m.alloc(10);
+        assert_eq!(m.allocated(), 60);
+        assert_eq!(m.peak(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn overfree_panics() {
+        let mut m = DeviceMemory::new();
+        m.alloc(10);
+        m.free(20);
+    }
+
+    #[test]
+    fn transfers_charge_pcie_time() {
+        let dev = DeviceConfig::gtx1080();
+        let mut m = DeviceMemory::new();
+        let t = m.host_to_device(12_000_000_000, &dev);
+        assert!((t - 1.0).abs() < 1e-9);
+        assert_eq!(m.h2d_total(), 12_000_000_000);
+        let t2 = m.device_to_host(6_000_000_000, &dev);
+        assert!((t2 - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! Phase attribution for the Fig. 2 time-breakdown reproduction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The phases the paper's Fig. 2 breaks total time into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// `tinit`: context creation, allocation, host↔device transfers.
+    Init,
+    /// Quantization, dequantization and min/max computation.
+    Quantization,
+    /// The LUT fetches emulating the approximate multiplier.
+    LutLookup,
+    /// Everything else: im2col, GEMM staging/accumulation, output copies.
+    Other,
+}
+
+impl Phase {
+    /// All phases in the order Fig. 2 lists them.
+    #[must_use]
+    pub fn all() -> [Phase; 4] {
+        [
+            Phase::Init,
+            Phase::Other,
+            Phase::Quantization,
+            Phase::LutLookup,
+        ]
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Init => "initialization",
+            Phase::Quantization => "quantization",
+            Phase::LutLookup => "LUT lookups",
+            Phase::Other => "other (im2col, GEMM, ...)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Seconds accumulated per phase.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    init: f64,
+    quantization: f64,
+    lut: f64,
+    other: f64,
+}
+
+impl PhaseProfile {
+    /// An empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `seconds` to a phase.
+    pub fn add(&mut self, phase: Phase, seconds: f64) {
+        match phase {
+            Phase::Init => self.init += seconds,
+            Phase::Quantization => self.quantization += seconds,
+            Phase::LutLookup => self.lut += seconds,
+            Phase::Other => self.other += seconds,
+        }
+    }
+
+    /// Seconds attributed to a phase.
+    #[must_use]
+    pub fn seconds(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Init => self.init,
+            Phase::Quantization => self.quantization,
+            Phase::LutLookup => self.lut,
+            Phase::Other => self.other,
+        }
+    }
+
+    /// Total across all phases (`tinit + tcomp`).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.init + self.quantization + self.lut + self.other
+    }
+
+    /// Fraction of the total in a phase (0 if the total is 0).
+    #[must_use]
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.seconds(phase) / t
+        }
+    }
+
+    /// Merge another profile into this one.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        self.init += other.init;
+        self.quantization += other.quantization;
+        self.lut += other.lut;
+        self.other += other.other;
+    }
+
+    /// Scale all non-init phase times by `factor` — extrapolating a
+    /// measured sub-sample to a full workload while `tinit` stays constant
+    /// (the paper: "tinit is nearly constant ... tcomp increases
+    /// linearly").
+    #[must_use]
+    pub fn scaled_comp(&self, factor: f64) -> PhaseProfile {
+        PhaseProfile {
+            init: self.init,
+            quantization: self.quantization * factor,
+            lut: self.lut * factor,
+            other: self.other * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut p = PhaseProfile::new();
+        p.add(Phase::Init, 1.0);
+        p.add(Phase::LutLookup, 2.0);
+        p.add(Phase::Quantization, 1.0);
+        assert_eq!(p.total(), 4.0);
+        assert_eq!(p.fraction(Phase::LutLookup), 0.5);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut p = PhaseProfile::new();
+        for (ph, s) in [
+            (Phase::Init, 0.5),
+            (Phase::Quantization, 1.5),
+            (Phase::LutLookup, 2.0),
+            (Phase::Other, 4.0),
+        ] {
+            p.add(ph, s);
+        }
+        let sum: f64 = Phase::all().iter().map(|&ph| p.fraction(ph)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_comp_keeps_init() {
+        let mut p = PhaseProfile::new();
+        p.add(Phase::Init, 2.0);
+        p.add(Phase::Other, 3.0);
+        let s = p.scaled_comp(10.0);
+        assert_eq!(s.seconds(Phase::Init), 2.0);
+        assert_eq!(s.seconds(Phase::Other), 30.0);
+    }
+
+    #[test]
+    fn empty_profile_zero_fractions() {
+        let p = PhaseProfile::new();
+        assert_eq!(p.fraction(Phase::Init), 0.0);
+    }
+}

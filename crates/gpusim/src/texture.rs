@@ -1,0 +1,189 @@
+//! Set-associative LRU model of the GPU texture (L1) cache.
+//!
+//! The paper's central performance claim rests on the texture cache: the
+//! 128 kB multiplier LUT is fetched through `tex1Dfetch`, and the texture
+//! path "is optimized for irregular read-only access and in some GPU
+//! architectures is even implemented as a dedicated cache". This model
+//! makes that mechanism measurable: kernels funnel every LUT fetch through
+//! [`TextureCache::access`], which classifies it hit/miss under an LRU
+//! replacement policy.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether an access hit or missed the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Served from the cache.
+    Hit,
+    /// Paid a DRAM round-trip and filled a line.
+    Miss,
+}
+
+/// Hit/miss statistics of a [`TextureCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of hits.
+    pub hits: u64,
+    /// Number of misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of accesses served from the cache (0 for no accesses).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// A set-associative LRU cache over element indices.
+///
+/// Indexing is in *elements* of a fixed element size (2 bytes for the
+/// `u16` LUT); the line size groups consecutive elements.
+#[derive(Debug, Clone)]
+pub struct TextureCache {
+    /// `sets[s]` holds up to `ways` line tags, most recently used last.
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    elems_per_line: u64,
+    n_sets: u64,
+    stats: CacheStats,
+}
+
+impl TextureCache {
+    /// Create a cache of `capacity_bytes` with `line_bytes` lines and the
+    /// given associativity, for 2-byte elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero lines or ways).
+    #[must_use]
+    pub fn new(capacity_bytes: usize, line_bytes: usize, ways: usize) -> Self {
+        assert!(line_bytes >= 2 && ways > 0, "degenerate cache geometry");
+        let n_lines = capacity_bytes / line_bytes;
+        assert!(n_lines >= ways, "capacity below one set");
+        let n_sets = (n_lines / ways).max(1) as u64;
+        TextureCache {
+            sets: vec![Vec::with_capacity(ways); n_sets as usize],
+            ways,
+            elems_per_line: (line_bytes / 2) as u64,
+            n_sets,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Access element `index`; returns hit/miss and updates LRU state.
+    pub fn access(&mut self, index: u32) -> Access {
+        let line = u64::from(index) / self.elems_per_line;
+        let set = (line % self.n_sets) as usize;
+        let ways = self.ways;
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&t| t == line) {
+            // Move to MRU position.
+            let tag = entries.remove(pos);
+            entries.push(tag);
+            self.stats.hits += 1;
+            Access::Hit
+        } else {
+            if entries.len() == ways {
+                entries.remove(0); // evict LRU
+            }
+            entries.push(line);
+            self.stats.misses += 1;
+            Access::Miss
+        }
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset statistics (state is kept — a warm cache).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Drop all cached lines and statistics.
+    pub fn invalidate(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = TextureCache::new(1024, 32, 4);
+        assert_eq!(c.access(0), Access::Miss);
+        assert_eq!(c.access(0), Access::Hit);
+        // Same line (16 u16 elements per 32-byte line).
+        assert_eq!(c.access(15), Access::Hit);
+        assert_eq!(c.access(16), Access::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // Direct-mapped-ish: 1 set, 2 ways, 2-element lines.
+        let mut c = TextureCache::new(8, 4, 2);
+        c.access(0); // line 0
+        c.access(2); // line 1
+        c.access(4); // line 2 evicts line 0
+        assert_eq!(c.access(0), Access::Miss);
+    }
+
+    #[test]
+    fn touching_refreshes_lru_position() {
+        let mut c = TextureCache::new(8, 4, 2);
+        c.access(0); // line 0
+        c.access(2); // line 1
+        c.access(0); // refresh line 0 -> line 1 is LRU
+        c.access(4); // evicts line 1
+        assert_eq!(c.access(0), Access::Hit);
+        assert_eq!(c.access(2), Access::Miss);
+    }
+
+    #[test]
+    fn whole_lut_fits_in_128k_cache() {
+        // A cache as large as the LUT never misses after warm-up.
+        let mut c = TextureCache::new(128 * 1024, 32, 8);
+        for i in 0..65536u32 {
+            c.access(i);
+        }
+        c.reset_stats();
+        for i in 0..65536u32 {
+            c.access(i);
+        }
+        assert_eq!(c.stats().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_zero_without_accesses() {
+        let c = TextureCache::new(1024, 32, 4);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn invalidate_clears_lines() {
+        let mut c = TextureCache::new(1024, 32, 4);
+        c.access(0);
+        c.invalidate();
+        assert_eq!(c.access(0), Access::Miss);
+    }
+}

@@ -1,0 +1,112 @@
+//! Accumulator models for the emulated MAC datapath.
+//!
+//! The paper's accelerator uses "a MAC unit consisting of an 8-bit
+//! multiplier and 32-bit accumulator"; its GPU kernel accumulates in
+//! 32-bit float. A 32-bit integer accumulator never overflows for the
+//! layer sizes here (|product| ≤ 2¹⁴, patch lengths ≤ a few thousand), but
+//! *narrower* accumulators — a standard further approximation knob in
+//! accelerator design — clip or wrap. This module models that choice so
+//! the emulator can also explore accumulator-width reduction.
+
+use serde::{Deserialize, Serialize};
+
+/// How partial products are accumulated in the emulated MAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Accumulator {
+    /// Exact wide accumulation (`i64`) — the reference, and equivalent to
+    /// the paper's 32-bit accumulator for all workloads in this repo.
+    #[default]
+    Exact,
+    /// Saturating two's-complement accumulator of the given bit width:
+    /// sums clamp at `±(2^(bits−1) − 1)`.
+    Saturating(u32),
+    /// Wrapping two's-complement accumulator of the given bit width.
+    Wrapping(u32),
+}
+
+impl Accumulator {
+    /// Fold one addend into the running sum under this model.
+    #[inline]
+    #[must_use]
+    pub fn add(self, acc: i64, addend: i64) -> i64 {
+        match self {
+            Accumulator::Exact => acc + addend,
+            Accumulator::Saturating(bits) => {
+                let hi = (1i64 << (bits - 1)) - 1;
+                let lo = -(1i64 << (bits - 1));
+                (acc + addend).clamp(lo, hi)
+            }
+            Accumulator::Wrapping(bits) => {
+                let m = 1i64 << bits;
+                let v = (acc + addend).rem_euclid(m);
+                if v >= m / 2 {
+                    v - m
+                } else {
+                    v
+                }
+            }
+        }
+    }
+
+    /// Whether this model can deviate from exact accumulation for sums
+    /// bounded by `max_abs`.
+    #[must_use]
+    pub fn can_deviate(self, max_abs: i64) -> bool {
+        match self {
+            Accumulator::Exact => false,
+            Accumulator::Saturating(bits) | Accumulator::Wrapping(bits) => {
+                max_abs >= (1i64 << (bits - 1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_is_plain_addition() {
+        let a = Accumulator::Exact;
+        assert_eq!(a.add(10, -3), 7);
+        assert_eq!(a.add(i64::from(i32::MAX), 1), i64::from(i32::MAX) + 1);
+    }
+
+    #[test]
+    fn saturating_clamps_both_ends() {
+        let a = Accumulator::Saturating(8); // [-128, 127]
+        assert_eq!(a.add(120, 50), 127);
+        assert_eq!(a.add(-120, -50), -128);
+        assert_eq!(a.add(10, 5), 15);
+    }
+
+    #[test]
+    fn wrapping_wraps_two_complement() {
+        let a = Accumulator::Wrapping(8);
+        assert_eq!(a.add(120, 10), -126); // 130 - 256
+        assert_eq!(a.add(-120, -10), 126); // -130 + 256
+        assert_eq!(a.add(1, 1), 2);
+    }
+
+    #[test]
+    fn wide_accumulators_never_deviate_for_conv_sums() {
+        // Largest possible |sum| here: 4096 taps x 16384 < 2^26.
+        let max = 4096i64 * 16384;
+        assert!(!Accumulator::Saturating(32).can_deviate(max));
+        assert!(!Accumulator::Wrapping(32).can_deviate(max));
+        assert!(Accumulator::Saturating(20).can_deviate(max));
+    }
+
+    #[test]
+    fn running_saturation_is_order_dependent_but_bounded() {
+        let a = Accumulator::Saturating(8);
+        let mut acc = 0i64;
+        for v in [100, 100, -150] {
+            acc = a.add(acc, v);
+        }
+        // 100 -> 127 (clamp) -> -23: differs from the exact 50, but stays
+        // in range — the hardware behaviour.
+        assert_eq!(acc, -23);
+        assert!((-128..=127).contains(&acc));
+    }
+}

@@ -1,0 +1,430 @@
+//! The approximate 2D convolution operator.
+
+use crate::accumulator::Accumulator;
+use crate::backend::{self, ConvSpec};
+use crate::{Backend, EmuContext, EmuError};
+use axmult::{AxMultiplier, MulLut, Signedness};
+use axnn::layer::{check_arity, Layer};
+use axnn::layers::Conv2D;
+use axnn::NnError;
+use axquant::{FilterQuantization, QuantParams, QuantRange, RoundMode};
+use axtensor::{ops, ConvGeometry, Filter, Shape4, Tensor};
+use std::sync::Arc;
+
+/// `AxConv2D`: the drop-in approximate replacement for `Conv2D`.
+///
+/// "The approximate layer reads two floating-point inputs and produces a
+/// single floating-point output which has the same range as if we use the
+/// original convolutional layer." Besides the activation tensor it
+/// consumes two scalar range inputs (`Min`, `Max` — inserted by the graph
+/// transform of Fig. 1); the filter range is known statically from the
+/// weights. Internally the layer quantizes per Eq. 1, multiplies through
+/// the multiplier LUT, and dequantizes with the Eq. 4 correction, running
+/// on the backend selected by its shared [`EmuContext`].
+#[derive(Debug, Clone)]
+pub struct AxConv2D {
+    filter: Filter,
+    geometry: ConvGeometry,
+    bias: Option<Vec<f32>>,
+    lut: MulLut,
+    mult_name: String,
+    round: RoundMode,
+    filter_range: (f32, f32),
+    per_channel: bool,
+    accumulator: Accumulator,
+    ctx: Arc<EmuContext>,
+}
+
+impl AxConv2D {
+    /// Create from parts.
+    #[must_use]
+    pub fn new(
+        filter: Filter,
+        geometry: ConvGeometry,
+        lut: MulLut,
+        ctx: Arc<EmuContext>,
+    ) -> Self {
+        let filter_range = ops::min_max_slice(filter.as_slice());
+        AxConv2D {
+            filter,
+            geometry,
+            bias: None,
+            lut,
+            mult_name: "custom".to_owned(),
+            round: RoundMode::NearestEven,
+            filter_range,
+            per_channel: false,
+            accumulator: Accumulator::Exact,
+            ctx,
+        }
+    }
+
+    /// Build the approximate variant of an existing accurate convolution —
+    /// the per-layer step of the paper's design flow.
+    #[must_use]
+    pub fn from_conv2d(conv: &Conv2D, mult: &AxMultiplier, ctx: Arc<EmuContext>) -> Self {
+        let mut ax = AxConv2D::new(
+            conv.filter().clone(),
+            conv.geometry(),
+            mult.lut().clone(),
+            ctx,
+        );
+        ax.mult_name = mult.name().to_owned();
+        ax.bias = conv.bias().map(<[f32]>::to_vec);
+        ax
+    }
+
+    /// Set the rounding mode applied during quantization.
+    #[must_use]
+    pub fn with_round_mode(mut self, round: RoundMode) -> Self {
+        self.round = round;
+        self
+    }
+
+    /// Quantize the filter bank per output channel instead of per tensor
+    /// (TensorFlow's per-channel weight quantization) — each filter gets
+    /// its own `(α₂, β₂)` from its own weight range, reducing
+    /// quantization error for banks with uneven per-filter magnitudes.
+    #[must_use]
+    pub fn with_per_channel_filter_quant(mut self) -> Self {
+        self.per_channel = true;
+        self
+    }
+
+    /// Whether filter quantization is per output channel.
+    #[must_use]
+    pub fn is_per_channel(&self) -> bool {
+        self.per_channel
+    }
+
+    /// Set the MAC accumulator model (CPU backends): explore
+    /// accumulator-width reduction, a further approximation knob of the
+    /// emulated accelerator.
+    #[must_use]
+    pub fn with_accumulator(mut self, accumulator: Accumulator) -> Self {
+        self.accumulator = accumulator;
+        self
+    }
+
+    /// Attach a per-output-channel bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the output channel count.
+    #[must_use]
+    pub fn with_bias(mut self, bias: Vec<f32>) -> Self {
+        assert_eq!(bias.len(), self.filter.shape().c_out);
+        self.bias = Some(bias);
+        self
+    }
+
+    /// Name of the emulated multiplier.
+    #[must_use]
+    pub fn multiplier_name(&self) -> &str {
+        &self.mult_name
+    }
+
+    /// The quantized integer range implied by the multiplier's signedness
+    /// ("\[-128, 127\] for signed, \[0, 255\] for unsigned multipliers").
+    #[must_use]
+    pub fn quant_range(&self) -> QuantRange {
+        match self.lut.signedness() {
+            Signedness::Signed => QuantRange::i8(),
+            Signedness::Unsigned => QuantRange::u8(),
+        }
+    }
+
+    /// The shared emulation context.
+    #[must_use]
+    pub fn context(&self) -> &Arc<EmuContext> {
+        &self.ctx
+    }
+
+    fn filter_quantization(&self) -> FilterQuantization {
+        let range = self.quant_range();
+        if self.per_channel {
+            let fs = self.filter.shape();
+            let mut ranges = vec![(f32::INFINITY, f32::NEG_INFINITY); fs.c_out];
+            for (i, &w) in self.filter.as_slice().iter().enumerate() {
+                let c = i % fs.c_out; // HWCF layout: c_out fastest
+                ranges[c].0 = ranges[c].0.min(w);
+                ranges[c].1 = ranges[c].1.max(w);
+            }
+            FilterQuantization::from_channel_ranges(&ranges, range, self.round)
+        } else {
+            QuantParams::from_range(self.filter_range.0, self.filter_range.1, range, self.round)
+                .into()
+        }
+    }
+
+    fn spec_with_input_range(&self, lo: f32, hi: f32) -> ConvSpec<'_> {
+        let range = self.quant_range();
+        ConvSpec {
+            filter: &self.filter,
+            geometry: self.geometry,
+            bias: self.bias.as_deref(),
+            lut: &self.lut,
+            input_q: QuantParams::from_range(lo, hi, range, self.round),
+            filter_q: self.filter_quantization(),
+            accumulator: self.accumulator,
+        }
+    }
+
+    /// Convolve with the input range supplied by the caller (the Fig. 1
+    /// `Min`/`Max` scalars).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn convolve_with_range(
+        &self,
+        input: &Tensor<f32>,
+        lo: f32,
+        hi: f32,
+    ) -> Result<Tensor<f32>, EmuError> {
+        let spec = self.spec_with_input_range(lo, hi);
+        let (out, profile) = match self.ctx.backend() {
+            Backend::CpuDirect => backend::run_cpu_direct(input, &spec, true)?,
+            Backend::CpuGemm => backend::run_cpu_gemm(input, &spec, self.ctx.chunk_size())?,
+            Backend::GpuSim => backend::run_gpusim(input, &spec, &self.ctx)?,
+        };
+        self.ctx.record(&profile);
+        Ok(out)
+    }
+
+    /// Convolve, computing the input range internally (standalone use
+    /// outside a transformed graph).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn convolve(&self, input: &Tensor<f32>) -> Result<Tensor<f32>, EmuError> {
+        let (lo, hi) = ops::min_max(input);
+        self.convolve_with_range(input, lo, hi)
+    }
+}
+
+impl Layer for AxConv2D {
+    fn op_name(&self) -> &str {
+        "AxConv2D"
+    }
+
+    fn arity(&self) -> usize {
+        3 // [input, min, max]
+    }
+
+    fn output_shape(&self, inputs: &[Shape4]) -> Result<Shape4, NnError> {
+        check_arity(self.op_name(), inputs, 3)?;
+        Ok(self.geometry.output_shape(inputs[0], self.filter.shape())?)
+    }
+
+    fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError> {
+        check_arity(self.op_name(), inputs, 3)?;
+        let lo = inputs[1].as_slice()[0];
+        let hi = inputs[2].as_slice()[0];
+        self.convolve_with_range(inputs[0], lo, hi)
+            .map_err(|e| NnError::Layer {
+                layer: "AxConv2D".to_owned(),
+                message: e.to_string(),
+            })
+    }
+
+    fn mac_count(&self, inputs: &[Shape4]) -> Result<u64, NnError> {
+        check_arity(self.op_name(), inputs, 3)?;
+        Ok(self.geometry.mac_count(inputs[0], self.filter.shape())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axtensor::{rng, FilterShape};
+
+    fn make(backend: Backend, lut: MulLut) -> (AxConv2D, Tensor<f32>) {
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 3, 4), 2, -0.5, 0.5);
+        let ctx = Arc::new(EmuContext::new(backend));
+        let layer = AxConv2D::new(filter, ConvGeometry::default(), lut, ctx);
+        let input = rng::uniform(Shape4::new(2, 6, 6, 3), 1, -1.0, 1.0);
+        (layer, input)
+    }
+
+    #[test]
+    fn standalone_convolve_close_to_float() {
+        let (layer, input) = make(Backend::CpuGemm, MulLut::exact(Signedness::Signed));
+        let out = layer.convolve(&input).unwrap();
+        let float_ref =
+            ops::conv2d_gemm(&input, &layer.filter, ConvGeometry::default()).unwrap();
+        let diff = out.max_abs_diff(&float_ref).unwrap();
+        assert!(diff < 0.5, "quantization noise only, got {diff}");
+    }
+
+    #[test]
+    fn layer_contract_arity_and_shape() {
+        let (layer, input) = make(Backend::CpuDirect, MulLut::exact(Signedness::Signed));
+        let scalar = Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![-1.0]).unwrap();
+        let scalar_hi = Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![1.0]).unwrap();
+        let out = layer.forward(&[&input, &scalar, &scalar_hi]).unwrap();
+        assert_eq!(out.shape(), Shape4::new(2, 6, 6, 4));
+        assert!(layer.forward(&[&input]).is_err());
+    }
+
+    #[test]
+    fn signedness_determines_range() {
+        let (signed, _) = make(Backend::CpuDirect, MulLut::exact(Signedness::Signed));
+        assert_eq!(signed.quant_range(), QuantRange::i8());
+        let (unsigned, _) = make(Backend::CpuDirect, MulLut::exact(Signedness::Unsigned));
+        assert_eq!(unsigned.quant_range(), QuantRange::u8());
+    }
+
+    #[test]
+    fn unsigned_multiplier_handles_signed_data() {
+        // Data in [-1, 1] with an unsigned multiplier: the affine
+        // zero-point shifts everything into [0, 255].
+        let (layer, input) = make(Backend::CpuGemm, MulLut::exact(Signedness::Unsigned));
+        let out = layer.convolve(&input).unwrap();
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        // Still close to the float convolution.
+        let (exact_layer, _) = make(Backend::CpuGemm, MulLut::exact(Signedness::Signed));
+        let signed_out = exact_layer.convolve(&input).unwrap();
+        assert!(out.max_abs_diff(&signed_out).unwrap() < 0.5);
+    }
+
+    #[test]
+    fn profile_recorded_into_context() {
+        let (layer, input) = make(Backend::GpuSim, MulLut::exact(Signedness::Signed));
+        assert_eq!(layer.context().profile().total(), 0.0);
+        let _ = layer.convolve(&input).unwrap();
+        assert!(layer.context().profile().total() > 0.0);
+    }
+
+    #[test]
+    fn per_channel_quantization_reduces_error() {
+        // A filter bank with wildly uneven per-channel magnitudes: the
+        // per-tensor scale wastes resolution on the small channel.
+        let fs = FilterShape::new(3, 3, 3, 2);
+        let filter = Filter::from_fn(fs, |h, w, ci, co| {
+            let base = ((h * 3 + w) as f32 - 4.0) / 10.0 + ci as f32 * 0.01;
+            if co == 0 {
+                base // range ~[-0.4, 0.4]
+            } else {
+                base * 0.02 // range ~[-0.008, 0.008]
+            }
+        });
+        let input = rng::uniform(Shape4::new(1, 8, 8, 3), 21, -1.0, 1.0);
+        let float_ref =
+            ops::conv2d_direct(&input, &filter, ConvGeometry::default()).unwrap();
+        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
+        let per_tensor = AxConv2D::new(
+            filter.clone(),
+            ConvGeometry::default(),
+            MulLut::exact(Signedness::Signed),
+            Arc::clone(&ctx),
+        );
+        let per_channel = per_tensor.clone().with_per_channel_filter_quant();
+        assert!(per_channel.is_per_channel());
+        // Compare the error on the *small-magnitude* channel (c = 1): the
+        // per-tensor scale is sized for channel 0 and wastes resolution
+        // there; per-channel quantization recovers it.
+        let channel_err = |out: &Tensor<f32>| -> f32 {
+            let mut worst = 0f32;
+            let s = out.shape();
+            for n in 0..s.n {
+                for h in 0..s.h {
+                    for w in 0..s.w {
+                        worst = worst.max((out.at(n, h, w, 1) - float_ref.at(n, h, w, 1)).abs());
+                    }
+                }
+            }
+            worst
+        };
+        let e_tensor = channel_err(&per_tensor.convolve(&input).unwrap());
+        let e_channel = channel_err(&per_channel.convolve(&input).unwrap());
+        assert!(
+            e_channel < e_tensor / 4.0,
+            "per-channel {e_channel} !< per-tensor {e_tensor} / 4"
+        );
+    }
+
+    #[test]
+    fn per_channel_agrees_across_backends() {
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 3), 22, -0.5, 0.5);
+        let input = rng::uniform(Shape4::new(2, 6, 6, 2), 23, -1.0, 1.0);
+        let lut = MulLut::exact(Signedness::Signed);
+        let run = |backend: Backend| {
+            let ctx = Arc::new(EmuContext::new(backend));
+            AxConv2D::new(filter.clone(), ConvGeometry::default(), lut.clone(), ctx)
+                .with_per_channel_filter_quant()
+                .convolve(&input)
+                .unwrap()
+        };
+        let direct = run(Backend::CpuDirect);
+        let gemm = run(Backend::CpuGemm);
+        let gpu = run(Backend::GpuSim);
+        assert!(direct.max_abs_diff(&gemm).unwrap() < 1e-4);
+        assert!(direct.max_abs_diff(&gpu).unwrap() < 1e-2);
+    }
+
+    #[test]
+    fn wide_accumulator_equals_exact() {
+        let (layer, input) = make(Backend::CpuDirect, MulLut::exact(Signedness::Signed));
+        let exact_out = layer.convolve(&input).unwrap();
+        let wide = layer
+            .clone()
+            .with_accumulator(Accumulator::Saturating(32));
+        let wide_out = wide.convolve(&input).unwrap();
+        assert_eq!(exact_out, wide_out, "32-bit accumulator never clips here");
+    }
+
+    #[test]
+    fn narrow_saturating_accumulator_clips() {
+        // Drive the accumulator hard: all-max inputs and weights.
+        let filter = Filter::from_fn(FilterShape::new(3, 3, 8, 1), |_, _, _, _| 0.5);
+        let input = Tensor::<f32>::full(Shape4::new(1, 8, 8, 8), 1.0);
+        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
+        let base = AxConv2D::new(
+            filter,
+            ConvGeometry::default(),
+            MulLut::exact(Signedness::Signed),
+            ctx,
+        );
+        let exact_out = base.convolve(&input).unwrap();
+        let narrow = base.clone().with_accumulator(Accumulator::Saturating(16));
+        let narrow_out = narrow.convolve(&input).unwrap();
+        // 72 taps x 127*127 far exceeds 2^15: saturation must bite. (The
+        // dequantization correction shifts the clipped raw sum, so the
+        // deviation is not sign-monotone — only its presence is asserted.)
+        let diff = exact_out.max_abs_diff(&narrow_out).unwrap();
+        assert!(diff > 0.0, "16-bit accumulator must saturate");
+        assert!(narrow_out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn accumulator_model_consistent_across_cpu_backends() {
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 4, 2), 31, -0.5, 0.5);
+        let input = rng::uniform(Shape4::new(1, 6, 6, 4), 32, -1.0, 1.0);
+        let run = |backend: Backend| {
+            let ctx = Arc::new(EmuContext::new(backend));
+            AxConv2D::new(
+                filter.clone(),
+                ConvGeometry::default(),
+                MulLut::exact(Signedness::Signed),
+                ctx,
+            )
+            .with_accumulator(Accumulator::Wrapping(12))
+            .convolve(&input)
+            .unwrap()
+        };
+        let a = run(Backend::CpuDirect);
+        let b = run(Backend::CpuGemm);
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn mac_count_matches_accurate_conv() {
+        let (layer, _) = make(Backend::CpuDirect, MulLut::exact(Signedness::Signed));
+        let shape = Shape4::new(1, 6, 6, 3);
+        let scalar = Shape4::new(1, 1, 1, 1);
+        let macs = layer.mac_count(&[shape, scalar, scalar]).unwrap();
+        assert_eq!(macs, 6 * 6 * 4 * 27);
+    }
+}

@@ -1,0 +1,289 @@
+//! The approximate fully-connected layer.
+//!
+//! DNN accelerators route dense (fully-connected) layers through the same
+//! integer MAC array as convolutions, so the same LUT emulation applies.
+//! `AxDense` mirrors [`crate::AxConv2D`]'s algebra on a `[n, 1, 1, in]`
+//! feature tensor: quantize per Eq. 1, multiply through the LUT,
+//! dequantize with the Eq. 4 correction (a dense layer is the `K = in`,
+//! one-patch-per-batch-row special case of the GEMM formulation).
+
+use crate::{EmuContext, EmuError};
+use axmult::{MulLut, Signedness};
+use axnn::layer::{check_arity, Layer};
+use axnn::NnError;
+use axquant::{QuantParams, QuantRange, RoundMode};
+use axtensor::{ops, Shape4, Tensor};
+use gpusim::{Phase, PhaseProfile};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Approximate dense layer: `[n, 1, 1, in] → [n, 1, 1, out]` with LUT
+/// multiplications.
+#[derive(Debug, Clone)]
+pub struct AxDense {
+    /// Row-major `[in, out]` weights.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    in_features: usize,
+    out_features: usize,
+    lut: MulLut,
+    round: RoundMode,
+    weight_range: (f32, f32),
+    ctx: Arc<EmuContext>,
+}
+
+impl AxDense {
+    /// Create from row-major `[in, out]` weights and a bias of length
+    /// `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer sizes are inconsistent.
+    #[must_use]
+    pub fn new(
+        in_features: usize,
+        out_features: usize,
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+        lut: MulLut,
+        ctx: Arc<EmuContext>,
+    ) -> Self {
+        assert_eq!(weights.len(), in_features * out_features);
+        assert_eq!(bias.len(), out_features);
+        let weight_range = ops::min_max_slice(&weights);
+        AxDense {
+            weights,
+            bias,
+            in_features,
+            out_features,
+            lut,
+            round: RoundMode::NearestEven,
+            weight_range,
+            ctx,
+        }
+    }
+
+    /// Build the approximate variant of an accurate dense layer.
+    #[must_use]
+    pub fn from_dense(
+        dense: &axnn::layers::Dense,
+        mult: &axmult::AxMultiplier,
+        ctx: Arc<EmuContext>,
+    ) -> Self {
+        AxDense::new(
+            dense.in_features(),
+            dense.out_features(),
+            dense.weights().to_vec(),
+            dense.bias().to_vec(),
+            mult.lut().clone(),
+            ctx,
+        )
+    }
+
+    fn quant_range(&self) -> QuantRange {
+        match self.lut.signedness() {
+            Signedness::Signed => QuantRange::i8(),
+            Signedness::Unsigned => QuantRange::u8(),
+        }
+    }
+
+    /// Run the approximate dense computation (ranges computed per batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::Config`] if the input feature count mismatches.
+    pub fn compute(&self, input: &Tensor<f32>) -> Result<Tensor<f32>, EmuError> {
+        let s = input.shape();
+        if s.h * s.w * s.c != self.in_features {
+            return Err(EmuError::Config(format!(
+                "input features {} != {}",
+                s.h * s.w * s.c,
+                self.in_features
+            )));
+        }
+        let range = self.quant_range();
+        let (lo, hi) = ops::min_max(input);
+        let input_q = QuantParams::from_range(lo, hi, range, self.round);
+        let weight_q =
+            QuantParams::from_range(self.weight_range.0, self.weight_range.1, range, self.round);
+
+        let mut profile = PhaseProfile::new();
+        let t0 = Instant::now();
+        let q_in: Vec<i32> = input.as_slice().iter().map(|&v| input_q.quantize(v)).collect();
+        let q_w: Vec<i32> = self.weights.iter().map(|&v| weight_q.quantize(v)).collect();
+        let mut sf = vec![0i64; self.out_features];
+        for (i, &q) in q_w.iter().enumerate() {
+            sf[i % self.out_features] += i64::from(q);
+        }
+        profile.add(Phase::Quantization, t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        let b1 = i64::from(input_q.zero_point());
+        let b2 = i64::from(weight_q.zero_point());
+        let a1a2 = f64::from(input_q.scale()) * f64::from(weight_q.scale());
+        let k = self.in_features as i64;
+        let n = s.n;
+        let mut out = Tensor::<f32>::zeros(Shape4::new(n, 1, 1, self.out_features));
+        for b in 0..n {
+            let row = &q_in[b * self.in_features..(b + 1) * self.in_features];
+            let sp: i64 = row.iter().map(|&q| i64::from(q)).sum();
+            for o in 0..self.out_features {
+                let mut acc = 0i64;
+                for (i, &iv) in row.iter().enumerate() {
+                    acc += i64::from(self.lut.product(iv, q_w[i * self.out_features + o]));
+                }
+                let corrected = acc - b2 * sp - b1 * sf[o] + k * b1 * b2;
+                *out.at_mut(b, 0, 0, o) = (a1a2 * corrected as f64) as f32 + self.bias[o];
+            }
+        }
+        profile.add(Phase::LutLookup, t1.elapsed().as_secs_f64());
+        self.ctx.record(&profile);
+        Ok(out)
+    }
+}
+
+impl Layer for AxDense {
+    fn op_name(&self) -> &str {
+        "AxDense"
+    }
+
+    fn output_shape(&self, inputs: &[Shape4]) -> Result<Shape4, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        let s = inputs[0];
+        if s.h * s.w * s.c != self.in_features {
+            return Err(NnError::Layer {
+                layer: self.op_name().to_owned(),
+                message: format!(
+                    "input features {} != layer in_features {}",
+                    s.h * s.w * s.c,
+                    self.in_features
+                ),
+            });
+        }
+        Ok(Shape4::new(s.n, 1, 1, self.out_features))
+    }
+
+    fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        self.compute(inputs[0]).map_err(|e| NnError::Layer {
+            layer: "AxDense".to_owned(),
+            message: e.to_string(),
+        })
+    }
+
+    fn mac_count(&self, inputs: &[Shape4]) -> Result<u64, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        Ok((inputs[0].n * self.in_features * self.out_features) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Backend;
+    use axnn::layers::Dense;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_parts(seed: u64) -> (Vec<f32>, Vec<f32>, Tensor<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f32> = (0..64 * 10).map(|_| rng.gen_range(-0.3..0.3)).collect();
+        let bias: Vec<f32> = (0..10).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        let input = Tensor::from_fn(Shape4::new(3, 1, 1, 64), |_, _, _, _| {
+            rng.gen_range(-1.0..1.0)
+        });
+        (weights, bias, input)
+    }
+
+    #[test]
+    fn exact_lut_tracks_float_dense() {
+        let (weights, bias, input) = random_parts(1);
+        let float_layer = Dense::new(64, 10, weights.clone(), bias.clone());
+        let float_out = float_layer.forward(&[&input]).unwrap();
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let ax = AxDense::new(
+            64,
+            10,
+            weights,
+            bias,
+            MulLut::exact(Signedness::Signed),
+            ctx,
+        );
+        let ax_out = ax.compute(&input).unwrap();
+        // 64-term dot product of 8-bit-quantized values.
+        let diff = ax_out.max_abs_diff(&float_out).unwrap();
+        assert!(diff < 0.2, "diff {diff}");
+    }
+
+    #[test]
+    fn layer_contract() {
+        let (weights, bias, input) = random_parts(2);
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let ax = AxDense::new(
+            64,
+            10,
+            weights,
+            bias,
+            MulLut::exact(Signedness::Signed),
+            ctx,
+        );
+        let out = ax.forward(&[&input]).unwrap();
+        assert_eq!(out.shape(), Shape4::new(3, 1, 1, 10));
+        assert_eq!(
+            ax.mac_count(&[input.shape()]).unwrap(),
+            3 * 64 * 10
+        );
+        assert_eq!(ax.op_name(), "AxDense");
+    }
+
+    #[test]
+    fn feature_mismatch_rejected() {
+        let (weights, bias, _) = random_parts(3);
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let ax = AxDense::new(
+            64,
+            10,
+            weights,
+            bias,
+            MulLut::exact(Signedness::Signed),
+            ctx,
+        );
+        let bad = Tensor::<f32>::zeros(Shape4::new(1, 1, 1, 32));
+        assert!(ax.compute(&bad).is_err());
+    }
+
+    #[test]
+    fn approximate_lut_shifts_output() {
+        let (weights, bias, input) = random_parts(4);
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let exact = AxDense::new(
+            64,
+            10,
+            weights.clone(),
+            bias.clone(),
+            MulLut::exact(Signedness::Signed),
+            Arc::clone(&ctx),
+        );
+        let bam = axmult::catalog::by_name("mul8s_bam_v8h0").unwrap();
+        let approx = AxDense::new(64, 10, weights, bias, bam.lut().clone(), ctx);
+        let a = exact.compute(&input).unwrap();
+        let b = approx.compute(&input).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn profile_records_lut_phase() {
+        let (weights, bias, input) = random_parts(5);
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let ax = AxDense::new(
+            64,
+            10,
+            weights,
+            bias,
+            MulLut::exact(Signedness::Signed),
+            Arc::clone(&ctx),
+        );
+        let _ = ax.compute(&input).unwrap();
+        assert!(ctx.profile().seconds(Phase::LutLookup) > 0.0);
+    }
+}

@@ -1,0 +1,556 @@
+//! The three emulation backends of the approximate convolution.
+//!
+//! All backends compute the same function — the quantized convolution of
+//! Eq. 4 with products taken from the multiplier LUT — and are
+//! cross-validated in tests. They differ in *how*:
+//!
+//! - [`run_cpu_direct`]: nested loops (ALWANN \[12\]), `i64` accumulation,
+//!   no intermediate patch matrix;
+//! - [`run_cpu_gemm`]: Algorithm 1 on host threads — chunked quantizing
+//!   im2col, multi-threaded tiled LUT GEMM, Eq. 4 correction;
+//! - [`run_gpusim`]: Algorithm 1 on the simulated device — the paper's
+//!   kernels with texture-cache LUT fetches and analytic cycle accounting.
+
+use crate::accumulator::Accumulator;
+use crate::{EmuContext, EmuError};
+use axmult::{MulLut, Signedness};
+use axquant::{FilterQuantization, QuantParams};
+use axtensor::{ops::Filter, ConvGeometry, Shape4, Tensor};
+use gpusim::kernels::gemm::{approx_gemm, GemmQuant};
+use gpusim::kernels::im2col::{im2col_quant, PatchSumStrategy};
+use gpusim::kernels::minmax::reduction_events;
+use gpusim::{Phase, PhaseProfile};
+use std::time::Instant;
+
+/// Everything a backend needs to run one approximate convolution.
+#[derive(Debug, Clone)]
+pub struct ConvSpec<'a> {
+    /// The filter bank (f32; quantized inside the backend).
+    pub filter: &'a Filter,
+    /// Stride/dilation/padding.
+    pub geometry: ConvGeometry,
+    /// Optional per-output-channel bias, added after dequantization.
+    pub bias: Option<&'a [f32]>,
+    /// The approximate multiplier's truth table.
+    pub lut: &'a MulLut,
+    /// Input quantization (`α₁`, `β₁`), from the batch's min/max.
+    pub input_q: QuantParams,
+    /// Filter quantization (`α₂`, `β₂`), per-tensor or per-channel, from
+    /// the weight range(s).
+    pub filter_q: FilterQuantization,
+    /// Accumulator model of the emulated MAC (CPU backends; the GPU
+    /// kernel accumulates in f32 like the paper's).
+    pub accumulator: Accumulator,
+}
+
+fn apply_bias(mut out: Tensor<f32>, bias: Option<&[f32]>) -> Tensor<f32> {
+    if let Some(b) = bias {
+        let c = out.shape().c;
+        for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+            *v += b[i % c];
+        }
+    }
+    out
+}
+
+/// Direct nested-loop emulation (the paper's approximate-CPU baseline).
+///
+/// When `use_lut` is false the inner multiplication uses native integer
+/// arithmetic on the same quantized operands instead of the LUT fetch —
+/// the difference in wall-clock between the two runs isolates the LUT
+/// share for the Fig. 2 CPU breakdown.
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn run_cpu_direct(
+    input: &Tensor<f32>,
+    spec: &ConvSpec<'_>,
+    use_lut: bool,
+) -> Result<(Tensor<f32>, PhaseProfile), EmuError> {
+    let fs = spec.filter.shape();
+    let out_shape = spec.geometry.output_shape(input.shape(), fs)?;
+    let (pad_h, pad_w) = spec.geometry.pad_before(input.shape(), fs);
+    let shape = input.shape();
+    let mut profile = PhaseProfile::new();
+
+    // --- Quantization of both operands (logical values).
+    let t0 = Instant::now();
+    let q_in: Vec<i32> = input.as_slice().iter().map(|&v| spec.input_q.quantize(v)).collect();
+    let col_q: Vec<QuantParams> = (0..fs.c_out)
+        .map(|c| spec.filter_q.for_channel(c))
+        .collect();
+    let q_f: Vec<i32> = spec
+        .filter
+        .as_slice()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| col_q[i % fs.c_out].quantize(v))
+        .collect();
+    let zero_q = spec.input_q.quantize(0.0);
+    // Per-output-channel filter sums Sf.
+    let mut sf = vec![0i64; fs.c_out];
+    for (i, &q) in q_f.iter().enumerate() {
+        sf[i % fs.c_out] += i64::from(q);
+    }
+    profile.add(Phase::Quantization, t0.elapsed().as_secs_f64());
+
+    // --- The convolution loops.
+    let t1 = Instant::now();
+    let b1 = i64::from(spec.input_q.zero_point());
+    let a1 = f64::from(spec.input_q.scale());
+    let n_taps = fs.patch_len() as i64;
+    let mut out = Tensor::<f32>::zeros(out_shape);
+    for n in 0..out_shape.n {
+        for oy in 0..out_shape.h {
+            for ox in 0..out_shape.w {
+                // Patch sum Sp for this output position.
+                let mut sp = 0i64;
+                let mut taps: Vec<i32> = Vec::with_capacity(fs.patch_len());
+                for ky in 0..fs.h {
+                    let iy = (oy * spec.geometry.stride.0 + ky * spec.geometry.dilation.0)
+                        as isize
+                        - pad_h as isize;
+                    for kx in 0..fs.w {
+                        let ix = (ox * spec.geometry.stride.1 + kx * spec.geometry.dilation.1)
+                            as isize
+                            - pad_w as isize;
+                        let inside = iy >= 0
+                            && (iy as usize) < shape.h
+                            && ix >= 0
+                            && (ix as usize) < shape.w;
+                        for ci in 0..fs.c_in {
+                            let q = if inside {
+                                q_in[shape.index(n, iy as usize, ix as usize, ci)]
+                            } else {
+                                zero_q
+                            };
+                            sp += i64::from(q);
+                            taps.push(q);
+                        }
+                    }
+                }
+                for co in 0..fs.c_out {
+                    let b2 = i64::from(col_q[co].zero_point());
+                    let a1a2 = a1 * f64::from(col_q[co].scale());
+                    let mut acc = 0i64;
+                    let mut tap = 0usize;
+                    for ky in 0..fs.h {
+                        for kx in 0..fs.w {
+                            for ci in 0..fs.c_in {
+                                let i_val = taps[tap];
+                                tap += 1;
+                                let f_val = q_f[fs.index(ky, kx, ci, co)];
+                                let prod = if use_lut {
+                                    i64::from(spec.lut.product(i_val, f_val))
+                                } else {
+                                    i64::from(i_val) * i64::from(f_val)
+                                };
+                                acc = spec.accumulator.add(acc, prod);
+                            }
+                        }
+                    }
+                    let corrected = acc - b2 * sp - b1 * sf[co] + n_taps * b1 * b2;
+                    *out.at_mut(n, oy, ox, co) = (a1a2 * corrected as f64) as f32;
+                }
+            }
+        }
+    }
+    // The monolithic loop interleaves lookup and accumulation; attribute
+    // it to the LUT phase when the LUT is in use (callers isolate the true
+    // LUT share by differencing against a `use_lut = false` run).
+    profile.add(
+        if use_lut { Phase::LutLookup } else { Phase::Other },
+        t1.elapsed().as_secs_f64(),
+    );
+    Ok((apply_bias(out, spec.bias), profile))
+}
+
+/// Optimized host-side Algorithm 1: chunked quantizing im2col + threaded
+/// tiled LUT GEMM + Eq. 4 correction.
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn run_cpu_gemm(
+    input: &Tensor<f32>,
+    spec: &ConvSpec<'_>,
+    chunk_size: usize,
+) -> Result<(Tensor<f32>, PhaseProfile), EmuError> {
+    let fs = spec.filter.shape();
+    let mut profile = PhaseProfile::new();
+    let signedness = spec.lut.signedness();
+
+    // Filter quantization + Sf, once per call.
+    let t0 = Instant::now();
+    let c_out = fs.c_out;
+    let k = fs.patch_len();
+    let fmat = spec.filter.to_matrix();
+    let col_q: Vec<QuantParams> = (0..c_out)
+        .map(|c| spec.filter_q.for_channel(c))
+        .collect();
+    let mut f_bytes = vec![0u8; k * c_out];
+    let mut sf = vec![0i64; c_out];
+    for r in 0..k {
+        for c in 0..c_out {
+            let q = col_q[c].quantize(fmat.at(r, c));
+            f_bytes[r * c_out + c] = (q & 0xFF) as u8;
+            sf[c] += i64::from(q);
+        }
+    }
+    profile.add(Phase::Quantization, t0.elapsed().as_secs_f64());
+
+    let b1 = i64::from(spec.input_q.zero_point());
+    let a1 = f64::from(spec.input_q.scale());
+
+    let n = input.shape().n;
+    let mut parts: Vec<Tensor<f32>> = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let count = chunk_size.min(n - start);
+        let chunk = input.batch_slice(start, count);
+
+        // Quantizing im2col (shares the functional kernel; host timing).
+        let t1 = Instant::now();
+        let patches = im2col_quant(
+            &chunk,
+            fs,
+            spec.geometry,
+            spec.input_q,
+            PatchSumStrategy::PrefixScan,
+        )?
+        .output;
+        profile.add(Phase::Other, t1.elapsed().as_secs_f64());
+
+        // Threaded LUT GEMM.
+        let t2 = Instant::now();
+        let rows = patches.matrix.rows();
+        let mut out_buf = vec![0f32; rows * c_out];
+        let threads = std::thread::available_parallelism().map_or(1, usize::from);
+        let rows_per = rows.div_ceil(threads.max(1)).max(1);
+        let mp = &patches.matrix;
+        let sp = &patches.patch_sums;
+        let lut = spec.lut;
+        let f_bytes_ref = &f_bytes;
+        let sf_ref = &sf;
+        let col_q_ref = &col_q;
+        let accumulator = spec.accumulator;
+        crossbeam::scope(|scope| {
+            for (t, slab) in out_buf.chunks_mut(rows_per * c_out).enumerate() {
+                let r0 = t * rows_per;
+                scope.spawn(move |_| {
+                    for (local_r, out_row) in slab.chunks_mut(c_out).enumerate() {
+                        let r = r0 + local_r;
+                        let patch = mp.row(r);
+                        for (c, out_v) in out_row.iter_mut().enumerate() {
+                            let mut acc = 0i64;
+                            for (kk, &av) in patch.iter().enumerate() {
+                                let bv = f_bytes_ref[kk * c_out + c];
+                                let raw = lut.fetch(av, bv);
+                                let prod = match signedness {
+                                    Signedness::Signed => i64::from(raw as i16),
+                                    Signedness::Unsigned => i64::from(raw),
+                                };
+                                acc = accumulator.add(acc, prod);
+                            }
+                            let b2 = i64::from(col_q_ref[c].zero_point());
+                            let a1a2 = a1 * f64::from(col_q_ref[c].scale());
+                            let corrected =
+                                acc - b2 * sp[r] - b1 * sf_ref[c] + (k as i64) * b1 * b2;
+                            *out_v = (a1a2 * corrected as f64) as f32;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("gemm worker panicked");
+        profile.add(Phase::LutLookup, t2.elapsed().as_secs_f64());
+
+        parts.push(Tensor::from_vec(patches.out_shape, out_buf)?);
+        start += count;
+    }
+    let out = Tensor::concat_batch(&parts)?;
+    Ok((apply_bias(out, spec.bias), profile))
+}
+
+/// Algorithm 1 on the simulated GPU: the paper's proposal.
+///
+/// Functional results come from the [`gpusim`] kernels; the profile holds
+/// *modeled* seconds derived from the kernels' event counts under the
+/// context's device calibration. The min/max reductions the transformed
+/// graph performs per batch are also charged here (they run on the device
+/// in the paper's implementation).
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn run_gpusim(
+    input: &Tensor<f32>,
+    spec: &ConvSpec<'_>,
+    ctx: &EmuContext,
+) -> Result<(Tensor<f32>, PhaseProfile), EmuError> {
+    let fs = spec.filter.shape();
+    let dev = ctx.device();
+    let mut profile = PhaseProfile::new();
+
+    // Min/max reductions over the input (the inserted Min/Max nodes).
+    profile.add(
+        Phase::Quantization,
+        dev.seconds(&reduction_events(input.shape().len())),
+    );
+
+    let quant = GemmQuant {
+        input: spec.input_q,
+        filter: spec.filter_q.clone(),
+    };
+    let n = input.shape().n;
+    let mut parts: Vec<Tensor<f32>> = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let count = ctx.chunk_size().min(n - start);
+        let chunk = input.batch_slice(start, count);
+
+        let im2col = im2col_quant(
+            &chunk,
+            fs,
+            spec.geometry,
+            spec.input_q,
+            PatchSumStrategy::PrefixScan,
+        )?;
+        for (phase, ev) in &im2col.events {
+            profile.add(*phase, dev.seconds(ev));
+            ctx.record_events(ev);
+        }
+        let patches = im2col.output;
+
+        let gemm = ctx.with_cache(|cache| {
+            approx_gemm(
+                &patches.matrix,
+                &patches.patch_sums,
+                &spec.filter.to_matrix(),
+                &quant,
+                spec.lut,
+                cache,
+            )
+        })?;
+        for (phase, ev) in &gemm.events {
+            profile.add(*phase, dev.seconds(ev));
+            ctx.record_events(ev);
+        }
+        parts.push(Tensor::from_vec(patches.out_shape, gemm.output.into_vec())?);
+        start += count;
+    }
+    let out = Tensor::concat_batch(&parts)?;
+    Ok((apply_bias(out, spec.bias), profile))
+}
+
+/// The accurate f32 convolution timed on the device model — the paper's
+/// "accurate Conv2D (GPU)" baseline. Functional output comes from the f32
+/// reference; the cost is the FMA/DRAM roofline of a dense GEMM.
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn run_gpusim_accurate(
+    input: &Tensor<f32>,
+    filter: &Filter,
+    geometry: ConvGeometry,
+    bias: Option<&[f32]>,
+    ctx: &EmuContext,
+) -> Result<(Tensor<f32>, PhaseProfile), EmuError> {
+    let out = axtensor::ops::conv2d_gemm(input, filter, geometry)?;
+    let macs = geometry.mac_count(input.shape(), filter.shape())?;
+    let mut ev = gpusim::EventCounts::new();
+    ev.fma_ops = macs;
+    ev.global_read_bytes =
+        (input.shape().len() + filter.shape().len()) as u64 * 4;
+    ev.global_write_bytes = out.shape().len() as u64 * 4;
+    let mut profile = PhaseProfile::new();
+    profile.add(Phase::Other, ctx.device().seconds(&ev));
+    Ok((apply_bias(out, bias), profile))
+}
+
+/// Reference output shape helper shared by the layer.
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn output_shape(
+    input: Shape4,
+    spec_filter: &Filter,
+    geometry: ConvGeometry,
+) -> Result<Shape4, EmuError> {
+    Ok(geometry.output_shape(input, spec_filter.shape())?)
+}
+
+/// Build a quantized reference output with exact arithmetic (quantize →
+/// integer convolution → dequantize) — what TensorFlow's fake-quant path
+/// computes. `AxConv2D` with an **exact** LUT must match this bit-for-bit
+/// up to accumulator rounding; the paper: "the accuracy is the same as if
+/// we use the quantization followed by dequantization available in
+/// TensorFlow".
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn quantized_reference(
+    input: &Tensor<f32>,
+    spec: &ConvSpec<'_>,
+) -> Result<Tensor<f32>, EmuError> {
+    let exact = MulLut::exact(spec.lut.signedness());
+    let spec_exact = ConvSpec {
+        lut: &exact,
+        ..spec.clone()
+    };
+    let (out, _) = run_cpu_direct(input, &spec_exact, false)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Backend;
+    use axquant::{QuantRange, RoundMode};
+    use axtensor::{rng, FilterShape, Padding};
+
+    fn spec<'a>(filter: &'a Filter, lut: &'a MulLut, geom: ConvGeometry) -> ConvSpec<'a> {
+        ConvSpec {
+            filter,
+            geometry: geom,
+            bias: None,
+            lut,
+            input_q: QuantParams::from_range(-1.0, 1.0, QuantRange::i8(), RoundMode::NearestEven),
+            filter_q: QuantParams::from_range(
+                -0.5,
+                0.5,
+                QuantRange::i8(),
+                RoundMode::NearestEven,
+            )
+            .into(),
+            accumulator: Accumulator::Exact,
+        }
+    }
+
+    fn close(a: &Tensor<f32>, b: &Tensor<f32>, tol: f32) -> bool {
+        a.max_abs_diff(b).unwrap() <= tol
+    }
+
+    #[test]
+    fn all_backends_agree_with_exact_lut() {
+        let input = rng::uniform(Shape4::new(3, 7, 6, 3), 1, -1.0, 1.0);
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 3, 5), 2, -0.5, 0.5);
+        let lut = MulLut::exact(Signedness::Signed);
+        for geom in [
+            ConvGeometry::default(),
+            ConvGeometry::default().with_stride(2),
+            ConvGeometry::default().with_padding(Padding::Valid),
+        ] {
+            let s = spec(&filter, &lut, geom);
+            let (direct, _) = run_cpu_direct(&input, &s, true).unwrap();
+            let (gemm, _) = run_cpu_gemm(&input, &s, 2).unwrap();
+            let ctx = EmuContext::new(Backend::GpuSim).with_chunk_size(2);
+            let (gpu, _) = run_gpusim(&input, &s, &ctx).unwrap();
+            assert!(close(&direct, &gemm, 1e-4), "direct vs gemm, {geom:?}");
+            assert!(close(&direct, &gpu, 1e-2), "direct vs gpu, {geom:?}");
+        }
+    }
+
+    #[test]
+    fn backends_agree_with_approximate_lut() {
+        let input = rng::uniform(Shape4::new(2, 6, 6, 2), 3, -1.0, 1.0);
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 4), 4, -0.5, 0.5);
+        let bam = axmult::catalog::by_name("mul8s_bam_v8h0").unwrap();
+        let s = spec(&filter, bam.lut(), ConvGeometry::default());
+        let (direct, _) = run_cpu_direct(&input, &s, true).unwrap();
+        let (gemm, _) = run_cpu_gemm(&input, &s, 1).unwrap();
+        let ctx = EmuContext::new(Backend::GpuSim);
+        let (gpu, _) = run_gpusim(&input, &s, &ctx).unwrap();
+        assert!(close(&direct, &gemm, 1e-4));
+        assert!(close(&direct, &gpu, 1e-2));
+    }
+
+    #[test]
+    fn exact_lut_matches_quantized_reference() {
+        let input = rng::uniform(Shape4::new(2, 8, 8, 3), 5, -1.0, 1.0);
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 3, 4), 6, -0.5, 0.5);
+        let lut = MulLut::exact(Signedness::Signed);
+        let s = spec(&filter, &lut, ConvGeometry::default());
+        let (out, _) = run_cpu_direct(&input, &s, true).unwrap();
+        let reference = quantized_reference(&input, &s).unwrap();
+        assert!(close(&out, &reference, 1e-5));
+    }
+
+    #[test]
+    fn quantization_error_bounded_vs_float_conv() {
+        // The approximate layer "produces a single floating-point output
+        // which has the same range as ... the original convolutional
+        // layer"; with an exact LUT the only deviation is quantization
+        // noise.
+        let input = rng::uniform(Shape4::new(1, 8, 8, 3), 7, -1.0, 1.0);
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 3, 4), 8, -0.5, 0.5);
+        let lut = MulLut::exact(Signedness::Signed);
+        let s = spec(&filter, &lut, ConvGeometry::default());
+        let (out, _) = run_cpu_direct(&input, &s, true).unwrap();
+        let float_ref = axtensor::ops::conv2d_direct(&input, &filter, s.geometry).unwrap();
+        // 27-tap dot product of 8-bit quantized values: error stays well
+        // below the combined quantization steps.
+        let bound = 27.0 * (s.input_q.scale() + s.filter_q.for_channel(0).scale());
+        assert!(
+            out.max_abs_diff(&float_ref).unwrap() < bound,
+            "diff {} vs bound {bound}",
+            out.max_abs_diff(&float_ref).unwrap()
+        );
+    }
+
+    #[test]
+    fn chunking_is_transparent() {
+        let input = rng::uniform(Shape4::new(5, 6, 6, 2), 9, -1.0, 1.0);
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 3), 10, -0.5, 0.5);
+        let lut = MulLut::exact(Signedness::Signed);
+        let s = spec(&filter, &lut, ConvGeometry::default());
+        let (one, _) = run_cpu_gemm(&input, &s, 5).unwrap();
+        let (many, _) = run_cpu_gemm(&input, &s, 1).unwrap();
+        assert!(close(&one, &many, 1e-6));
+    }
+
+    #[test]
+    fn bias_applied_after_dequantization() {
+        let input = Tensor::<f32>::zeros(Shape4::new(1, 2, 2, 1));
+        let filter = rng::uniform_filter(FilterShape::new(1, 1, 1, 2), 11, -0.5, 0.5);
+        let lut = MulLut::exact(Signedness::Signed);
+        let bias = [1.0f32, -2.0];
+        let mut s = spec(&filter, &lut, ConvGeometry::default());
+        s.bias = Some(&bias);
+        let (out, _) = run_cpu_direct(&input, &s, true).unwrap();
+        for px in out.as_slice().chunks(2) {
+            assert!((px[0] - 1.0).abs() < 1e-6);
+            assert!((px[1] + 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gpusim_profile_attributes_lut_phase() {
+        let input = rng::uniform(Shape4::new(1, 6, 6, 2), 13, -1.0, 1.0);
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 4), 14, -0.5, 0.5);
+        let lut = MulLut::exact(Signedness::Signed);
+        let s = spec(&filter, &lut, ConvGeometry::default());
+        let ctx = EmuContext::new(Backend::GpuSim);
+        let (_, profile) = run_gpusim(&input, &s, &ctx).unwrap();
+        assert!(profile.seconds(Phase::LutLookup) > 0.0);
+        assert!(profile.seconds(Phase::Quantization) > 0.0);
+        assert!(profile.seconds(Phase::Other) > 0.0);
+    }
+
+    #[test]
+    fn accurate_gpusim_matches_float_reference() {
+        let input = rng::uniform(Shape4::new(2, 6, 6, 3), 15, -1.0, 1.0);
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 3, 4), 16, -0.5, 0.5);
+        let ctx = EmuContext::new(Backend::GpuSim);
+        let (out, profile) =
+            run_gpusim_accurate(&input, &filter, ConvGeometry::default(), None, &ctx).unwrap();
+        let reference =
+            axtensor::ops::conv2d_gemm(&input, &filter, ConvGeometry::default()).unwrap();
+        assert!(close(&out, &reference, 1e-6));
+        assert!(profile.total() > 0.0);
+    }
+}

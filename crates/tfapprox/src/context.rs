@@ -1,0 +1,181 @@
+//! Shared emulation state: backend selection, profiling, the texture cache.
+
+use gpusim::{DeviceConfig, EventCounts, PhaseProfile, TextureCache};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where the approximate convolution is emulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Backend {
+    /// Nested loops over the convolution definition with per-tap LUT
+    /// lookups — the CPU approach of ALWANN \[12\] that the paper uses as
+    /// its approximate-CPU baseline ("difficult to efficiently
+    /// parallelize").
+    CpuDirect,
+    /// Chunked im2col + tiled LUT GEMM on host threads — an optimized CPU
+    /// realization of Algorithm 1 (our addition; shows the GEMM
+    /// formulation helps even without a GPU).
+    CpuGemm,
+    /// Algorithm 1 on the simulated CUDA-capable device: quantizing
+    /// im2col kernel, tiled `ApproxGEMM` with texture-cache LUT fetches,
+    /// analytic cycle accounting (the paper's proposal).
+    #[default]
+    GpuSim,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Backend::CpuDirect => "cpu-direct",
+            Backend::CpuGemm => "cpu-gemm",
+            Backend::GpuSim => "gpu-sim",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shared state of one emulation session.
+///
+/// All `AxConv2D` layers of a transformed graph share one context: the
+/// phase profile accumulates across layers and batches, and the simulated
+/// texture cache stays warm across kernel launches exactly as the real
+/// LUT stays resident on the device.
+#[derive(Debug)]
+pub struct EmuContext {
+    backend: Backend,
+    device: DeviceConfig,
+    chunk_size: usize,
+    profile: Mutex<PhaseProfile>,
+    events: Mutex<EventCounts>,
+    cache: Mutex<TextureCache>,
+}
+
+impl EmuContext {
+    /// A context with the default (GTX-1080-class) device and chunk size.
+    #[must_use]
+    pub fn new(backend: Backend) -> Self {
+        Self::with_device(backend, DeviceConfig::gtx1080())
+    }
+
+    /// A context with an explicit device configuration.
+    #[must_use]
+    pub fn with_device(backend: Backend, device: DeviceConfig) -> Self {
+        let cache = TextureCache::new(device.tex_cache_bytes, device.tex_cache_line, 4);
+        EmuContext {
+            backend,
+            device,
+            // Algorithm 1 splits the batch "into chunks of a constant size
+            // to decouple memory usage from convolution parameters".
+            chunk_size: 125,
+            profile: Mutex::new(PhaseProfile::new()),
+            events: Mutex::new(EventCounts::new()),
+            cache: Mutex::new(cache),
+        }
+    }
+
+    /// Override the Algorithm-1 chunk size (images per chunk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is 0.
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// The selected backend.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The simulated device.
+    #[must_use]
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// Images per Algorithm-1 chunk.
+    #[must_use]
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Add phase times (thread-safe).
+    pub fn record(&self, profile: &PhaseProfile) {
+        self.profile.lock().merge(profile);
+    }
+
+    /// Snapshot the accumulated profile.
+    #[must_use]
+    pub fn profile(&self) -> PhaseProfile {
+        *self.profile.lock()
+    }
+
+    /// Add raw kernel event counts (GPU backend only).
+    pub fn record_events(&self, ev: &EventCounts) {
+        *self.events.lock() += *ev;
+    }
+
+    /// Snapshot the accumulated raw events (texture hit rates, fetch
+    /// counts, DRAM traffic) of the GPU backend.
+    #[must_use]
+    pub fn events(&self) -> EventCounts {
+        *self.events.lock()
+    }
+
+    /// Reset the accumulated profile and events (e.g. between
+    /// experiments).
+    pub fn reset_profile(&self) {
+        *self.profile.lock() = PhaseProfile::new();
+        *self.events.lock() = EventCounts::new();
+    }
+
+    /// Run `f` with exclusive access to the simulated texture cache.
+    pub fn with_cache<R>(&self, f: impl FnOnce(&mut TextureCache) -> R) -> R {
+        f(&mut self.cache.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::Phase;
+
+    #[test]
+    fn profile_accumulates_across_records() {
+        let ctx = EmuContext::new(Backend::GpuSim);
+        let mut p = PhaseProfile::new();
+        p.add(Phase::LutLookup, 1.5);
+        ctx.record(&p);
+        ctx.record(&p);
+        assert_eq!(ctx.profile().seconds(Phase::LutLookup), 3.0);
+        ctx.reset_profile();
+        assert_eq!(ctx.profile().total(), 0.0);
+    }
+
+    #[test]
+    fn cache_state_persists() {
+        let ctx = EmuContext::new(Backend::GpuSim);
+        ctx.with_cache(|c| {
+            c.access(0);
+        });
+        let hit = ctx.with_cache(|c| c.access(0));
+        assert_eq!(hit, gpusim::texture::Access::Hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_size_rejected() {
+        let _ = EmuContext::new(Backend::CpuGemm).with_chunk_size(0);
+    }
+
+    #[test]
+    fn backend_display() {
+        assert_eq!(Backend::CpuDirect.to_string(), "cpu-direct");
+        assert_eq!(Backend::GpuSim.to_string(), "gpu-sim");
+    }
+}

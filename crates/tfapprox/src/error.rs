@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// Errors from the emulation layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EmuError {
+    /// A tensor/shape error.
+    Tensor(axtensor::TensorError),
+    /// A graph error.
+    Nn(axnn::NnError),
+    /// A multiplier error.
+    Mult(axmult::MultError),
+    /// An invalid emulation parameter.
+    Config(String),
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::Tensor(e) => write!(f, "tensor error: {e}"),
+            EmuError::Nn(e) => write!(f, "graph error: {e}"),
+            EmuError::Mult(e) => write!(f, "multiplier error: {e}"),
+            EmuError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmuError::Tensor(e) => Some(e),
+            EmuError::Nn(e) => Some(e),
+            EmuError::Mult(e) => Some(e),
+            EmuError::Config(_) => None,
+        }
+    }
+}
+
+impl From<axtensor::TensorError> for EmuError {
+    fn from(e: axtensor::TensorError) -> Self {
+        EmuError::Tensor(e)
+    }
+}
+
+impl From<axnn::NnError> for EmuError {
+    fn from(e: axnn::NnError) -> Self {
+        EmuError::Nn(e)
+    }
+}
+
+impl From<axmult::MultError> for EmuError {
+    fn from(e: axmult::MultError) -> Self {
+        EmuError::Mult(e)
+    }
+}

@@ -1,0 +1,177 @@
+//! The design flow: transform an accurate graph into its approximate twin.
+//!
+//! "Firstly, a DNN model is created or loaded in TF. Then, all
+//! convolutional layers are identified and replaced by corresponding
+//! approximate variants. During this process, the minimum and maximum
+//! operators are inserted into the computational path and connected to the
+//! approximate layers. At the end, we obtain a transformed graph which is
+//! suitable for the inference as well as training because the minimum and
+//! maximum values of the input tensors are determined once per a batch."
+
+use crate::{AxConv2D, EmuContext, EmuError};
+use axmult::AxMultiplier;
+use axnn::Graph;
+use std::sync::Arc;
+
+/// Replace every `Conv2D` in `graph` by an [`AxConv2D`] emulating `mult`,
+/// inserting the `Min`/`Max` observers of Fig. 1. All inserted layers
+/// share `ctx` (backend, profiling, texture cache).
+///
+/// Returns the transformed graph and the number of replaced layers.
+///
+/// # Errors
+///
+/// Propagates graph-construction failures.
+///
+/// # Example
+///
+/// ```
+/// use axnn::resnet::ResNetConfig;
+/// use std::sync::Arc;
+/// use tfapprox::{flow, Backend, EmuContext};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = ResNetConfig::with_depth(8)?.build(1)?;
+/// let mult = axmult::catalog::by_name("mul8s_exact")?;
+/// let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
+/// let (ax, replaced) = flow::approximate_graph(&graph, &mult, &ctx)?;
+/// assert_eq!(replaced, graph.conv_layer_count());
+/// assert_eq!(ax.conv_layer_count(), replaced); // now all AxConv2D
+/// # Ok(())
+/// # }
+/// ```
+pub fn approximate_graph(
+    graph: &Graph,
+    mult: &AxMultiplier,
+    ctx: &Arc<EmuContext>,
+) -> Result<(Graph, usize), EmuError> {
+    let (rewritten, replaced) = graph.rewrite_convs(|conv| {
+        Arc::new(AxConv2D::from_conv2d(conv, mult, Arc::clone(ctx)))
+    })?;
+    Ok((rewritten, replaced))
+}
+
+/// Layer-wise approximation (the ALWANN \[12\] use case): assign a
+/// *different* multiplier to each convolution layer, in topological
+/// order. Early layers are typically more error-sensitive than deep ones,
+/// so mixing multipliers of different aggressiveness dominates uniform
+/// assignments on the accuracy/energy Pareto front — evaluating such
+/// per-layer assignments quickly is exactly what TFApprox was built for.
+///
+/// # Errors
+///
+/// Returns [`EmuError::Config`] unless exactly one multiplier per
+/// convolution layer is supplied.
+pub fn approximate_graph_layerwise(
+    graph: &Graph,
+    assignments: &[AxMultiplier],
+    ctx: &Arc<EmuContext>,
+) -> Result<(Graph, usize), EmuError> {
+    let expected = graph.conv_layer_count();
+    if assignments.len() != expected {
+        return Err(EmuError::Config(format!(
+            "{} multipliers supplied for {expected} convolution layers",
+            assignments.len()
+        )));
+    }
+    let mut next = 0usize;
+    let (rewritten, replaced) = graph.rewrite_convs(|conv| {
+        let mult = &assignments[next];
+        next += 1;
+        Arc::new(AxConv2D::from_conv2d(conv, mult, Arc::clone(ctx)))
+    })?;
+    Ok((rewritten, replaced))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Backend;
+    use axnn::resnet::{cifar_input_shape, ResNetConfig};
+    use axtensor::rng;
+
+    #[test]
+    fn resnet8_transform_replaces_all_seven_convs() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(3).unwrap();
+        let mult = axmult::catalog::by_name("mul8s_exact").unwrap();
+        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
+        let (ax, replaced) = approximate_graph(&graph, &mult, &ctx).unwrap();
+        assert_eq!(replaced, 7);
+        // Min/Max nodes inserted: 2 per conv.
+        let mins = ax.ops().filter(|(_, op)| *op == "Min").count();
+        let maxs = ax.ops().filter(|(_, op)| *op == "Max").count();
+        assert_eq!(mins, 7);
+        assert_eq!(maxs, 7);
+        assert!(ax.ops().all(|(_, op)| op != "Conv2D"));
+    }
+
+    #[test]
+    fn exact_multiplier_preserves_predictions() {
+        // The accuracy claim of §IV at graph level: with the exact LUT,
+        // the transformed graph's predictions match the float graph's on
+        // almost every input (differences only from 8-bit quantization).
+        let graph = ResNetConfig::with_depth(8).unwrap().build(5).unwrap();
+        let mult = axmult::catalog::by_name("mul8s_exact").unwrap();
+        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
+        let (ax, _) = approximate_graph(&graph, &mult, &ctx).unwrap();
+        let input = rng::uniform(cifar_input_shape(8), 11, -1.0, 1.0);
+        let float_out = graph.forward(&input).unwrap();
+        let ax_out = ax.forward(&input).unwrap();
+        let agreement = axnn::dataset::top1_agreement(&float_out, &ax_out);
+        assert!(agreement >= 0.75, "top-1 agreement {agreement}");
+    }
+
+    #[test]
+    fn layerwise_assignment_counts_checked() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(4).unwrap();
+        let exact = axmult::catalog::by_name("mul8s_exact").unwrap();
+        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
+        // Wrong count rejected.
+        let err =
+            approximate_graph_layerwise(&graph, &[exact.clone()], &ctx).unwrap_err();
+        assert!(matches!(err, crate::EmuError::Config(_)));
+        // Correct count accepted.
+        let assignments = vec![exact; 7];
+        let (ax, replaced) = approximate_graph_layerwise(&graph, &assignments, &ctx).unwrap();
+        assert_eq!(replaced, 7);
+        assert_eq!(ax.conv_layer_count(), 7);
+    }
+
+    #[test]
+    fn layerwise_mixing_differs_from_uniform() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(4).unwrap();
+        let exact = axmult::catalog::by_name("mul8s_exact").unwrap();
+        let rough = axmult::catalog::by_name("mul8s_bam_v8h0").unwrap();
+        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
+        let input = rng::uniform(cifar_input_shape(2), 15, -1.0, 1.0);
+
+        // Exact stem, rough everywhere else.
+        let mut mixed = vec![exact.clone()];
+        mixed.extend(std::iter::repeat_n(rough.clone(), 6));
+        let (ax_mixed, _) = approximate_graph_layerwise(&graph, &mixed, &ctx).unwrap();
+        let (ax_rough, _) = approximate_graph(&graph, &rough, &ctx).unwrap();
+        let (ax_exact, _) = approximate_graph(&graph, &exact, &ctx).unwrap();
+
+        let out_mixed = ax_mixed.forward(&input).unwrap();
+        let out_rough = ax_rough.forward(&input).unwrap();
+        let out_exact = ax_exact.forward(&input).unwrap();
+        // The mixed network sits strictly between the two uniform ones.
+        let d_rough = out_mixed.max_abs_diff(&out_rough).unwrap();
+        let d_exact = out_mixed.max_abs_diff(&out_exact).unwrap();
+        assert!(d_rough > 0.0);
+        assert!(d_exact > 0.0);
+    }
+
+    #[test]
+    fn mac_count_preserved_by_transform() {
+        let graph = ResNetConfig::with_depth(14).unwrap().build(7).unwrap();
+        let mult = axmult::catalog::by_name("mul8s_exact").unwrap();
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let (ax, _) = approximate_graph(&graph, &mult, &ctx).unwrap();
+        let shape = cifar_input_shape(1);
+        assert_eq!(
+            graph.mac_count(shape).unwrap(),
+            ax.mac_count(shape).unwrap()
+        );
+    }
+}

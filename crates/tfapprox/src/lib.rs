@@ -1,0 +1,70 @@
+//! **tfapprox** — fast emulation of DNN approximate hardware accelerators.
+//!
+//! A Rust reproduction of Vaverka, Mrazek, Vasicek, Sekanina: *TFApprox:
+//! Towards a Fast Emulation of DNN Approximate Hardware Accelerators on
+//! GPU* (DATE 2020). The paper's problem: evaluating a candidate
+//! approximate multiplier inside a DNN accelerator requires emulating it in
+//! software, which is 2–3 orders of magnitude slower than native float
+//! inference. Its solution: express the quantized convolution through the
+//! affine-quantization algebra (Eq. 1–4), emulate the 8×8 multiplier as a
+//! 256×256 look-up table, and run a GEMM-formulated convolution on a GPU
+//! with the LUT in texture memory.
+//!
+//! This crate is the paper's contribution layer:
+//!
+//! - [`AxConv2D`]: the approximate 2D convolution operator — reads
+//!   floating-point tensors, quantizes per Eq. 1, multiplies through the
+//!   LUT, accumulates, and dequantizes with the Eq. 4 correction so its
+//!   output range matches the accurate layer,
+//! - [`Backend`]: where the emulation runs — `CpuDirect` (the nested-loop
+//!   approach of ALWANN \[12\]), `CpuGemm` (optimized im2col + GEMM on
+//!   host threads), or `GpuSim` (Algorithm 1 on the simulated
+//!   CUDA-capable device from [`gpusim`]),
+//! - [`flow`]: the design flow — take a trained graph, replace every
+//!   `Conv2D` by `AxConv2D`, inserting `Min`/`Max` observers (Fig. 1),
+//! - [`runtime`]: batch-wise inference with `tinit + tcomp` accounting,
+//! - [`perfmodel`]: the calibrated extrapolation that regenerates Table I
+//!   and Fig. 2 at the paper's full 10⁴-image scale.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use axmult::catalog;
+//! use axnn::resnet::ResNetConfig;
+//! use tfapprox::{flow, Backend, EmuContext};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A trained model and a candidate approximate multiplier.
+//! let graph = ResNetConfig::with_depth(8)?.build(42)?;
+//! let mult = catalog::by_name("mul8s_bam_v8h0")?;
+//!
+//! // Replace Conv2D -> AxConv2D (Fig. 1) and run on the simulated GPU.
+//! let ctx = Arc::new(EmuContext::new(Backend::GpuSim));
+//! let (ax_graph, replaced) = flow::approximate_graph(&graph, &mult, &ctx)?;
+//! assert_eq!(replaced, 7);
+//!
+//! let input = axtensor::rng::uniform(axnn::resnet::cifar_input_shape(2), 1, -1.0, 1.0);
+//! let probs = ax_graph.forward(&input)?;
+//! assert_eq!(probs.shape().c, 10);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod accumulator;
+pub mod axconv2d;
+pub mod axdense;
+pub mod backend;
+pub mod context;
+pub mod flow;
+pub mod perfmodel;
+pub mod runtime;
+
+mod error;
+
+pub use accumulator::Accumulator;
+pub use axconv2d::AxConv2D;
+pub use axdense::AxDense;
+pub use context::{Backend, EmuContext};
+pub use error::EmuError;
+pub use runtime::EmulationReport;

@@ -1,0 +1,52 @@
+//! Layer-wise approximation (the ALWANN use case the paper cites as its
+//! CPU predecessor \[12\]): assign a *different* multiplier per layer and
+//! search the assignment space. Early layers are error-sensitive; deep
+//! layers tolerate rough multipliers — so mixed assignments beat uniform
+//! ones on the accuracy/power Pareto front. Fast emulation makes this
+//! search practical: each candidate assignment is one emulated inference.
+//!
+//! Run: `cargo run --release --example alwann_layerwise`
+
+use axnn::dataset::{top1_agreement, SyntheticCifar10};
+use axnn::resnet::ResNetConfig;
+use std::sync::Arc;
+use tfapprox::{flow, Backend, EmuContext};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = ResNetConfig::with_depth(8)?.build(42)?;
+    let l = graph.conv_layer_count();
+    let batch = SyntheticCifar10::new(17).batch_sized(0, 16);
+    let float_out = graph.forward(&batch)?;
+
+    let precise = axmult::catalog::by_name("mul8s_exact")?;
+    let rough = axmult::catalog::by_name("mul8s_bam_v8h0")?;
+    let p_power = precise.cost().map(|c| c.power).unwrap_or(0.0);
+    let r_power = rough.cost().map(|c| c.power).unwrap_or(0.0);
+
+    println!("ResNet-8 ({l} conv layers), 16 images — per-layer assignments:");
+    println!(
+        "{:<28} {:>14} {:>12}",
+        "assignment (stem->head)", "mean power", "top-1 agr"
+    );
+
+    // Sweep: the first k layers precise, the rest rough.
+    for k in 0..=l {
+        let mut assignment = Vec::with_capacity(l);
+        for i in 0..l {
+            assignment.push(if i < k { precise.clone() } else { rough.clone() });
+        }
+        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
+        let (ax, _) = flow::approximate_graph_layerwise(&graph, &assignment, &ctx)?;
+        let out = ax.forward(&batch)?;
+        let agreement = top1_agreement(&float_out, &out);
+        let mean_power =
+            (k as f64 * p_power + (l - k) as f64 * r_power) / l as f64;
+        let label = format!("{} precise + {} rough", k, l - k);
+        println!("{label:<28} {mean_power:>14.1} {:>11.1}%", agreement * 100.0);
+    }
+    println!();
+    println!("Reading: protecting only the first layer(s) recovers most of the");
+    println!("accuracy at nearly the full power saving — the ALWANN observation,");
+    println!("reproduced here with one emulated inference per candidate.");
+    Ok(())
+}

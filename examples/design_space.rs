@@ -1,0 +1,77 @@
+//! Design-space exploration: the accuracy / hardware-cost trade-off the
+//! paper's fast emulation exists to serve ("find the best tradeoff
+//! between the error and power requirements prior a real hardware design
+//! is started").
+//!
+//! Evaluates every catalog multiplier inside a ResNet and reports the
+//! Pareto-optimal set under (maximize top-1 agreement, minimize power).
+//!
+//! Run: `cargo run --release --example design_space -- [depth] [images]`
+
+use axnn::dataset::{top1_agreement, SyntheticCifar10};
+use axnn::resnet::ResNetConfig;
+use std::sync::Arc;
+use tfapprox::{flow, Backend, EmuContext};
+
+struct Candidate {
+    name: String,
+    power: f64,
+    agreement: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let depth: usize = args.first().and_then(|v| v.parse().ok()).unwrap_or(8);
+    let images: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(16);
+
+    let graph = ResNetConfig::with_depth(depth)?.build(42)?;
+    let batch = SyntheticCifar10::new(9).batch_sized(0, images);
+    let float_out = graph.forward(&batch)?;
+
+    let mut candidates = Vec::new();
+    for mult in axmult::catalog()? {
+        let Some(cost) = mult.cost() else {
+            continue; // no hardware estimate -> not comparable
+        };
+        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
+        let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx)?;
+        let ax_out = ax.forward(&batch)?;
+        candidates.push(Candidate {
+            name: mult.name().to_owned(),
+            power: cost.power,
+            agreement: top1_agreement(&float_out, &ax_out),
+        });
+    }
+
+    // Pareto filter: keep candidates not dominated in (power ↓, agreement ↑).
+    let mut pareto: Vec<&Candidate> = Vec::new();
+    for c in &candidates {
+        let dominated = candidates.iter().any(|o| {
+            (o.power < c.power && o.agreement >= c.agreement)
+                || (o.power <= c.power && o.agreement > c.agreement)
+        });
+        if !dominated {
+            pareto.push(c);
+        }
+    }
+    pareto.sort_by(|a, b| a.power.total_cmp(&b.power));
+
+    println!("ResNet-{depth}, {images} images — multiplier design space:");
+    println!("{:<18} {:>10} {:>12} {:>8}", "multiplier", "power", "agreement", "Pareto");
+    for c in &candidates {
+        let on_front = pareto.iter().any(|p| p.name == c.name);
+        println!(
+            "{:<18} {:>10.1} {:>11.1}% {:>8}",
+            c.name,
+            c.power,
+            c.agreement * 100.0,
+            if on_front { "*" } else { "" }
+        );
+    }
+    println!();
+    println!("Pareto front (power-ordered):");
+    for p in pareto {
+        println!("  {:<18} power {:>8.1}  agreement {:>5.1}%", p.name, p.power, p.agreement * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,199 @@
+//! Cross-crate integration tests: the full circuit → LUT → graph →
+//! emulation pipeline, and the paper's headline claims at small scale.
+
+use axnn::dataset::{top1_agreement, SyntheticCifar10};
+use axnn::resnet::ResNetConfig;
+use gpusim::{DeviceConfig, Phase};
+use std::sync::Arc;
+use tfapprox::perfmodel::{self, CpuModel};
+use tfapprox::{flow, runtime, Backend, EmuContext};
+
+/// Circuit-to-emulation pipeline: build a broken-array multiplier at gate
+/// level, extract its truth table, load it as a LUT, and run it inside a
+/// network — every substrate in one chain.
+#[test]
+fn gate_level_multiplier_runs_inside_network() {
+    let netlist = axcircuit::approx::broken_array_signed(8, 6, 0).expect("circuit");
+    let tt = axcircuit::truth::TruthTable::from_netlist(&netlist).expect("truth table");
+    let lut = axmult::MulLut::from_truth_table(&tt, axmult::Signedness::Signed).expect("lut");
+    let cost = axcircuit::cost::evaluate(&netlist);
+    let mult = axmult::AxMultiplier::new("test_bam", "integration test", lut, Some(cost));
+
+    let graph = ResNetConfig::with_depth(8).expect("cfg").build(1).expect("graph");
+    let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
+    let (ax, replaced) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
+    assert_eq!(replaced, 7);
+
+    let batch = SyntheticCifar10::new(5).batch_sized(0, 4);
+    let out = ax.forward(&batch).expect("forward");
+    assert_eq!(out.shape().c, 10);
+    assert!(out.as_slice().iter().all(|v| v.is_finite()));
+}
+
+/// §IV accuracy claim: with the exact multiplier, the approximate layer is
+/// "the same as ... the quantization followed by dequantization available
+/// in TensorFlow" — so the transformed network must track the float
+/// network up to quantization noise, on every backend.
+#[test]
+fn exact_lut_network_tracks_float_network_on_all_backends() {
+    let graph = ResNetConfig::with_depth(8).expect("cfg").build(2).expect("graph");
+    let mult = axmult::catalog::by_name("mul8s_exact").expect("catalog");
+    let batch = SyntheticCifar10::new(6).batch_sized(0, 4);
+    let float_out = graph.forward(&batch).expect("float forward");
+
+    for backend in [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim] {
+        let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(2));
+        let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
+        let ax_out = ax.forward(&batch).expect("ax forward");
+        let agreement = top1_agreement(&float_out, &ax_out);
+        assert!(
+            agreement >= 0.75,
+            "{backend}: top-1 agreement {agreement}"
+        );
+    }
+}
+
+/// All three backends must produce numerically close outputs for an
+/// *approximate* multiplier too — they emulate the same hardware.
+#[test]
+fn backends_agree_through_a_full_network() {
+    let graph = ResNetConfig::with_depth(8).expect("cfg").build(3).expect("graph");
+    let mult = axmult::catalog::by_name("mul8s_bam_v8h0").expect("catalog");
+    let batch = SyntheticCifar10::new(8).batch_sized(0, 2);
+
+    let mut outputs = Vec::new();
+    for backend in [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim] {
+        let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(1));
+        let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
+        outputs.push(ax.forward(&batch).expect("forward"));
+    }
+    // Softmax outputs in [0,1]: the GPU's f32 accumulator may deviate in
+    // the last ulps, amplified through 7 layers; a small tolerance
+    // suffices to show they emulate the same accelerator.
+    let d01 = outputs[0].max_abs_diff(&outputs[1]).expect("shapes");
+    let d02 = outputs[0].max_abs_diff(&outputs[2]).expect("shapes");
+    assert!(d01 < 1e-4, "direct vs gemm: {d01}");
+    assert!(d02 < 2e-2, "direct vs gpu: {d02}");
+}
+
+/// Table I shape at reduced scale: GPU wins in both modes, the
+/// approximate overhead is far worse on CPU, and the approximate speedup
+/// grows with network depth.
+#[test]
+fn table1_shape_holds() {
+    let mult = axmult::catalog::by_name("mul8s_exact").expect("catalog");
+    let dev = DeviceConfig::gtx1080();
+    let cpu = CpuModel::xeon_e5_2620();
+    let row8 = perfmodel::table1_row(8, &mult, &dev, &cpu, 10_000, 1, 42).expect("row 8");
+    let row20 = perfmodel::table1_row(20, &mult, &dev, &cpu, 10_000, 1, 42).expect("row 20");
+
+    // Who wins.
+    assert!(row8.speedup_accurate() > 1.0);
+    assert!(row8.speedup_approx() > 30.0);
+    // Overheads: crippling on CPU, mild on GPU.
+    assert!(row8.approx_overhead_cpu() > 100.0);
+    assert!(row8.approx_overhead_gpu() < 20.0);
+    // Growth with depth: deeper network -> larger approximate speedup
+    // (tinit amortizes), like the paper's 106.8x -> 213.2x progression.
+    assert!(
+        row20.speedup_approx() > row8.speedup_approx(),
+        "8: {:.1}, 20: {:.1}",
+        row8.speedup_approx(),
+        row20.speedup_approx()
+    );
+    // tcomp linear in MACs (within 25% after normalizing).
+    let r8 = row8.gpu_approx.tcomp / row8.macs_per_image as f64;
+    let r20 = row20.gpu_approx.tcomp / row20.macs_per_image as f64;
+    assert!((r8 / r20 - 1.0).abs() < 0.25, "per-MAC rates {r8} vs {r20}");
+}
+
+/// Fig. 2 shape: on the GPU the computation phases dominate a deep
+/// network's profile and the LUT share is substantial but not dominant;
+/// on the CPU model the emulation ("other" + LUT) dwarfs everything.
+#[test]
+fn fig2_shape_holds() {
+    let mult = axmult::catalog::by_name("mul8s_exact").expect("catalog");
+    let dev = DeviceConfig::gtx1080();
+    let cfg = ResNetConfig::with_depth(32).expect("cfg");
+    let (_, gpu) =
+        perfmodel::gpu_approx_times(cfg, &mult, &dev, 10_000, 1, 42).expect("gpu profile");
+    let init = gpu.fraction(Phase::Init);
+    let lut = gpu.fraction(Phase::LutLookup);
+    let quant = gpu.fraction(Phase::Quantization);
+    assert!(init < 0.45, "init fraction {init}");
+    assert!((0.05..0.6).contains(&lut), "lut fraction {lut}");
+    assert!(quant > 0.02, "quant fraction {quant}");
+
+    let cpu = perfmodel::cpu_fig2_profile(
+        &CpuModel::xeon_e5_2620(),
+        cfg.mac_count().expect("macs") * 10_000,
+    );
+    assert!(cpu.fraction(Phase::Init) < 0.01);
+    assert!(cpu.fraction(Phase::LutLookup) > 0.2);
+}
+
+/// The texture cache is the enabling mechanism: with a warm cache the
+/// LUT hit rate through a real network must be near 1, and shrinking the
+/// cache must increase modeled LUT time.
+#[test]
+fn texture_cache_mechanism() {
+    let graph = ResNetConfig::with_depth(8).expect("cfg").build(4).expect("graph");
+    let mult = axmult::catalog::by_name("mul8s_exact").expect("catalog");
+    let batch = SyntheticCifar10::new(11).batch_sized(0, 1);
+
+    let run = |dev: DeviceConfig| {
+        let ctx = Arc::new(EmuContext::with_device(Backend::GpuSim, dev));
+        let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
+        let _ = ax.forward(&batch).expect("warm");
+        ctx.reset_profile();
+        let _ = ax.forward(&batch).expect("measured");
+        (ctx.events(), ctx.profile())
+    };
+
+    let (ev_big, prof_big) = run(DeviceConfig {
+        tex_cache_bytes: 256 * 1024, // whole LUT resident
+        ..DeviceConfig::gtx1080()
+    });
+    let hit_rate = ev_big.tex_hits as f64 / ev_big.tex_fetches() as f64;
+    assert!(hit_rate > 0.99, "warm full-size cache hit rate {hit_rate}");
+
+    let (ev_small, prof_small) = run(DeviceConfig::small_cache());
+    let small_rate = ev_small.tex_hits as f64 / ev_small.tex_fetches() as f64;
+    assert!(small_rate < hit_rate);
+    assert!(
+        prof_small.seconds(Phase::LutLookup) > prof_big.seconds(Phase::LutLookup),
+        "smaller cache must cost more"
+    );
+}
+
+/// Chunked execution (Algorithm 1's SplitData) must not change results.
+#[test]
+fn chunking_transparent_at_network_level() {
+    let graph = ResNetConfig::with_depth(8).expect("cfg").build(5).expect("graph");
+    let mult = axmult::catalog::by_name("mul8s_bam_v8h0").expect("catalog");
+    let batch = SyntheticCifar10::new(13).batch_sized(0, 5);
+
+    let run = |chunk: usize| {
+        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm).with_chunk_size(chunk));
+        let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
+        ax.forward(&batch).expect("forward")
+    };
+    let a = run(1);
+    let b = run(5);
+    assert!(a.max_abs_diff(&b).expect("shapes") < 1e-6);
+}
+
+/// The emulation runtime reports tinit + tcomp with coherent bookkeeping.
+#[test]
+fn runtime_report_coherent() {
+    let graph = ResNetConfig::with_depth(8).expect("cfg").build(6).expect("graph");
+    let mult = axmult::catalog::by_name("mul8s_exact").expect("catalog");
+    let ctx = Arc::new(EmuContext::new(Backend::GpuSim).with_chunk_size(2));
+    let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
+    let data = SyntheticCifar10::new(1);
+    let batches = vec![data.batch_sized(0, 2), data.batch_sized(1, 2)];
+    let (outputs, report) = runtime::run_approx(&ax, &batches, &ctx).expect("run");
+    assert_eq!(outputs.len(), 2);
+    assert_eq!(report.images, 4);
+    assert!((report.total() - report.profile.total()).abs() < 1e-9);
+}
