@@ -84,7 +84,9 @@ mod tests {
         let nl = exact_signed(6).unwrap();
         for x in [-32i64, -1, 0, 1, 31] {
             for y in [-32i64, -3, 0, 7, 31] {
-                let got = nl.eval_words(&[(x as u64) & 0x3F, (y as u64) & 0x3F]).unwrap();
+                let got = nl
+                    .eval_words(&[(x as u64) & 0x3F, (y as u64) & 0x3F])
+                    .unwrap();
                 assert_eq!(got, ((x * y) as u64) & 0xFFF, "{x}*{y}");
             }
         }

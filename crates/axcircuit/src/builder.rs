@@ -304,10 +304,7 @@ impl MultiplierSpec {
         }
         let wp = wa + wb;
         if wp > 32 {
-            return Err(CircuitError::UnsupportedWidth {
-                width: wp,
-                max: 32,
-            });
+            return Err(CircuitError::UnsupportedWidth { width: wp, max: 32 });
         }
         let mut nl = Netlist::with_operands(&[wa, wb]);
 
@@ -627,7 +624,12 @@ mod tests {
         };
         let ks = build(true);
         let rca = build(false);
-        assert!(ks.depth() < rca.depth(), "{} !< {}", ks.depth(), rca.depth());
+        assert!(
+            ks.depth() < rca.depth(),
+            "{} !< {}",
+            ks.depth(),
+            rca.depth()
+        );
         assert!(ks.n_gates() > rca.n_gates(), "prefix logic costs area");
     }
 

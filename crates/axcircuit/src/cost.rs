@@ -42,7 +42,6 @@ fn unit_cost(kind: GateKind) -> (f64, f64) {
         GateKind::Nand | GateKind::Nor | GateKind::AndNot => (1.0, 1.0),
         GateKind::And | GateKind::Or => (1.5, 1.5),
         GateKind::Xor | GateKind::Xnor => (2.0, 2.0),
-        GateKind::_NonExhaustive => (0.0, 0.0),
     }
 }
 
@@ -73,10 +72,7 @@ pub fn evaluate(nl: &Netlist) -> HardwareCost {
     for (i, g) in nl.gates().iter().enumerate() {
         let (a_cost, d_cost) = unit_cost(g.kind);
         area += a_cost;
-        if !matches!(
-            g.kind,
-            GateKind::Const0 | GateKind::Const1 | GateKind::Buf
-        ) {
+        if !matches!(g.kind, GateKind::Const0 | GateKind::Const1 | GateKind::Buf) {
             gates += 1;
         }
         let ta = arrival[g.a.index()];

@@ -64,7 +64,7 @@ pub fn gate_histogram(nl: &Netlist) -> Vec<(GateKind, usize)> {
             counts.push((g.kind, 1));
         }
     }
-    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    counts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     counts
 }
 

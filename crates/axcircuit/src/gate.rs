@@ -54,12 +54,6 @@ pub enum GateKind {
     Xnor,
     /// And-not: `y = a & !b` (useful for sign handling in subtractors).
     AndNot,
-    /// 2:1 multiplexer is *not* primitive here; compose from And/Or/Not.
-    /// Majority-of-three is likewise composed. This keeps the cost model
-    /// simple and uniform.
-    #[doc(hidden)]
-    #[serde(skip)]
-    _NonExhaustive,
 }
 
 impl GateKind {
@@ -76,7 +70,6 @@ impl GateKind {
             | GateKind::Nor
             | GateKind::Xnor
             | GateKind::AndNot => 2,
-            GateKind::_NonExhaustive => 0,
         }
     }
 
@@ -96,7 +89,6 @@ impl GateKind {
             GateKind::Nor => !(a | b),
             GateKind::Xnor => !(a ^ b),
             GateKind::AndNot => a & !b,
-            GateKind::_NonExhaustive => 0,
         }
     }
 }
@@ -115,7 +107,6 @@ impl fmt::Display for GateKind {
             GateKind::Nor => "nor",
             GateKind::Xnor => "xnor",
             GateKind::AndNot => "andnot",
-            GateKind::_NonExhaustive => "?",
         };
         f.write_str(s)
     }

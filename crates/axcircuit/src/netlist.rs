@@ -76,7 +76,11 @@ impl Netlist {
     /// Panics if `i >= n_inputs`.
     #[must_use]
     pub fn input(&self, i: u32) -> NetId {
-        assert!(i < self.n_inputs, "input {i} out of range {}", self.n_inputs);
+        assert!(
+            i < self.n_inputs,
+            "input {i} out of range {}",
+            self.n_inputs
+        );
         NetId(i)
     }
 

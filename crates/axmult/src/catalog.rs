@@ -8,9 +8,9 @@
 //! analytic estimate.
 
 use crate::{behavioral, ErrorMetrics, MulLut, MultError, Signedness};
+use axcircuit::builder::MultiplierSpec;
 use axcircuit::cost::{self, HardwareCost};
 use axcircuit::truth::TruthTable;
-use axcircuit::builder::MultiplierSpec;
 
 /// A catalog entry: a named approximate multiplier with provenance and
 /// hardware cost.
@@ -131,9 +131,9 @@ fn behavioral_entry(
         Signedness::Unsigned => {
             MulLut::from_fn(signedness, move |a, b| f(a as u32, b as u32) as i32)
         }
-        Signedness::Signed => MulLut::from_fn(signedness, move |a, b| {
-            behavioral::sign_magnitude(f, a, b)
-        }),
+        Signedness::Signed => {
+            MulLut::from_fn(signedness, move |a, b| behavioral::sign_magnitude(f, a, b))
+        }
     };
     AxMultiplier::new(name, description, lut, cost)
 }
@@ -172,8 +172,7 @@ pub fn catalog() -> Result<Vec<AxMultiplier>, MultError> {
         v.push(circuit_entry(
             &format!("mul8u_trunc{k}"),
             &format!("unsigned array multiplier, {k} LSB product columns truncated"),
-            MultiplierSpec::unsigned(8, 8)
-                .with_drop(axcircuit::builder::CellDrop::LsbColumns(k)),
+            MultiplierSpec::unsigned(8, 8).with_drop(axcircuit::builder::CellDrop::LsbColumns(k)),
             Signedness::Unsigned,
         )?);
     }
@@ -181,20 +180,16 @@ pub fn catalog() -> Result<Vec<AxMultiplier>, MultError> {
         v.push(circuit_entry(
             &format!("mul8u_bam_v{vbl}h{hbl}"),
             &format!("broken-array multiplier, vertical break {vbl}, horizontal break {hbl}"),
-            MultiplierSpec::unsigned(8, 8).with_drop(axcircuit::builder::CellDrop::BrokenArray {
-                vbl,
-                hbl,
-            }),
+            MultiplierSpec::unsigned(8, 8)
+                .with_drop(axcircuit::builder::CellDrop::BrokenArray { vbl, hbl }),
             Signedness::Unsigned,
         )?);
     }
     v.push(circuit_entry(
         "mul8s_bam_v8h0",
         "signed broken-array multiplier, vertical break 8",
-        MultiplierSpec::signed(8, 8).with_drop(axcircuit::builder::CellDrop::BrokenArray {
-            vbl: 8,
-            hbl: 0,
-        }),
+        MultiplierSpec::signed(8, 8)
+            .with_drop(axcircuit::builder::CellDrop::BrokenArray { vbl: 8, hbl: 0 }),
         Signedness::Signed,
     )?);
     for k in [3u32, 4, 6] {
@@ -274,7 +269,12 @@ mod tests {
 
     #[test]
     fn approximate_entries_are_not_exact() {
-        for name in ["mul8u_trunc4", "mul8u_bam_v8h0", "mul8u_drum4", "mul8u_mitchell"] {
+        for name in [
+            "mul8u_trunc4",
+            "mul8u_bam_v8h0",
+            "mul8u_drum4",
+            "mul8u_mitchell",
+        ] {
             let m = by_name(name).unwrap();
             assert!(!m.metrics().is_exact(), "{name} unexpectedly exact");
         }

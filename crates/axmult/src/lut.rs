@@ -386,6 +386,9 @@ mod tests {
     fn clone_is_cheap_and_shared() {
         let lut = MulLut::exact(Signedness::Unsigned);
         let clone = lut.clone();
-        assert!(std::ptr::eq(lut.entries().as_ptr(), clone.entries().as_ptr()));
+        assert!(std::ptr::eq(
+            lut.entries().as_ptr(),
+            clone.entries().as_ptr()
+        ));
     }
 }

@@ -55,10 +55,7 @@ impl MagnitudeProfile {
         for a in s.qmin()..=s.qmax() {
             for b in s.qmin()..=s.qmax() {
                 let mag = a.unsigned_abs().max(b.unsigned_abs());
-                let bucket = edges
-                    .iter()
-                    .position(|&e| mag <= e)
-                    .unwrap_or(edges.len());
+                let bucket = edges.iter().position(|&e| mag <= e).unwrap_or(edges.len());
                 let exact = a * b;
                 let err = f64::from((lut.product(a, b) - exact).abs());
                 abs_sum[bucket] += err;

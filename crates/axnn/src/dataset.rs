@@ -143,16 +143,10 @@ mod tests {
 
     #[test]
     fn argmax_and_agreement() {
-        let a = Tensor::from_vec(
-            Shape4::new(2, 1, 1, 3),
-            vec![0.1, 0.8, 0.1, 0.6, 0.2, 0.2],
-        )
-        .unwrap();
-        let b = Tensor::from_vec(
-            Shape4::new(2, 1, 1, 3),
-            vec![0.2, 0.7, 0.1, 0.1, 0.8, 0.1],
-        )
-        .unwrap();
+        let a =
+            Tensor::from_vec(Shape4::new(2, 1, 1, 3), vec![0.1, 0.8, 0.1, 0.6, 0.2, 0.2]).unwrap();
+        let b =
+            Tensor::from_vec(Shape4::new(2, 1, 1, 3), vec![0.2, 0.7, 0.1, 0.1, 0.8, 0.1]).unwrap();
         assert_eq!(argmax_classes(&a), vec![1, 0]);
         assert_eq!(top1_agreement(&a, &b), 0.5);
     }

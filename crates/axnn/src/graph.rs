@@ -152,9 +152,7 @@ impl Graph {
     /// paper's `L` column.
     #[must_use]
     pub fn conv_layer_count(&self) -> usize {
-        self.ops()
-            .filter(|(_, op)| op.ends_with("Conv2D"))
-            .count()
+        self.ops().filter(|(_, op)| op.ends_with("Conv2D")).count()
     }
 
     /// Execute the graph on one input batch.
@@ -197,8 +195,7 @@ impl Graph {
             let s = match &node.kind {
                 NodeKind::Input => input,
                 NodeKind::Op(layer) => {
-                    let ins: Vec<Shape4> =
-                        node.inputs.iter().map(|id| shapes[id.0]).collect();
+                    let ins: Vec<Shape4> = node.inputs.iter().map(|id| shapes[id.0]).collect();
                     layer.output_shape(&ins)?
                 }
             };
@@ -237,7 +234,11 @@ impl Graph {
         use std::fmt::Write as _;
         let shapes = self.infer_shapes(input)?;
         let mut s = String::new();
-        let _ = writeln!(s, "{:<28} {:>10} {:>18} {:>14}", "node", "op", "output", "MACs");
+        let _ = writeln!(
+            s,
+            "{:<28} {:>10} {:>18} {:>14}",
+            "node", "op", "output", "MACs"
+        );
         let mut total = 0u64;
         for (i, node) in self.nodes.iter().enumerate() {
             let (op, macs) = match &node.kind {
@@ -287,16 +288,8 @@ impl Graph {
             };
             let new_id = if let Some(conv) = layer.as_conv2d() {
                 let src = mapped[0];
-                let lo = out.add(
-                    format!("{}/min", node.name),
-                    Arc::new(MinOf::new()),
-                    &[src],
-                )?;
-                let hi = out.add(
-                    format!("{}/max", node.name),
-                    Arc::new(MaxOf::new()),
-                    &[src],
-                )?;
+                let lo = out.add(format!("{}/min", node.name), Arc::new(MinOf::new()), &[src])?;
+                let hi = out.add(format!("{}/max", node.name), Arc::new(MaxOf::new()), &[src])?;
                 replaced += 1;
                 out.add(node.name.clone(), replacer(conv), &[src, lo, hi])?
             } else {
@@ -350,8 +343,7 @@ mod tests {
         let r = g.add("relu", Arc::new(ReLU::new()), &[x]).unwrap();
         let a = g.add("add", Arc::new(Add::new()), &[x, r]).unwrap();
         g.set_output(a).unwrap();
-        let input =
-            Tensor::from_vec(Shape4::new(1, 1, 2, 1), vec![-1.0, 2.0]).unwrap();
+        let input = Tensor::from_vec(Shape4::new(1, 1, 2, 1), vec![-1.0, 2.0]).unwrap();
         let out = g.forward(&input).unwrap();
         assert_eq!(out.as_slice(), &[-1.0, 4.0]);
     }

@@ -88,11 +88,8 @@ mod tests {
 
     #[test]
     fn softmax_rows_sum_to_one() {
-        let t = Tensor::from_vec(
-            Shape4::new(2, 1, 1, 3),
-            vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0],
-        )
-        .unwrap();
+        let t =
+            Tensor::from_vec(Shape4::new(2, 1, 1, 3), vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
         let out = Softmax::new().forward(&[&t]).unwrap();
         for row in out.as_slice().chunks(3) {
             let s: f32 = row.iter().sum();

@@ -41,10 +41,7 @@ impl Layer for MaxPool2D {
         if s.h < self.kernel || s.w < self.kernel {
             return Err(NnError::Layer {
                 layer: self.op_name().to_owned(),
-                message: format!(
-                    "input {}x{} smaller than window {}",
-                    s.h, s.w, self.kernel
-                ),
+                message: format!("input {}x{} smaller than window {}", s.h, s.w, self.kernel),
             });
         }
         Ok(Shape4::new(
@@ -98,7 +95,11 @@ mod tests {
     #[test]
     fn channels_pooled_independently() {
         let t = Tensor::from_fn(Shape4::new(1, 2, 2, 2), |_, h, w, c| {
-            if c == 0 { (h + w) as f32 } else { -(h as f32) }
+            if c == 0 {
+                (h + w) as f32
+            } else {
+                -(h as f32)
+            }
         });
         let out = MaxPool2D::halving().forward(&[&t]).unwrap();
         assert_eq!(out.as_slice(), &[2.0, 0.0]);

@@ -223,8 +223,16 @@ mod tests {
     #[test]
     fn vgg_mac_count_positive_and_deterministic() {
         let cfg = VggConfig::vgg8();
-        let a = cfg.build(7).unwrap().mac_count(cifar_input_shape(1)).unwrap();
-        let b = cfg.build(9).unwrap().mac_count(cifar_input_shape(1)).unwrap();
+        let a = cfg
+            .build(7)
+            .unwrap()
+            .mac_count(cifar_input_shape(1))
+            .unwrap();
+        let b = cfg
+            .build(9)
+            .unwrap()
+            .mac_count(cifar_input_shape(1))
+            .unwrap();
         assert_eq!(a, b, "MACs are architecture-determined");
         assert!(a > 10_000_000);
     }

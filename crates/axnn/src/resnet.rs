@@ -55,7 +55,7 @@ impl ResNetConfig {
     ///
     /// Returns [`NnError::BadResNetDepth`] otherwise.
     pub fn with_depth(depth: usize) -> Result<Self, NnError> {
-        if depth < 8 || (depth - 2) % 6 != 0 {
+        if depth < 8 || !(depth - 2).is_multiple_of(6) {
             return Err(NnError::BadResNetDepth(depth));
         }
         Ok(ResNetConfig { n: (depth - 2) / 6 })
@@ -115,9 +115,7 @@ impl ResNetConfig {
             .graph
             .add("avgpool", Arc::new(GlobalAvgPool::new()), &[x])?;
         let dense = b.dense("fc", pool, 64, 10)?;
-        let softmax = b
-            .graph
-            .add("softmax", Arc::new(Softmax::new()), &[dense])?;
+        let softmax = b.graph.add("softmax", Arc::new(Softmax::new()), &[dense])?;
         b.graph.set_output(softmax)?;
         Ok(b.graph)
     }
@@ -276,10 +274,7 @@ mod tests {
         let m1 = ResNetConfig::new(1).mac_count().unwrap();
         let m2 = ResNetConfig::new(2).mac_count().unwrap();
         let inc = m2 - m1;
-        assert!(
-            (13_500_000..15_000_000).contains(&inc),
-            "increment = {inc}"
-        );
+        assert!((13_500_000..15_000_000).contains(&inc), "increment = {inc}");
     }
 
     #[test]

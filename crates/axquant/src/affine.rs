@@ -182,7 +182,9 @@ impl QuantParams {
     /// for signed ranges) — the format the LUT-indexed GEMM consumes.
     #[must_use]
     pub fn quantize_slice_to_bytes(&self, xs: &[f32]) -> Vec<u8> {
-        xs.iter().map(|&x| (self.quantize(x) & 0xFF) as u8).collect()
+        xs.iter()
+            .map(|&x| (self.quantize(x) & 0xFF) as u8)
+            .collect()
     }
 }
 

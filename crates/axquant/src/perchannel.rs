@@ -22,11 +22,7 @@ pub enum FilterQuantization {
 impl FilterQuantization {
     /// Build per-channel parameters from per-channel `(min, max)` ranges.
     #[must_use]
-    pub fn from_channel_ranges(
-        ranges: &[(f32, f32)],
-        range: QuantRange,
-        round: RoundMode,
-    ) -> Self {
+    pub fn from_channel_ranges(ranges: &[(f32, f32)], range: QuantRange, round: RoundMode) -> Self {
         FilterQuantization::PerChannel(
             ranges
                 .iter()

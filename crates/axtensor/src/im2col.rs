@@ -47,11 +47,10 @@ pub fn im2col(
                 let base = row * cols;
                 let mut col = 0usize;
                 for ky in 0..filter.h {
-                    let iy = (oy * geom.stride.0 + ky * geom.dilation.0) as isize
-                        - pad_h as isize;
+                    let iy = (oy * geom.stride.0 + ky * geom.dilation.0) as isize - pad_h as isize;
                     for kx in 0..filter.w {
-                        let ix = (ox * geom.stride.1 + kx * geom.dilation.1) as isize
-                            - pad_w as isize;
+                        let ix =
+                            (ox * geom.stride.1 + kx * geom.dilation.1) as isize - pad_w as isize;
                         if iy >= 0 && (iy as usize) < shape.h && ix >= 0 && (ix as usize) < shape.w
                         {
                             let from = shape.index(n, iy as usize, ix as usize, 0);

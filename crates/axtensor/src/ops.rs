@@ -229,8 +229,8 @@ pub fn conv2d_direct(
                 for co in 0..fs.c_out {
                     let mut acc = 0f32;
                     for ky in 0..fs.h {
-                        let iy = (oy * geom.stride.0 + ky * geom.dilation.0) as isize
-                            - pad_h as isize;
+                        let iy =
+                            (oy * geom.stride.0 + ky * geom.dilation.0) as isize - pad_h as isize;
                         if iy < 0 || iy as usize >= shape.h {
                             continue;
                         }

@@ -212,11 +212,7 @@ impl ConvGeometry {
     /// - [`TensorError::ChannelMismatch`] if channel counts disagree.
     /// - [`TensorError::EmptyOutput`] if the kernel exceeds the padded
     ///   input extent.
-    pub fn output_shape(
-        &self,
-        input: Shape4,
-        filter: FilterShape,
-    ) -> Result<Shape4, TensorError> {
+    pub fn output_shape(&self, input: Shape4, filter: FilterShape) -> Result<Shape4, TensorError> {
         if self.stride.0 == 0 || self.stride.1 == 0 || self.dilation.0 == 0 || self.dilation.1 == 0
         {
             return Err(TensorError::ZeroStride);
@@ -338,7 +334,13 @@ mod tests {
         let err = g
             .output_shape(Shape4::new(1, 8, 8, 3), FilterShape::new(3, 3, 4, 8))
             .unwrap_err();
-        assert!(matches!(err, TensorError::ChannelMismatch { input: 3, filter: 4 }));
+        assert!(matches!(
+            err,
+            TensorError::ChannelMismatch {
+                input: 3,
+                filter: 4
+            }
+        ));
     }
 
     #[test]
@@ -352,8 +354,10 @@ mod tests {
 
     #[test]
     fn zero_stride_rejected() {
-        let mut g = ConvGeometry::default();
-        g.stride = (0, 1);
+        let g = ConvGeometry {
+            stride: (0, 1),
+            ..ConvGeometry::default()
+        };
         let err = g
             .output_shape(Shape4::new(1, 8, 8, 1), FilterShape::new(3, 3, 1, 1))
             .unwrap_err();

@@ -27,12 +27,7 @@ fn bench_axconv2d(c: &mut Criterion) {
         ("gpu_sim_functional", Backend::GpuSim),
     ] {
         let ctx = Arc::new(EmuContext::new(backend));
-        let layer = AxConv2D::new(
-            filter.clone(),
-            ConvGeometry::default(),
-            lut.clone(),
-            ctx,
-        );
+        let layer = AxConv2D::new(filter.clone(), ConvGeometry::default(), lut.clone(), ctx);
         group.bench_function(label, |b| {
             b.iter(|| black_box(layer.convolve(&input).expect("convolve")));
         });

@@ -16,8 +16,7 @@ fn bench_gemm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let quant = GemmQuant {
         input: QuantParams::from_range(-1.0, 1.0, QuantRange::i8(), RoundMode::NearestEven),
-        filter: QuantParams::from_range(-0.5, 0.5, QuantRange::i8(), RoundMode::NearestEven)
-            .into(),
+        filter: QuantParams::from_range(-0.5, 0.5, QuantRange::i8(), RoundMode::NearestEven).into(),
     };
     let mut mp_bytes = vec![0u8; rows * k];
     let mut sp = vec![0i64; rows];
@@ -39,9 +38,7 @@ fn bench_gemm(c: &mut Criterion) {
     group.bench_function("approx_lut_gemm", |b| {
         let mut cache = TextureCache::new(dev.tex_cache_bytes, dev.tex_cache_line, 4);
         b.iter(|| {
-            black_box(
-                approx_gemm(&mp, &sp, &filter, &quant, &lut, &mut cache).expect("gemm"),
-            )
+            black_box(approx_gemm(&mp, &sp, &filter, &quant, &lut, &mut cache).expect("gemm"))
         });
     });
     group.bench_function("f32_reference_gemm", |b| {

@@ -31,9 +31,12 @@ fn main() {
         ("conv 3x3x3x64", FilterShape::new(3, 3, 3, 64)),
         ("conv 7x7x3x16", FilterShape::new(7, 7, 3, 16)),
     ] {
-        for strategy in [PatchSumStrategy::PrefixScan, PatchSumStrategy::PerPatchThread] {
-            let run = im2col_quant(&batch, filter, ConvGeometry::default(), q, strategy)
-                .expect("im2col");
+        for strategy in [
+            PatchSumStrategy::PrefixScan,
+            PatchSumStrategy::PerPatchThread,
+        ] {
+            let run =
+                im2col_quant(&batch, filter, ConvGeometry::default(), q, strategy).expect("im2col");
             let ev = run.total_events();
             println!(
                 "{:<18} {:>14} {:>10}MB {:>12} {:>14} {:>12.5}",

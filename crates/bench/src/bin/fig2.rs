@@ -60,7 +60,10 @@ fn main() {
             ],
         );
         if let Some((_, p)) = PAPER_FIG2_GPU.iter().find(|(d, _)| *d == depth) {
-            print_bar("  (paper)", [p[0] / 100.0, p[1] / 100.0, p[2] / 100.0, p[3] / 100.0]);
+            print_bar(
+                "  (paper)",
+                [p[0] / 100.0, p[1] / 100.0, p[2] / 100.0, p[3] / 100.0],
+            );
         }
     }
 
@@ -80,7 +83,10 @@ fn main() {
             ],
         );
         if let Some((_, p)) = PAPER_FIG2_CPU.iter().find(|(d, _)| *d == depth) {
-            print_bar("  (paper)", [p[0] / 100.0, p[1] / 100.0, p[2] / 100.0, p[3] / 100.0]);
+            print_bar(
+                "  (paper)",
+                [p[0] / 100.0, p[1] / 100.0, p[2] / 100.0, p[3] / 100.0],
+            );
         }
     }
 

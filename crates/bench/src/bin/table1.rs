@@ -27,14 +27,9 @@ fn main() {
     let sample: usize = arg_value(&args, "--sample")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
-    let mult_name =
-        arg_value(&args, "--mult").unwrap_or_else(|| "mul8s_bam_v8h0".to_owned());
+    let mult_name = arg_value(&args, "--mult").unwrap_or_else(|| "mul8s_bam_v8h0".to_owned());
     let depths: Vec<usize> = arg_value(&args, "--depths")
-        .map(|v| {
-            v.split(',')
-                .filter_map(|d| d.trim().parse().ok())
-                .collect()
-        })
+        .map(|v| v.split(',').filter_map(|d| d.trim().parse().ok()).collect())
         .unwrap_or_else(|| axnn::resnet::TABLE1_DEPTHS.to_vec());
 
     let mult = match axmult::catalog::by_name(&mult_name) {

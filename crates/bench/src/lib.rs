@@ -9,21 +9,94 @@
 //! - `ablation_cache` — texture-cache size ablation (design decision 1).
 //! - `ablation_im2col` — patch-sum strategy ablation (design decision 4).
 
-/// The paper's published Table I, used for side-by-side printing.
-/// Each row: (depth, L, MACs ×10⁶, cpu_acc (tinit, tcomp),
+/// One row of Table I: (depth, L, MACs ×10⁶, cpu_acc (tinit, tcomp),
 /// gpu_acc, cpu_approx, gpu_approx).
-pub const PAPER_TABLE1: [(usize, usize, u64, (f64, f64), (f64, f64), (f64, f64), (f64, f64));
-    10] = [
+pub type Table1Row = (
+    usize,
+    usize,
+    u64,
+    (f64, f64),
+    (f64, f64),
+    (f64, f64),
+    (f64, f64),
+);
+
+/// The paper's published Table I, used for side-by-side printing.
+pub const PAPER_TABLE1: [Table1Row; 10] = [
     (8, 7, 21, (0.2, 4.4), (1.8, 0.2), (0.2, 341.0), (1.7, 1.5)),
     (14, 13, 35, (0.2, 7.4), (1.9, 0.3), (0.2, 724.0), (1.8, 3.1)),
-    (20, 19, 49, (0.2, 10.4), (1.8, 0.5), (0.2, 1105.0), (1.8, 4.7)),
-    (26, 25, 63, (0.2, 13.4), (1.9, 0.6), (0.2, 1489.0), (1.8, 6.2)),
-    (32, 31, 77, (0.3, 16.3), (1.9, 0.7), (0.3, 1876.0), (1.9, 7.9)),
-    (38, 37, 91, (0.3, 19.3), (1.9, 0.8), (0.3, 2259.0), (1.9, 9.4)),
-    (44, 43, 106, (0.3, 22.3), (1.9, 0.9), (0.3, 2640.0), (2.0, 10.9)),
-    (50, 49, 120, (0.3, 25.2), (1.9, 1.1), (0.3, 3025.0), (2.0, 12.6)),
-    (56, 55, 134, (0.3, 28.1), (1.9, 1.2), (0.3, 3409.0), (2.0, 13.9)),
-    (62, 61, 148, (0.3, 31.1), (1.9, 1.3), (0.3, 3796.0), (2.3, 15.5)),
+    (
+        20,
+        19,
+        49,
+        (0.2, 10.4),
+        (1.8, 0.5),
+        (0.2, 1105.0),
+        (1.8, 4.7),
+    ),
+    (
+        26,
+        25,
+        63,
+        (0.2, 13.4),
+        (1.9, 0.6),
+        (0.2, 1489.0),
+        (1.8, 6.2),
+    ),
+    (
+        32,
+        31,
+        77,
+        (0.3, 16.3),
+        (1.9, 0.7),
+        (0.3, 1876.0),
+        (1.9, 7.9),
+    ),
+    (
+        38,
+        37,
+        91,
+        (0.3, 19.3),
+        (1.9, 0.8),
+        (0.3, 2259.0),
+        (1.9, 9.4),
+    ),
+    (
+        44,
+        43,
+        106,
+        (0.3, 22.3),
+        (1.9, 0.9),
+        (0.3, 2640.0),
+        (2.0, 10.9),
+    ),
+    (
+        50,
+        49,
+        120,
+        (0.3, 25.2),
+        (1.9, 1.1),
+        (0.3, 3025.0),
+        (2.0, 12.6),
+    ),
+    (
+        56,
+        55,
+        134,
+        (0.3, 28.1),
+        (1.9, 1.2),
+        (0.3, 3409.0),
+        (2.0, 13.9),
+    ),
+    (
+        62,
+        61,
+        148,
+        (0.3, 31.1),
+        (1.9, 1.3),
+        (0.3, 3796.0),
+        (2.3, 15.5),
+    ),
 ];
 
 /// The paper's Fig. 2 percentages `(init, other, quantization, lut)` for

@@ -94,8 +94,7 @@ impl DeviceConfig {
             + ev.tex_hits as f64 / self.tex_hit_per_s
             + ev.tex_misses as f64 / self.tex_miss_per_s
             + ev.shared_ops as f64 / self.shared_per_s;
-        let memory =
-            (ev.global_read_bytes + ev.global_write_bytes) as f64 / self.dram_bytes_per_s;
+        let memory = (ev.global_read_bytes + ev.global_write_bytes) as f64 / self.dram_bytes_per_s;
         let serial = ev.atomic_ops as f64 / self.atomic_per_s;
         compute.max(memory) + serial
     }
@@ -120,8 +119,10 @@ mod tests {
     #[test]
     fn compute_bound_workload_scales_with_fma() {
         let dev = DeviceConfig::gtx1080();
-        let mut ev = EventCounts::default();
-        ev.fma_ops = 1_100_000_000_000; // one second of FMA
+        let ev = EventCounts {
+            fma_ops: 1_100_000_000_000, // one second of FMA
+            ..EventCounts::default()
+        };
         let t = dev.seconds(&ev);
         assert!((t - 1.0).abs() < 1e-9, "t = {t}");
     }
@@ -129,9 +130,11 @@ mod tests {
     #[test]
     fn memory_bound_workload_uses_bandwidth() {
         let dev = DeviceConfig::gtx1080();
-        let mut ev = EventCounts::default();
-        ev.global_read_bytes = 260_000_000_000; // one second of DRAM
-        ev.fma_ops = 1; // negligible compute
+        let ev = EventCounts {
+            global_read_bytes: 260_000_000_000, // one second of DRAM
+            fma_ops: 1,                         // negligible compute
+            ..EventCounts::default()
+        };
         let t = dev.seconds(&ev);
         assert!((t - 1.0).abs() < 1e-6, "t = {t}");
     }
@@ -139,9 +142,11 @@ mod tests {
     #[test]
     fn roofline_takes_max_not_sum() {
         let dev = DeviceConfig::gtx1080();
-        let mut ev = EventCounts::default();
-        ev.fma_ops = 1_100_000_000_000;
-        ev.global_read_bytes = 260_000_000_000;
+        let ev = EventCounts {
+            fma_ops: 1_100_000_000_000,
+            global_read_bytes: 260_000_000_000,
+            ..EventCounts::default()
+        };
         let t = dev.seconds(&ev);
         assert!((t - 1.0).abs() < 1e-6, "overlapped, t = {t}");
     }
@@ -149,10 +154,14 @@ mod tests {
     #[test]
     fn tex_misses_cost_more_than_hits() {
         let dev = DeviceConfig::gtx1080();
-        let mut hits = EventCounts::default();
-        hits.tex_hits = 1_000_000;
-        let mut misses = EventCounts::default();
-        misses.tex_misses = 1_000_000;
+        let hits = EventCounts {
+            tex_hits: 1_000_000,
+            ..EventCounts::default()
+        };
+        let misses = EventCounts {
+            tex_misses: 1_000_000,
+            ..EventCounts::default()
+        };
         assert!(dev.seconds(&misses) > dev.seconds(&hits));
     }
 

@@ -145,10 +145,9 @@ pub fn approx_gemm(
                 for c in c0..c1 {
                     let a2 = f64::from(col_q[c].scale());
                     let b2 = i64::from(col_q[c].zero_point());
-                    let corrected = f64::from(acc[r - r0][c - c0])
-                        - (b2 * sp[r]) as f64
-                        - (b1 * sf[c]) as f64
-                        + (k as i64 * b1 * b2) as f64;
+                    let corrected =
+                        f64::from(acc[r - r0][c - c0]) - (b2 * sp[r]) as f64 - (b1 * sf[c]) as f64
+                            + (k as i64 * b1 * b2) as f64;
                     *out.at_mut(r, c) = (a1 * a2 * corrected) as f32;
                 }
             }
@@ -235,7 +234,12 @@ mod tests {
         }
     }
 
-    fn random_case(rows: usize, k: usize, c_out: usize, seed: u64) -> (Matrix<u8>, Vec<i64>, Matrix<f32>) {
+    fn random_case(
+        rows: usize,
+        k: usize,
+        c_out: usize,
+        seed: u64,
+    ) -> (Matrix<u8>, Vec<i64>, Matrix<f32>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let q = quant_pair();
         let mut mp = vec![0u8; rows * k];

@@ -79,11 +79,10 @@ pub fn im2col_quant(
                 let mut col = 0usize;
                 let mut sum = 0i64;
                 for ky in 0..filter.h {
-                    let iy =
-                        (oy * geom.stride.0 + ky * geom.dilation.0) as isize - pad_h as isize;
+                    let iy = (oy * geom.stride.0 + ky * geom.dilation.0) as isize - pad_h as isize;
                     for kx in 0..filter.w {
-                        let ix = (ox * geom.stride.1 + kx * geom.dilation.1) as isize
-                            - pad_w as isize;
+                        let ix =
+                            (ox * geom.stride.1 + kx * geom.dilation.1) as isize - pad_w as isize;
                         let inside = iy >= 0
                             && (iy as usize) < shape.h
                             && ix >= 0
@@ -91,8 +90,7 @@ pub fn im2col_quant(
                         if inside {
                             in_bounds_reads += shape.c as u64;
                             for ci in 0..shape.c {
-                                let q =
-                                    input_q.quantize(chunk.at(n, iy as usize, ix as usize, ci));
+                                let q = input_q.quantize(chunk.at(n, iy as usize, ix as usize, ci));
                                 data[base + col] = (q & 0xFF) as u8;
                                 sum += i64::from(q);
                                 col += 1;
@@ -196,11 +194,7 @@ mod tests {
             PatchSumStrategy::PrefixScan,
         )
         .unwrap();
-        let expect: i64 = t
-            .as_slice()
-            .iter()
-            .map(|&v| i64::from(q.quantize(v)))
-            .sum();
+        let expect: i64 = t.as_slice().iter().map(|&v| i64::from(q.quantize(v))).sum();
         assert_eq!(run.output.patch_sums, vec![expect]);
     }
 

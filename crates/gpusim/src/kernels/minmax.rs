@@ -36,7 +36,11 @@ pub fn min_max(data: &[f32]) -> KernelRun<(f32, f32)> {
         lo = lo.min(v);
         hi = hi.max(v);
     }
-    let value = if data.is_empty() { (0.0, 0.0) } else { (lo, hi) };
+    let value = if data.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (lo, hi)
+    };
     KernelRun {
         output: value,
         events: vec![(Phase::Quantization, reduction_events(data.len()))],

@@ -38,12 +38,7 @@ pub struct AxConv2D {
 impl AxConv2D {
     /// Create from parts.
     #[must_use]
-    pub fn new(
-        filter: Filter,
-        geometry: ConvGeometry,
-        lut: MulLut,
-        ctx: Arc<EmuContext>,
-    ) -> Self {
+    pub fn new(filter: Filter, geometry: ConvGeometry, lut: MulLut, ctx: Arc<EmuContext>) -> Self {
         let filter_range = ops::min_max_slice(filter.as_slice());
         AxConv2D {
             filter,
@@ -252,8 +247,7 @@ mod tests {
     fn standalone_convolve_close_to_float() {
         let (layer, input) = make(Backend::CpuGemm, MulLut::exact(Signedness::Signed));
         let out = layer.convolve(&input).unwrap();
-        let float_ref =
-            ops::conv2d_gemm(&input, &layer.filter, ConvGeometry::default()).unwrap();
+        let float_ref = ops::conv2d_gemm(&input, &layer.filter, ConvGeometry::default()).unwrap();
         let diff = out.max_abs_diff(&float_ref).unwrap();
         assert!(diff < 0.5, "quantization noise only, got {diff}");
     }
@@ -311,8 +305,7 @@ mod tests {
             }
         });
         let input = rng::uniform(Shape4::new(1, 8, 8, 3), 21, -1.0, 1.0);
-        let float_ref =
-            ops::conv2d_direct(&input, &filter, ConvGeometry::default()).unwrap();
+        let float_ref = ops::conv2d_direct(&input, &filter, ConvGeometry::default()).unwrap();
         let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
         let per_tensor = AxConv2D::new(
             filter.clone(),
@@ -368,9 +361,7 @@ mod tests {
     fn wide_accumulator_equals_exact() {
         let (layer, input) = make(Backend::CpuDirect, MulLut::exact(Signedness::Signed));
         let exact_out = layer.convolve(&input).unwrap();
-        let wide = layer
-            .clone()
-            .with_accumulator(Accumulator::Saturating(32));
+        let wide = layer.clone().with_accumulator(Accumulator::Saturating(32));
         let wide_out = wide.convolve(&input).unwrap();
         assert_eq!(exact_out, wide_out, "32-bit accumulator never clips here");
     }

@@ -109,7 +109,11 @@ impl AxDense {
 
         let mut profile = PhaseProfile::new();
         let t0 = Instant::now();
-        let q_in: Vec<i32> = input.as_slice().iter().map(|&v| input_q.quantize(v)).collect();
+        let q_in: Vec<i32> = input
+            .as_slice()
+            .iter()
+            .map(|&v| input_q.quantize(v))
+            .collect();
         let q_w: Vec<i32> = self.weights.iter().map(|&v| weight_q.quantize(v)).collect();
         let mut sf = vec![0i64; self.out_features];
         for (i, &q) in q_w.iter().enumerate() {
@@ -229,10 +233,7 @@ mod tests {
         );
         let out = ax.forward(&[&input]).unwrap();
         assert_eq!(out.shape(), Shape4::new(3, 1, 1, 10));
-        assert_eq!(
-            ax.mac_count(&[input.shape()]).unwrap(),
-            3 * 64 * 10
-        );
+        assert_eq!(ax.mac_count(&[input.shape()]).unwrap(), 3 * 64 * 10);
         assert_eq!(ax.op_name(), "AxDense");
     }
 

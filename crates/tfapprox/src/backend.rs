@@ -76,7 +76,11 @@ pub fn run_cpu_direct(
 
     // --- Quantization of both operands (logical values).
     let t0 = Instant::now();
-    let q_in: Vec<i32> = input.as_slice().iter().map(|&v| spec.input_q.quantize(v)).collect();
+    let q_in: Vec<i32> = input
+        .as_slice()
+        .iter()
+        .map(|&v| spec.input_q.quantize(v))
+        .collect();
     let col_q: Vec<QuantParams> = (0..fs.c_out)
         .map(|c| spec.filter_q.for_channel(c))
         .collect();
@@ -108,8 +112,7 @@ pub fn run_cpu_direct(
                 let mut sp = 0i64;
                 let mut taps: Vec<i32> = Vec::with_capacity(fs.patch_len());
                 for ky in 0..fs.h {
-                    let iy = (oy * spec.geometry.stride.0 + ky * spec.geometry.dilation.0)
-                        as isize
+                    let iy = (oy * spec.geometry.stride.0 + ky * spec.geometry.dilation.0) as isize
                         - pad_h as isize;
                     for kx in 0..fs.w {
                         let ix = (ox * spec.geometry.stride.1 + kx * spec.geometry.dilation.1)
@@ -160,7 +163,11 @@ pub fn run_cpu_direct(
     // it to the LUT phase when the LUT is in use (callers isolate the true
     // LUT share by differencing against a `use_lut = false` run).
     profile.add(
-        if use_lut { Phase::LutLookup } else { Phase::Other },
+        if use_lut {
+            Phase::LutLookup
+        } else {
+            Phase::Other
+        },
         t1.elapsed().as_secs_f64(),
     );
     Ok((apply_bias(out, spec.bias), profile))
@@ -186,9 +193,7 @@ pub fn run_cpu_gemm(
     let c_out = fs.c_out;
     let k = fs.patch_len();
     let fmat = spec.filter.to_matrix();
-    let col_q: Vec<QuantParams> = (0..c_out)
-        .map(|c| spec.filter_q.for_channel(c))
-        .collect();
+    let col_q: Vec<QuantParams> = (0..c_out).map(|c| spec.filter_q.for_channel(c)).collect();
     let mut f_bytes = vec![0u8; k * c_out];
     let mut sf = vec![0i64; c_out];
     for r in 0..k {
@@ -235,10 +240,10 @@ pub fn run_cpu_gemm(
         let sf_ref = &sf;
         let col_q_ref = &col_q;
         let accumulator = spec.accumulator;
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, slab) in out_buf.chunks_mut(rows_per * c_out).enumerate() {
                 let r0 = t * rows_per;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (local_r, out_row) in slab.chunks_mut(c_out).enumerate() {
                         let r = r0 + local_r;
                         let patch = mp.row(r);
@@ -262,8 +267,7 @@ pub fn run_cpu_gemm(
                     }
                 });
             }
-        })
-        .expect("gemm worker panicked");
+        });
         profile.add(Phase::LutLookup, t2.elapsed().as_secs_f64());
 
         parts.push(Tensor::from_vec(patches.out_shape, out_buf)?);
@@ -362,8 +366,7 @@ pub fn run_gpusim_accurate(
     let macs = geometry.mac_count(input.shape(), filter.shape())?;
     let mut ev = gpusim::EventCounts::new();
     ev.fma_ops = macs;
-    ev.global_read_bytes =
-        (input.shape().len() + filter.shape().len()) as u64 * 4;
+    ev.global_read_bytes = (input.shape().len() + filter.shape().len()) as u64 * 4;
     ev.global_write_bytes = out.shape().len() as u64 * 4;
     let mut profile = PhaseProfile::new();
     profile.add(Phase::Other, ctx.device().seconds(&ev));
@@ -420,13 +423,8 @@ mod tests {
             bias: None,
             lut,
             input_q: QuantParams::from_range(-1.0, 1.0, QuantRange::i8(), RoundMode::NearestEven),
-            filter_q: QuantParams::from_range(
-                -0.5,
-                0.5,
-                QuantRange::i8(),
-                RoundMode::NearestEven,
-            )
-            .into(),
+            filter_q: QuantParams::from_range(-0.5, 0.5, QuantRange::i8(), RoundMode::NearestEven)
+                .into(),
             accumulator: Accumulator::Exact,
         }
     }

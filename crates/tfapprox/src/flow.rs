@@ -45,9 +45,8 @@ pub fn approximate_graph(
     mult: &AxMultiplier,
     ctx: &Arc<EmuContext>,
 ) -> Result<(Graph, usize), EmuError> {
-    let (rewritten, replaced) = graph.rewrite_convs(|conv| {
-        Arc::new(AxConv2D::from_conv2d(conv, mult, Arc::clone(ctx)))
-    })?;
+    let (rewritten, replaced) =
+        graph.rewrite_convs(|conv| Arc::new(AxConv2D::from_conv2d(conv, mult, Arc::clone(ctx))))?;
     Ok((rewritten, replaced))
 }
 
@@ -128,7 +127,7 @@ mod tests {
         let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
         // Wrong count rejected.
         let err =
-            approximate_graph_layerwise(&graph, &[exact.clone()], &ctx).unwrap_err();
+            approximate_graph_layerwise(&graph, std::slice::from_ref(&exact), &ctx).unwrap_err();
         assert!(matches!(err, crate::EmuError::Config(_)));
         // Correct count accepted.
         let assignments = vec![exact; 7];

@@ -195,8 +195,7 @@ pub fn gpu_approx_times(
 ) -> Result<(ConfigTimes, PhaseProfile), EmuError> {
     let graph = cfg.build(seed)?;
     let ctx = Arc::new(
-        EmuContext::with_device(Backend::GpuSim, dev.clone())
-            .with_chunk_size(sample_images.max(1)),
+        EmuContext::with_device(Backend::GpuSim, dev.clone()).with_chunk_size(sample_images.max(1)),
     );
     let (ax, _) = flow::approximate_graph(&graph, mult, &ctx)?;
     let data = SyntheticCifar10::new(seed);
@@ -241,8 +240,7 @@ pub fn table1_row(
     let cfg = ResNetConfig::with_depth(depth)?;
     let macs_per_image = cfg.build(seed)?.mac_count(cifar_input_shape(1))?;
     let total_macs = macs_per_image * images as u64;
-    let (gpu_approx, gpu_profile) =
-        gpu_approx_times(cfg, mult, dev, images, sample_images, seed)?;
+    let (gpu_approx, gpu_profile) = gpu_approx_times(cfg, mult, dev, images, sample_images, seed)?;
     Ok(Table1Row {
         depth,
         l: cfg.conv_layers(),
@@ -307,12 +305,12 @@ pub fn measured_row(
     let batch = data.batch_sized(0, sample_images);
     let factor = images as f64 / sample_images as f64;
 
-    let (_, acc) = runtime::run_accurate_cpu(&graph, &[batch.clone()])?;
+    let (_, acc) = runtime::run_accurate_cpu(&graph, std::slice::from_ref(&batch))?;
 
     let run_backend = |backend: Backend| -> Result<EmulationReport, EmuError> {
         let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(sample_images));
         let (ax, _) = flow::approximate_graph(&graph, mult, &ctx)?;
-        let (_, report) = runtime::run_approx(&ax, &[batch.clone()], &ctx)?;
+        let (_, report) = runtime::run_approx(&ax, std::slice::from_ref(&batch), &ctx)?;
         Ok(report)
     };
     let direct = run_backend(Backend::CpuDirect)?;
@@ -348,11 +346,7 @@ mod tests {
         let cpu = CpuModel::xeon_e5_2620();
         // Paper ResNet-62 approximate: 3796 s.
         let t = cpu_times(&cpu, 148_000_000 * 10_000, false);
-        assert!(
-            (3000.0..4800.0).contains(&t.tcomp),
-            "tcomp = {}",
-            t.tcomp
-        );
+        assert!((3000.0..4800.0).contains(&t.tcomp), "tcomp = {}", t.tcomp);
     }
 
     #[test]

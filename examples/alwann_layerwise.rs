@@ -33,16 +33,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for k in 0..=l {
         let mut assignment = Vec::with_capacity(l);
         for i in 0..l {
-            assignment.push(if i < k { precise.clone() } else { rough.clone() });
+            assignment.push(if i < k {
+                precise.clone()
+            } else {
+                rough.clone()
+            });
         }
         let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
         let (ax, _) = flow::approximate_graph_layerwise(&graph, &assignment, &ctx)?;
         let out = ax.forward(&batch)?;
         let agreement = top1_agreement(&float_out, &out);
-        let mean_power =
-            (k as f64 * p_power + (l - k) as f64 * r_power) / l as f64;
+        let mean_power = (k as f64 * p_power + (l - k) as f64 * r_power) / l as f64;
         let label = format!("{} precise + {} rough", k, l - k);
-        println!("{label:<28} {mean_power:>14.1} {:>11.1}%", agreement * 100.0);
+        println!(
+            "{label:<28} {mean_power:>14.1} {:>11.1}%",
+            agreement * 100.0
+        );
     }
     println!();
     println!("Reading: protecting only the first layer(s) recovers most of the");

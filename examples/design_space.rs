@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     pareto.sort_by(|a, b| a.power.total_cmp(&b.power));
 
     println!("ResNet-{depth}, {images} images — multiplier design space:");
-    println!("{:<18} {:>10} {:>12} {:>8}", "multiplier", "power", "agreement", "Pareto");
+    println!(
+        "{:<18} {:>10} {:>12} {:>8}",
+        "multiplier", "power", "agreement", "Pareto"
+    );
     for c in &candidates {
         let on_front = pareto.iter().any(|p| p.name == c.name);
         println!(
@@ -71,7 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("Pareto front (power-ordered):");
     for p in pareto {
-        println!("  {:<18} power {:>8.1}  agreement {:>5.1}%", p.name, p.power, p.agreement * 100.0);
+        println!(
+            "  {:<18} power {:>8.1}  agreement {:>5.1}%",
+            p.name,
+            p.power,
+            p.agreement * 100.0
+        );
     }
     Ok(())
 }

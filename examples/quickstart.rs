@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let data = SyntheticCifar10::new(7);
     let batch = data.batch_sized(0, 16);
-    let (outputs, report) = runtime::run_approx(&ax_graph, &[batch.clone()], &ctx)?;
+    let (outputs, report) = runtime::run_approx(&ax_graph, std::slice::from_ref(&batch), &ctx)?;
 
     // Compare predictions against the accurate float network.
     let float_out = graph.forward(&batch)?;

@@ -25,14 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ResNet-{depth}, {images} images (reduced workload, measured on this host)");
 
     // Accurate f32 on the host.
-    let (_, acc) = runtime::run_accurate_cpu(&graph, &[batch.clone()])?;
+    let (_, acc) = runtime::run_accurate_cpu(&graph, std::slice::from_ref(&batch))?;
     println!("accurate f32 (host):        tcomp {:.3}s", acc.tcomp);
 
     // Approximate on both CPU backends.
     for backend in [Backend::CpuDirect, Backend::CpuGemm] {
         let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(images));
         let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx)?;
-        let (_, rep) = runtime::run_approx(&ax, &[batch.clone()], &ctx)?;
+        let (_, rep) = runtime::run_approx(&ax, std::slice::from_ref(&batch), &ctx)?;
         println!(
             "approximate {:<14} tcomp {:.3}s  ({:.1}x slower than f32)",
             format!("({backend}):"),

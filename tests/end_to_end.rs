@@ -19,7 +19,10 @@ fn gate_level_multiplier_runs_inside_network() {
     let cost = axcircuit::cost::evaluate(&netlist);
     let mult = axmult::AxMultiplier::new("test_bam", "integration test", lut, Some(cost));
 
-    let graph = ResNetConfig::with_depth(8).expect("cfg").build(1).expect("graph");
+    let graph = ResNetConfig::with_depth(8)
+        .expect("cfg")
+        .build(1)
+        .expect("graph");
     let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
     let (ax, replaced) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
     assert_eq!(replaced, 7);
@@ -36,7 +39,10 @@ fn gate_level_multiplier_runs_inside_network() {
 /// network up to quantization noise, on every backend.
 #[test]
 fn exact_lut_network_tracks_float_network_on_all_backends() {
-    let graph = ResNetConfig::with_depth(8).expect("cfg").build(2).expect("graph");
+    let graph = ResNetConfig::with_depth(8)
+        .expect("cfg")
+        .build(2)
+        .expect("graph");
     let mult = axmult::catalog::by_name("mul8s_exact").expect("catalog");
     let batch = SyntheticCifar10::new(6).batch_sized(0, 4);
     let float_out = graph.forward(&batch).expect("float forward");
@@ -46,10 +52,7 @@ fn exact_lut_network_tracks_float_network_on_all_backends() {
         let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
         let ax_out = ax.forward(&batch).expect("ax forward");
         let agreement = top1_agreement(&float_out, &ax_out);
-        assert!(
-            agreement >= 0.75,
-            "{backend}: top-1 agreement {agreement}"
-        );
+        assert!(agreement >= 0.75, "{backend}: top-1 agreement {agreement}");
     }
 }
 
@@ -57,7 +60,10 @@ fn exact_lut_network_tracks_float_network_on_all_backends() {
 /// *approximate* multiplier too — they emulate the same hardware.
 #[test]
 fn backends_agree_through_a_full_network() {
-    let graph = ResNetConfig::with_depth(8).expect("cfg").build(3).expect("graph");
+    let graph = ResNetConfig::with_depth(8)
+        .expect("cfg")
+        .build(3)
+        .expect("graph");
     let mult = axmult::catalog::by_name("mul8s_bam_v8h0").expect("catalog");
     let batch = SyntheticCifar10::new(8).batch_sized(0, 2);
 
@@ -137,7 +143,10 @@ fn fig2_shape_holds() {
 /// cache must increase modeled LUT time.
 #[test]
 fn texture_cache_mechanism() {
-    let graph = ResNetConfig::with_depth(8).expect("cfg").build(4).expect("graph");
+    let graph = ResNetConfig::with_depth(8)
+        .expect("cfg")
+        .build(4)
+        .expect("graph");
     let mult = axmult::catalog::by_name("mul8s_exact").expect("catalog");
     let batch = SyntheticCifar10::new(11).batch_sized(0, 1);
 
@@ -169,7 +178,10 @@ fn texture_cache_mechanism() {
 /// Chunked execution (Algorithm 1's SplitData) must not change results.
 #[test]
 fn chunking_transparent_at_network_level() {
-    let graph = ResNetConfig::with_depth(8).expect("cfg").build(5).expect("graph");
+    let graph = ResNetConfig::with_depth(8)
+        .expect("cfg")
+        .build(5)
+        .expect("graph");
     let mult = axmult::catalog::by_name("mul8s_bam_v8h0").expect("catalog");
     let batch = SyntheticCifar10::new(13).batch_sized(0, 5);
 
@@ -186,7 +198,10 @@ fn chunking_transparent_at_network_level() {
 /// The emulation runtime reports tinit + tcomp with coherent bookkeeping.
 #[test]
 fn runtime_report_coherent() {
-    let graph = ResNetConfig::with_depth(8).expect("cfg").build(6).expect("graph");
+    let graph = ResNetConfig::with_depth(8)
+        .expect("cfg")
+        .build(6)
+        .expect("graph");
     let mult = axmult::catalog::by_name("mul8s_exact").expect("catalog");
     let ctx = Arc::new(EmuContext::new(Backend::GpuSim).with_chunk_size(2));
     let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");

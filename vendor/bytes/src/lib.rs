@@ -1,0 +1,84 @@
+//! Offline stand-in for the real `bytes` crate.
+//!
+//! Implements only the `Buf`/`BufMut` surface the workspace touches:
+//! little-endian u16 reads from `&[u8]` and writes into `Vec<u8>`, which is
+//! what `axmult`'s 128 kB LUT (de)serializer needs.
+
+/// Read side, counterpart of `bytes::Buf`.
+pub trait Buf {
+    /// Bytes remaining in the buffer.
+    fn remaining(&self) -> usize;
+
+    /// Consume and return the next little-endian `u16`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two bytes remain.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Consume and return the next byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        assert!(self.len() >= 2, "buffer underflow reading u16");
+        let v = u16::from_le_bytes([self[0], self[1]]);
+        *self = &self[2..];
+        v
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(!self.is_empty(), "buffer underflow reading u8");
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+}
+
+/// Write side, counterpart of `bytes::BufMut`.
+pub trait BufMut {
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+
+    /// Append a byte.
+    fn put_u8(&mut self, v: u8);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut};
+
+    #[test]
+    fn u16_roundtrip() {
+        let mut out = Vec::new();
+        out.put_u16_le(0xBEEF);
+        out.put_u16_le(7);
+        out.put_u8(3);
+        assert_eq!(out, [0xEF, 0xBE, 0x07, 0x00, 0x03]);
+        let mut buf = out.as_slice();
+        assert_eq!(buf.remaining(), 5);
+        assert_eq!(buf.get_u16_le(), 0xBEEF);
+        assert_eq!(buf.get_u16_le(), 7);
+        assert_eq!(buf.get_u8(), 3);
+        assert_eq!(buf.remaining(), 0);
+    }
+}

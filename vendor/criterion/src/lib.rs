@@ -1,0 +1,197 @@
+//! Offline stand-in for the real `criterion` crate.
+//!
+//! Implements the API surface the `bench` crate uses — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `black_box`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!` — as a small wall-clock harness.
+//! It has none of criterion's statistics, but benchmarks compile, run under
+//! `cargo bench`, and print per-benchmark mean times, which keeps the
+//! paper-reproduction benches executable in the offline environment.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, counterpart of `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier, counterpart of `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Measurement driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness, counterpart of `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.to_string(), 10, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure that receives an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.to_string(), self.sample_size, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Close the group (printing is per-benchmark; this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, samples: usize, mut f: F) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut total = Duration::ZERO;
+    let mut iters_total: u64 = 0;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iters_total += b.iters;
+    }
+    let mean = if iters_total == 0 {
+        Duration::ZERO
+    } else {
+        total / u32::try_from(iters_total.max(1)).unwrap_or(u32::MAX)
+    };
+    println!("bench: {label:<40} mean {mean:>12.3?} ({iters_total} iters)");
+}
+
+/// Counterpart of `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Counterpart of `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0usize;
+        group.sample_size(3).bench_function("f", |b| {
+            b.iter(|| black_box(1 + 1));
+            runs += 1;
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+    }
+}

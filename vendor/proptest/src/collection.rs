@@ -1,0 +1,25 @@
+//! Collection strategies, counterpart of `proptest::collection`.
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `Vec` strategy over `element` with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = Strategy::sample(&self.size, rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for the real `proptest` crate.
+//!
+//! Supports the subset of proptest's surface used by this workspace's
+//! property tests: the `proptest!` macro with a `proptest_config` inner
+//! attribute, range strategies over the primitive numeric types,
+//! `any::<bool>()`, `proptest::collection::vec`, and the `prop_assert*` /
+//! `prop_assume!` macros. Sampling is exhaustive-effort random with a
+//! deterministic per-test seed (derived from the test name), so failures
+//! reproduce exactly across runs — the property this reproduction actually
+//! relies on, in place of real proptest's shrinking machinery.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod collection;
+pub mod prelude;
+pub mod test_runner;
+
+pub use test_runner::TestRng;
+
+/// Runner configuration, counterpart of `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` sampled cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A source of sampled values, counterpart of `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// Type of the sampled values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = (self.start as f64
+                    + (self.end as f64 - self.start as f64) * unit) as $t;
+                if v < self.end { v } else { self.start }
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`, counterpart of `proptest::prelude::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `proptest!` macro: sampled property tests with deterministic seeds.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $test_name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $test_name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($test_name));
+                for _case in 0..config.cases {
+                    $(let $parm = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                    // Closure so `prop_assume!` can abandon the case early.
+                    let mut case = || { $body };
+                    case();
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $test_name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $test_name($($parm in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Counterpart of `prop_assert!`: fails the current test on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Counterpart of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Counterpart of `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Counterpart of `prop_assume!`: silently abandons the current case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

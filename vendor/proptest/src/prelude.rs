@@ -1,0 +1,6 @@
+//! Glob-import surface, counterpart of `proptest::prelude`.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+    ProptestConfig, Strategy, TestRng,
+};

@@ -1,0 +1,24 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! Mirrors the subset of serde's public surface this workspace touches:
+//! the `Serialize` / `Deserialize` traits (as blanket-implemented markers,
+//! since no serializer is ever invoked) and the derive macros re-exported
+//! under the `derive` feature, exactly like the real crate.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for the real `serde_derive` proc-macro crate.
+//!
+//! The workspace builds in an environment with no registry access, and the
+//! member crates only use serde as *derive decoration* (no serializer is
+//! ever driven), so the derives here accept the full attribute grammar
+//! (`#[serde(...)]` helper attributes included) and emit nothing. The
+//! `Serialize` / `Deserialize` traits in the sibling `serde` facade carry
+//! blanket impls, so trait bounds keep working too.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
