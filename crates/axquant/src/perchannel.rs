@@ -58,6 +58,29 @@ impl FilterQuantization {
     pub fn is_per_channel(&self) -> bool {
         matches!(self, FilterQuantization::PerChannel(_))
     }
+
+    /// Resolve to one `QuantParams` per output channel — the form the
+    /// prepared-execution engine consumes (a per-tensor set is broadcast
+    /// to every channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-channel set's length differs from `c_out`.
+    #[must_use]
+    pub fn resolve(&self, c_out: usize) -> Vec<QuantParams> {
+        match self {
+            FilterQuantization::PerTensor(q) => vec![*q; c_out],
+            FilterQuantization::PerChannel(qs) => {
+                assert_eq!(
+                    qs.len(),
+                    c_out,
+                    "per-channel quantization covers {} channels, filter has {c_out}",
+                    qs.len()
+                );
+                qs.clone()
+            }
+        }
+    }
 }
 
 impl From<QuantParams> for FilterQuantization {
@@ -91,6 +114,32 @@ mod tests {
         assert!(fq.is_per_channel());
         // Tighter range -> smaller scale -> finer resolution.
         assert!(fq.for_channel(1).scale() < fq.for_channel(0).scale());
+    }
+
+    #[test]
+    fn resolve_broadcasts_per_tensor() {
+        let q = QuantParams::from_range(-1.0, 1.0, QuantRange::i8(), RoundMode::NearestEven);
+        let fq: FilterQuantization = q.into();
+        assert_eq!(fq.resolve(3), vec![q, q, q]);
+        let pc = FilterQuantization::from_channel_ranges(
+            &[(-1.0, 1.0), (-0.1, 0.1)],
+            QuantRange::i8(),
+            RoundMode::NearestEven,
+        );
+        let resolved = pc.resolve(2);
+        assert_eq!(resolved.len(), 2);
+        assert_eq!(resolved[0], pc.for_channel(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "per-channel quantization covers")]
+    fn resolve_checks_channel_count() {
+        let pc = FilterQuantization::from_channel_ranges(
+            &[(-1.0, 1.0)],
+            QuantRange::i8(),
+            RoundMode::NearestEven,
+        );
+        let _ = pc.resolve(4);
     }
 
     #[test]

@@ -135,6 +135,22 @@ pub fn matmul(a: &Matrix<f32>, b: &Matrix<f32>) -> Result<Matrix<f32>, TensorErr
 }
 
 /// A filter bank: HWCF-layout weights with their shape.
+///
+/// # Layout invariant
+///
+/// The flat buffer is HWCF-ordered: `c_out` (the filter index F) is the
+/// **fastest-varying** dimension, then `c_in`, then kernel width, then
+/// kernel height. Consequences downstream code relies on:
+///
+/// - flat index `i` belongs to output channel `i % c_out` (per-channel
+///   range scans and the `Sf` column sums use this),
+/// - the buffer reinterpreted as a row-major `patch_len() × c_out` matrix
+///   ([`Filter::to_matrix`]) puts each filter in its own column with no
+///   data movement.
+///
+/// [`Filter::from_vec`] enforces `data.len() == shape.len()` exactly, so
+/// a buffer whose length is not a multiple of `c_out` can never be
+/// wrapped.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Filter {
     shape: FilterShape,
@@ -273,26 +289,37 @@ pub fn conv2d_gemm(
 /// Minimum and maximum over all elements — the paper's inserted `Min` /
 /// `Max` graph nodes, computed "once per batch".
 ///
-/// Returns `(0.0, 0.0)` for an empty tensor.
+/// Returns `(0.0, 0.0)` for an empty tensor and `(NaN, NaN)` if any
+/// element is NaN (a NaN range is undefined; propagating it lets the
+/// quantization layer reject it instead of silently deriving garbage
+/// coefficients — `f32::min`/`f32::max` alone would swallow the NaN).
 #[must_use]
 pub fn min_max(t: &Tensor<f32>) -> (f32, f32) {
-    let mut it = t.as_slice().iter();
-    let Some(&first) = it.next() else {
-        return (0.0, 0.0);
-    };
-    it.fold((first, first), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+    min_max_slice(t.as_slice())
 }
 
 /// Minimum and maximum over a plain slice.
 ///
-/// Returns `(0.0, 0.0)` for an empty slice.
+/// Returns `(0.0, 0.0)` for an empty slice and `(NaN, NaN)` if any
+/// element is NaN (see [`min_max`]).
 #[must_use]
 pub fn min_max_slice(s: &[f32]) -> (f32, f32) {
-    let mut it = s.iter();
-    let Some(&first) = it.next() else {
+    let Some((&first, rest)) = s.split_first() else {
         return (0.0, 0.0);
     };
-    it.fold((first, first), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+    let mut lo = first;
+    let mut hi = first;
+    let mut saw_nan = first.is_nan();
+    for &v in rest {
+        saw_nan |= v.is_nan();
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if saw_nan {
+        (f32::NAN, f32::NAN)
+    } else {
+        (lo, hi)
+    }
 }
 
 /// Element-wise sum of two tensors (residual connections).
@@ -419,6 +446,17 @@ mod tests {
     }
 
     #[test]
+    fn min_max_propagates_nan() {
+        // A NaN anywhere — first or later — must not be swallowed.
+        let (lo, hi) = min_max_slice(&[1.0, f32::NAN, 3.0]);
+        assert!(lo.is_nan() && hi.is_nan());
+        let (lo, hi) = min_max_slice(&[f32::NAN, 1.0]);
+        assert!(lo.is_nan() && hi.is_nan());
+        // Infinities are legitimate extremes, not NaNs.
+        assert_eq!(min_max_slice(&[f32::INFINITY, 0.0]), (0.0, f32::INFINITY));
+    }
+
+    #[test]
     fn relu_clamps_negatives() {
         let t = Tensor::from_vec(Shape4::new(1, 1, 3, 1), vec![-1.0, 0.0, 2.0]).unwrap();
         assert_eq!(relu(&t).as_slice(), &[0.0, 0.0, 2.0]);
@@ -429,6 +467,29 @@ mod tests {
         let a = Tensor::<f32>::zeros(Shape4::new(1, 2, 2, 1));
         let b = Tensor::<f32>::zeros(Shape4::new(1, 2, 3, 1));
         assert!(add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn filter_flat_index_maps_channel_by_modulo() {
+        // The HWCF invariant per-channel consumers rely on: flat index i
+        // belongs to output channel i % c_out.
+        let fs = FilterShape::new(2, 3, 4, 5);
+        let f = Filter::from_fn(fs, |h, w, ci, co| {
+            (h * 1000 + w * 100 + ci * 10 + co) as f32
+        });
+        for (i, &v) in f.as_slice().iter().enumerate() {
+            let co = i % fs.c_out;
+            assert_eq!(v as usize % 10, co, "flat index {i}");
+        }
+    }
+
+    #[test]
+    fn filter_rejects_buffers_not_matching_shape() {
+        let fs = FilterShape::new(3, 3, 2, 4); // len 72
+                                               // One short — in particular not a multiple of c_out.
+        assert!(Filter::from_vec(fs, vec![0.0; 71]).is_err());
+        assert!(Filter::from_vec(fs, vec![0.0; 70]).is_err());
+        assert!(Filter::from_vec(fs, vec![0.0; 72]).is_ok());
     }
 
     #[test]

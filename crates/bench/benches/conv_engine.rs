@@ -1,0 +1,63 @@
+//! The prepared-execution engine benchmark: all three backends on
+//! ResNet-scale conv shapes, steady state (cached plan), plus the
+//! `BENCH_conv.json` trajectory emission.
+//!
+//! Run with `cargo bench -p tfapprox-bench --bench conv_engine`.
+//! `BENCH_CONV_QUICK=1` shrinks the suite for CI smoke runs;
+//! `BENCH_CONV_OUT` overrides the output path (default:
+//! `BENCH_conv.json` at the workspace root).
+
+use axmult::{MulLut, Signedness};
+use axtensor::{rng, ConvGeometry};
+use criterion::{black_box, criterion_group, Criterion};
+use std::sync::Arc;
+use tfapprox::{AxConv2D, Backend, EmuContext};
+use tfapprox_bench::conv_engine;
+
+fn quick_mode() -> bool {
+    std::env::var("BENCH_CONV_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Criterion view of the steady-state convolve across backends, on the
+/// suite's primary case (plan pre-built so criterion times pure reuse).
+fn bench_prepared_convolve(c: &mut Criterion) {
+    let case = &conv_engine::cases(quick_mode())[0];
+    let input = rng::uniform(case.input, 11, -1.0, 1.0);
+    let filter = rng::uniform_filter(case.filter, 13, -0.5, 0.5);
+    let lut = MulLut::exact(Signedness::Signed);
+
+    let mut group = c.benchmark_group(format!("conv_engine/{}", case.name));
+    group.sample_size(case.iters.max(2));
+    for (label, backend) in [
+        ("cpu_direct", Backend::CpuDirect),
+        ("cpu_gemm", Backend::CpuGemm),
+        ("gpu_sim_functional", Backend::GpuSim),
+    ] {
+        let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(4));
+        let layer = AxConv2D::new(filter.clone(), ConvGeometry::default(), lut.clone(), ctx);
+        layer.prepare().expect("prepare");
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(layer.convolve(&input).expect("convolve")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prepared_convolve);
+
+fn main() {
+    benches();
+    let quick = quick_mode();
+    let reports = conv_engine::run_suite(quick);
+    for report in &reports {
+        println!(
+            "bench: conv_engine/{}/{} speedup cpu-gemm vs cpu-direct: {:.1}x",
+            report.case.name,
+            report.multiplier,
+            report.speedup_gemm_vs_direct()
+        );
+    }
+    let path = conv_engine::default_output_path();
+    conv_engine::write_report(&path, &reports, quick).expect("write BENCH_conv.json");
+    println!("bench: wrote {}", path.display());
+}

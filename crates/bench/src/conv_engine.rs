@@ -1,0 +1,330 @@
+//! The prepared-execution benchmark suite behind `BENCH_conv.json`.
+//!
+//! Measures all three emulation backends (plus the accurate f32
+//! convolution as the native baseline) over ResNet-scale convolution
+//! shapes and both an exact and an approximate multiplier LUT, using each
+//! layer's cached prepared plan — i.e. steady-state inference, the
+//! regime the paper's Table I reports. Per backend it also captures the
+//! [`Phase`] split of the steady-state profile (the Fig. 2 breakdown)
+//! and the one-off plan-build quantization charge of the first call.
+//!
+//! The criterion bench `benches/conv_engine.rs` drives [`run_suite`] and
+//! writes the report with [`write_report`]; the bench-smoke integration
+//! test validates the emitted JSON. Set `BENCH_CONV_QUICK=1` for tiny
+//! shapes (CI smoke), `BENCH_CONV_OUT` to override the output path
+//! (default: `BENCH_conv.json` at the workspace root).
+
+use crate::json;
+use axmult::{MulLut, Signedness};
+use axtensor::{ops, rng, ConvGeometry, FilterShape, Shape4};
+use gpusim::Phase;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+use tfapprox::{AxConv2D, Backend, EmuContext};
+
+/// One benchmark case: a convolution shape at a fixed batch size.
+#[derive(Debug, Clone)]
+pub struct ConvCase {
+    /// Case label used in the JSON report.
+    pub name: &'static str,
+    /// Input activation shape (NHWC).
+    pub input: Shape4,
+    /// Filter bank shape.
+    pub filter: FilterShape,
+    /// Timed steady-state iterations per backend.
+    pub iters: usize,
+}
+
+/// Steady-state measurement of one backend on one case.
+#[derive(Debug, Clone)]
+pub struct BackendSample {
+    /// Which backend ran.
+    pub backend: Backend,
+    /// Mean wall-clock seconds per convolve call (plan already built).
+    pub mean_s: f64,
+    /// Quantization-phase seconds of the first (plan-building) call.
+    pub first_call_quant_s: f64,
+    /// Mean Quantization-phase seconds per steady-state call — the
+    /// input-only share left after the plan is cached.
+    pub steady_quant_s: f64,
+    /// Fig. 2-style phase fractions of the steady-state profile, in
+    /// [`Phase::all`] order.
+    pub phase_fractions: [f64; 4],
+}
+
+/// All measurements of one case.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// The case that ran.
+    pub case: ConvCase,
+    /// Multiplier label (`exact` / catalog name).
+    pub multiplier: String,
+    /// MACs of one convolve call (whole batch).
+    pub macs: u64,
+    /// Mean wall-clock seconds of the accurate f32 GEMM convolution.
+    pub accurate_f32_s: f64,
+    /// One sample per backend.
+    pub samples: Vec<BackendSample>,
+}
+
+impl CaseReport {
+    fn sample(&self, backend: Backend) -> Option<&BackendSample> {
+        self.samples.iter().find(|s| s.backend == backend)
+    }
+
+    /// Wall-clock speedup of the GEMM-formulated host backend over the
+    /// direct nested-loop (ALWANN-style) emulation.
+    #[must_use]
+    pub fn speedup_gemm_vs_direct(&self) -> f64 {
+        match (
+            self.sample(Backend::CpuDirect),
+            self.sample(Backend::CpuGemm),
+        ) {
+            (Some(d), Some(g)) if g.mean_s > 0.0 => d.mean_s / g.mean_s,
+            _ => f64::NAN,
+        }
+    }
+}
+
+/// The benchmark cases. `quick` shrinks everything for smoke runs.
+#[must_use]
+pub fn cases(quick: bool) -> Vec<ConvCase> {
+    if quick {
+        vec![ConvCase {
+            name: "quick_8x8x8",
+            input: Shape4::new(1, 8, 8, 8),
+            filter: FilterShape::new(3, 3, 8, 8),
+            iters: 2,
+        }]
+    } else {
+        vec![
+            // The CIFAR ResNet stage-1 block conv — the paper's
+            // bread-and-butter layer shape.
+            ConvCase {
+                name: "resnet_block_32x32x16",
+                input: Shape4::new(4, 32, 32, 16),
+                filter: FilterShape::new(3, 3, 16, 16),
+                iters: 5,
+            },
+            // Stage-3: spatially small, channel-heavy.
+            ConvCase {
+                name: "resnet_block_8x8x64",
+                input: Shape4::new(4, 8, 8, 64),
+                filter: FilterShape::new(3, 3, 64, 64),
+                iters: 5,
+            },
+            // 1×1 projection: K = c_in, minimal im2col work.
+            ConvCase {
+                name: "pointwise_16x16x32",
+                input: Shape4::new(4, 16, 16, 32),
+                filter: FilterShape::new(1, 1, 32, 64),
+                iters: 5,
+            },
+        ]
+    }
+}
+
+fn measure_backend(case: &ConvCase, backend: Backend, lut: &MulLut) -> BackendSample {
+    let input = rng::uniform(case.input, 11, -1.0, 1.0);
+    let filter = rng::uniform_filter(case.filter, 13, -0.5, 0.5);
+    let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(4));
+    let layer = AxConv2D::new(filter, ConvGeometry::default(), lut.clone(), ctx);
+
+    // First call: builds and charges the prepared plan.
+    layer.context().reset_profile();
+    let _ = layer.convolve(&input).expect("first convolve");
+    let first_call_quant_s = layer.context().profile().seconds(Phase::Quantization);
+
+    // Steady state: the cached plan serves every call.
+    layer.context().reset_profile();
+    let t0 = Instant::now();
+    for _ in 0..case.iters {
+        std::hint::black_box(layer.convolve(&input).expect("steady convolve"));
+    }
+    let mean_s = t0.elapsed().as_secs_f64() / case.iters as f64;
+    let profile = layer.context().profile();
+    let steady_quant_s = profile.seconds(Phase::Quantization) / case.iters as f64;
+    let mut phase_fractions = [0.0; 4];
+    for (slot, phase) in phase_fractions.iter_mut().zip(Phase::all()) {
+        *slot = profile.fraction(phase);
+    }
+    BackendSample {
+        backend,
+        mean_s,
+        first_call_quant_s,
+        steady_quant_s,
+        phase_fractions,
+    }
+}
+
+fn measure_case(case: &ConvCase, multiplier: &str, lut: &MulLut) -> CaseReport {
+    let input = rng::uniform(case.input, 11, -1.0, 1.0);
+    let filter = rng::uniform_filter(case.filter, 13, -0.5, 0.5);
+    let macs = ConvGeometry::default()
+        .mac_count(case.input, case.filter)
+        .expect("case shapes");
+
+    let t0 = Instant::now();
+    for _ in 0..case.iters {
+        std::hint::black_box(
+            ops::conv2d_gemm(&input, &filter, ConvGeometry::default()).expect("f32 conv"),
+        );
+    }
+    let accurate_f32_s = t0.elapsed().as_secs_f64() / case.iters as f64;
+
+    let samples = [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim]
+        .into_iter()
+        .map(|backend| measure_backend(case, backend, lut))
+        .collect();
+    CaseReport {
+        case: case.clone(),
+        multiplier: multiplier.to_owned(),
+        macs,
+        accurate_f32_s,
+        samples,
+    }
+}
+
+/// Run the whole suite: every case against the exact LUT, plus the
+/// primary case against an approximate catalog multiplier (the LUT
+/// contents change cache behaviour, not arithmetic cost — one
+/// approximate configuration suffices to show that).
+#[must_use]
+pub fn run_suite(quick: bool) -> Vec<CaseReport> {
+    let exact = MulLut::exact(Signedness::Signed);
+    let mut reports: Vec<CaseReport> = cases(quick)
+        .iter()
+        .map(|case| measure_case(case, "mul8s_exact", &exact))
+        .collect();
+    if let Ok(bam) = axmult::catalog::by_name("mul8s_bam_v8h0") {
+        if let Some(first) = cases(quick).first() {
+            reports.push(measure_case(first, "mul8s_bam_v8h0", bam.lut()));
+        }
+    }
+    reports
+}
+
+fn shape4_json(s: Shape4) -> String {
+    json::array(&[
+        json::integer(s.n as u64),
+        json::integer(s.h as u64),
+        json::integer(s.w as u64),
+        json::integer(s.c as u64),
+    ])
+}
+
+fn sample_json(sample: &BackendSample) -> String {
+    let phases: Vec<(String, f64)> = Phase::all()
+        .iter()
+        .zip(sample.phase_fractions)
+        .map(|(p, f)| (format!("{p:?}").to_lowercase(), f))
+        .collect();
+    let phase_fields: Vec<(&str, String)> = phases
+        .iter()
+        .map(|(name, f)| (name.as_str(), json::number(*f)))
+        .collect();
+    json::object(&[
+        ("backend", json::string(&sample.backend.to_string())),
+        ("mean_s", json::number(sample.mean_s)),
+        (
+            "first_call_quantization_s",
+            json::number(sample.first_call_quant_s),
+        ),
+        ("steady_quantization_s", json::number(sample.steady_quant_s)),
+        ("phase_fractions", json::object(&phase_fields)),
+    ])
+}
+
+/// Render the suite report as the `BENCH_conv.json` document.
+#[must_use]
+pub fn report_json(reports: &[CaseReport], quick: bool) -> String {
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let case_docs: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            let fs = r.case.filter;
+            json::object(&[
+                ("name", json::string(r.case.name)),
+                ("multiplier", json::string(&r.multiplier)),
+                ("input_nhwc", shape4_json(r.case.input)),
+                (
+                    "filter_hwcf",
+                    json::array(&[
+                        json::integer(fs.h as u64),
+                        json::integer(fs.w as u64),
+                        json::integer(fs.c_in as u64),
+                        json::integer(fs.c_out as u64),
+                    ]),
+                ),
+                ("macs_per_call", json::integer(r.macs)),
+                ("iters", json::integer(r.case.iters as u64)),
+                ("accurate_f32_mean_s", json::number(r.accurate_f32_s)),
+                (
+                    "speedup_cpu_gemm_vs_cpu_direct",
+                    json::number(r.speedup_gemm_vs_direct()),
+                ),
+                (
+                    "backends",
+                    json::array(&r.samples.iter().map(sample_json).collect::<Vec<_>>()),
+                ),
+            ])
+        })
+        .collect();
+    json::object(&[
+        ("schema", json::string("tfapprox-bench-conv/1")),
+        ("mode", json::string(if quick { "quick" } else { "full" })),
+        ("threads", json::integer(threads as u64)),
+        ("cases", json::array(&case_docs)),
+    ])
+}
+
+/// Where the report lands: `$BENCH_CONV_OUT` if set (relative paths
+/// resolved against the workspace root), else `BENCH_conv.json` at the
+/// workspace root.
+#[must_use]
+pub fn default_output_path() -> PathBuf {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().unwrap_or(root);
+    match std::env::var_os("BENCH_CONV_OUT") {
+        Some(p) => {
+            let p = PathBuf::from(p);
+            if p.is_absolute() {
+                p
+            } else {
+                root.join(p)
+            }
+        }
+        None => root.join("BENCH_conv.json"),
+    }
+}
+
+/// Write the report document to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_report(path: &Path, reports: &[CaseReport], quick: bool) -> std::io::Result<()> {
+    std::fs::write(path, report_json(reports, quick) + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_cases_are_tiny() {
+        let quick = cases(true);
+        assert_eq!(quick.len(), 1);
+        assert!(quick[0].input.len() <= 8 * 8 * 8);
+        assert_eq!(cases(false).len(), 3);
+    }
+
+    #[test]
+    fn report_json_is_well_formed_even_when_empty() {
+        let doc = report_json(&[], true);
+        json::validate(&doc).unwrap();
+        assert!(doc.contains("\"tfapprox-bench-conv/1\""));
+        assert!(doc.contains("\"quick\""));
+    }
+}

@@ -8,6 +8,13 @@
 //! - `fig2` — Fig. 2: the phase breakdown of total time.
 //! - `ablation_cache` — texture-cache size ablation (design decision 1).
 //! - `ablation_im2col` — patch-sum strategy ablation (design decision 4).
+//!
+//! [`conv_engine`] holds the prepared-execution benchmark suite driven by
+//! `benches/conv_engine.rs`, which emits the `BENCH_conv.json` trajectory
+//! file through the [`json`] writer.
+
+pub mod conv_engine;
+pub mod json;
 
 /// One row of Table I: (depth, L, MACs ×10⁶, cpu_acc (tinit, tcomp),
 /// gpu_acc, cpu_approx, gpu_approx).

@@ -1,0 +1,64 @@
+//! Bench-smoke: the conv-engine harness runs end to end in quick mode
+//! and its JSON report is well-formed and structurally complete.
+
+use tfapprox_bench::{conv_engine, json};
+
+#[test]
+fn quick_suite_emits_well_formed_json() {
+    let reports = conv_engine::run_suite(true);
+    // One exact case plus the approximate-LUT rerun of the primary case.
+    assert_eq!(reports.len(), 2);
+    for report in &reports {
+        assert_eq!(report.samples.len(), 3, "one sample per backend");
+        for sample in &report.samples {
+            assert!(sample.mean_s > 0.0, "{:?} measured nothing", sample.backend);
+            assert!(
+                sample.first_call_quant_s > 0.0,
+                "{:?} first call must include the plan build",
+                sample.backend
+            );
+            let fraction_sum: f64 = sample.phase_fractions.iter().sum();
+            assert!(
+                (fraction_sum - 1.0).abs() < 1e-6,
+                "{:?} phase fractions sum to {fraction_sum}",
+                sample.backend
+            );
+        }
+        assert!(report.macs > 0);
+        assert!(report.speedup_gemm_vs_direct().is_finite());
+    }
+
+    let doc = conv_engine::report_json(&reports, true);
+    json::validate(&doc).expect("BENCH_conv.json must be well-formed JSON");
+    for needle in [
+        "\"schema\": \"tfapprox-bench-conv/1\"",
+        "\"mode\": \"quick\"",
+        "\"cpu-direct\"",
+        "\"cpu-gemm\"",
+        "\"gpu-sim\"",
+        "\"speedup_cpu_gemm_vs_cpu_direct\"",
+        "\"steady_quantization_s\"",
+        "\"phase_fractions\"",
+    ] {
+        assert!(doc.contains(needle), "missing {needle} in report");
+    }
+}
+
+#[test]
+fn prepared_engine_first_call_pays_more_quantization() {
+    // Steady-state quantization is input-only; the first call adds the
+    // one-off plan build. On the modeled GPU backend both numbers are
+    // deterministic, so the comparison is exact.
+    let reports = conv_engine::run_suite(true);
+    let gpu = reports[0]
+        .samples
+        .iter()
+        .find(|s| s.backend == tfapprox::Backend::GpuSim)
+        .expect("gpu sample");
+    assert!(
+        gpu.steady_quant_s < gpu.first_call_quant_s,
+        "steady {} !< first {}",
+        gpu.steady_quant_s,
+        gpu.first_call_quant_s
+    );
+}

@@ -59,15 +59,7 @@ pub fn approx_gemm(
             right_rows: filter.rows(),
         });
     }
-    if sp.len() != mp.rows() {
-        return Err(TensorError::LengthMismatch {
-            expected: mp.rows(),
-            got: sp.len(),
-        });
-    }
-    let rows = mp.rows();
     let c_out = filter.cols();
-    let signed = lut.signedness();
 
     // --- Filter quantization (+ Sf column sums), charged to Quantization.
     // Per-channel quantization uses a distinct (α₂, β₂) per column.
@@ -85,9 +77,71 @@ pub fn approx_gemm(
     quant_ev.quant_ops = (k * c_out) as u64;
     quant_ev.global_read_bytes = (k * c_out) as u64 * 4;
 
+    let mut run =
+        approx_gemm_prepared(mp, sp, &filter_bytes, &sf, &col_q, quant.input, lut, cache)?;
+    // Fold the on-the-fly filter quantization into the kernel's
+    // Quantization events so the unprepared path accounts identically to
+    // the pre-refactor kernel.
+    for (phase, ev) in &mut run.events {
+        if *phase == Phase::Quantization {
+            *ev += quant_ev;
+        }
+    }
+    Ok(run)
+}
+
+/// [`approx_gemm`] with a **pre-quantized** filter operand — the prepared
+/// execution path. The caller supplies the filter's byte matrix
+/// (`k × c_out`, row-major, same layout as the f32 filter matrix), its
+/// per-column logical sums `Sf`, and the per-column quantization
+/// parameters; no filter quantization work (real or modeled) happens
+/// inside the kernel, so repeated GEMMs against the same filter bank pay
+/// for its quantization exactly once (at preparation time).
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if `sp` does not match `mp`'s
+/// rows, if `sf`/`col_q` disagree in length, or if `f_bytes` is not
+/// `K × c_out`.
+#[allow(clippy::too_many_arguments)]
+pub fn approx_gemm_prepared(
+    mp: &Matrix<u8>,
+    sp: &[i64],
+    f_bytes: &[u8],
+    sf: &[i64],
+    col_q: &[QuantParams],
+    input_q: QuantParams,
+    lut: &MulLut,
+    cache: &mut TextureCache,
+) -> Result<KernelRun<Matrix<f32>>, TensorError> {
+    let k = mp.cols();
+    let c_out = sf.len();
+    if col_q.len() != c_out {
+        return Err(TensorError::LengthMismatch {
+            expected: c_out,
+            got: col_q.len(),
+        });
+    }
+    if f_bytes.len() != k * c_out {
+        return Err(TensorError::LengthMismatch {
+            expected: k * c_out,
+            got: f_bytes.len(),
+        });
+    }
+    if sp.len() != mp.rows() {
+        return Err(TensorError::LengthMismatch {
+            expected: mp.rows(),
+            got: sp.len(),
+        });
+    }
+    let rows = mp.rows();
+    let signed = lut.signedness();
+    let filter_bytes = f_bytes;
+    let mut quant_ev = EventCounts::new();
+
     // --- Tiled multiplication.
-    let a1 = f64::from(quant.input.scale());
-    let b1 = i64::from(quant.input.zero_point());
+    let a1 = f64::from(input_q.scale());
+    let b1 = i64::from(input_q.zero_point());
 
     let mut out = Matrix::<f32>::zeros(rows, c_out);
     let mut lut_ev = EventCounts::new();
@@ -324,6 +378,86 @@ mod tests {
         let ev = run.total_events();
         let rate = ev.tex_hits as f64 / ev.tex_fetches() as f64;
         assert!(rate > 0.5, "hit rate {rate}");
+    }
+
+    #[test]
+    fn prepared_matches_unprepared_bit_for_bit() {
+        let (mp, sp, filter) = random_case(17, 27, 6, 21);
+        let q = quant_pair();
+        let lut = MulLut::exact(Signedness::Signed);
+        let unprepared = approx_gemm(&mp, &sp, &filter, &q, &lut, &mut fresh_cache()).unwrap();
+
+        // Quantize the filter up front exactly as approx_gemm does.
+        let k = filter.rows();
+        let c_out = filter.cols();
+        let col_q: Vec<QuantParams> = (0..c_out).map(|c| q.filter.for_channel(c)).collect();
+        let mut f_bytes = vec![0u8; k * c_out];
+        let mut sf = vec![0i64; c_out];
+        for r in 0..k {
+            for c in 0..c_out {
+                let qv = col_q[c].quantize(filter.at(r, c));
+                f_bytes[r * c_out + c] = (qv & 0xFF) as u8;
+                sf[c] += i64::from(qv);
+            }
+        }
+        let prepared = approx_gemm_prepared(
+            &mp,
+            &sp,
+            &f_bytes,
+            &sf,
+            &col_q,
+            q.input,
+            &lut,
+            &mut fresh_cache(),
+        )
+        .unwrap();
+        assert_eq!(prepared.output, unprepared.output);
+        // The prepared kernel performs and models no filter quantization:
+        // its Quantization events cover only the dequantization writes.
+        let filter_quant_ops = (k * c_out) as u64;
+        assert_eq!(
+            prepared.total_events().quant_ops + filter_quant_ops,
+            unprepared.total_events().quant_ops
+        );
+        assert_eq!(
+            prepared.total_events().global_read_bytes + filter_quant_ops * 4,
+            unprepared.total_events().global_read_bytes
+        );
+    }
+
+    #[test]
+    fn prepared_validates_operand_sizes() {
+        let q = quant_pair();
+        let lut = MulLut::exact(Signedness::Signed);
+        let mp = Matrix::from_vec(2, 3, vec![0u8; 6]).unwrap();
+        let col_q = vec![q.input; 2];
+        let sf = vec![0i64; 2];
+        // Wrong f_bytes length.
+        let err = approx_gemm_prepared(
+            &mp,
+            &[0, 0],
+            &[0u8; 5],
+            &sf,
+            &col_q,
+            q.input,
+            &lut,
+            &mut fresh_cache(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { .. }));
+        // col_q / sf disagreement.
+        let err = approx_gemm_prepared(
+            &mp,
+            &[0, 0],
+            &[0u8; 6],
+            &sf,
+            &col_q[..1],
+            q.input,
+            &lut,
+            &mut fresh_cache(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { .. }));
     }
 
     #[test]

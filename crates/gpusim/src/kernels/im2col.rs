@@ -89,18 +89,24 @@ pub fn im2col_quant(
                             && (ix as usize) < shape.w;
                         if inside {
                             in_bounds_reads += shape.c as u64;
-                            for ci in 0..shape.c {
-                                let q = input_q.quantize(chunk.at(n, iy as usize, ix as usize, ci));
-                                data[base + col] = (q & 0xFF) as u8;
+                            // NHWC: the channel run of one (n, y, x) pixel
+                            // is contiguous — quantize the slice directly
+                            // instead of recomputing the 4-D index per tap
+                            // (the real kernel's coalesced read).
+                            let src = shape.index(n, iy as usize, ix as usize, 0);
+                            let pixel = &chunk.as_slice()[src..src + shape.c];
+                            for (&v, slot) in pixel.iter().zip(&mut data[base + col..]) {
+                                let q = input_q.quantize(v);
+                                *slot = (q & 0xFF) as u8;
                                 sum += i64::from(q);
-                                col += 1;
                             }
+                            col += shape.c;
                         } else {
-                            for _ in 0..shape.c {
-                                data[base + col] = (zero_q & 0xFF) as u8;
-                                sum += i64::from(zero_q);
-                                col += 1;
+                            for slot in &mut data[base + col..base + col + shape.c] {
+                                *slot = (zero_q & 0xFF) as u8;
                             }
+                            sum += i64::from(zero_q) * shape.c as i64;
+                            col += shape.c;
                         }
                     }
                 }

@@ -2,6 +2,7 @@
 
 use crate::accumulator::Accumulator;
 use crate::backend::{self, ConvSpec};
+use crate::prepared::PreparedFilter;
 use crate::{Backend, EmuContext, EmuError};
 use axmult::{AxMultiplier, MulLut, Signedness};
 use axnn::layer::{check_arity, Layer};
@@ -9,7 +10,10 @@ use axnn::layers::Conv2D;
 use axnn::NnError;
 use axquant::{FilterQuantization, QuantParams, QuantRange, RoundMode};
 use axtensor::{ops, ConvGeometry, Filter, Shape4, Tensor};
-use std::sync::Arc;
+use gpusim::{Phase, PhaseProfile};
+use std::borrow::Cow;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// `AxConv2D`: the drop-in approximate replacement for `Conv2D`.
 ///
@@ -33,6 +37,9 @@ pub struct AxConv2D {
     per_channel: bool,
     accumulator: Accumulator,
     ctx: Arc<EmuContext>,
+    /// The prepared-execution plan, built lazily on first forward and
+    /// invalidated by builder mutations that change filter quantization.
+    plan: OnceLock<Arc<PreparedFilter>>,
 }
 
 impl AxConv2D {
@@ -51,6 +58,7 @@ impl AxConv2D {
             per_channel: false,
             accumulator: Accumulator::Exact,
             ctx,
+            plan: OnceLock::new(),
         }
     }
 
@@ -73,6 +81,7 @@ impl AxConv2D {
     #[must_use]
     pub fn with_round_mode(mut self, round: RoundMode) -> Self {
         self.round = round;
+        self.plan = OnceLock::new(); // rounding changes the quantized plan
         self
     }
 
@@ -83,6 +92,7 @@ impl AxConv2D {
     #[must_use]
     pub fn with_per_channel_filter_quant(mut self) -> Self {
         self.per_channel = true;
+        self.plan = OnceLock::new(); // quantization flavour changes the plan
         self
     }
 
@@ -139,9 +149,17 @@ impl AxConv2D {
         let range = self.quant_range();
         if self.per_channel {
             let fs = self.filter.shape();
+            // HWCF layout invariant (see `axtensor::ops::Filter`): c_out
+            // is the fastest-varying dimension, so flat index i belongs to
+            // channel i % c_out. `Filter::from_vec` guarantees the buffer
+            // length matches the shape exactly.
+            debug_assert!(
+                self.filter.as_slice().len().is_multiple_of(fs.c_out.max(1)),
+                "filter buffer is not a whole number of channel groups"
+            );
             let mut ranges = vec![(f32::INFINITY, f32::NEG_INFINITY); fs.c_out];
             for (i, &w) in self.filter.as_slice().iter().enumerate() {
-                let c = i % fs.c_out; // HWCF layout: c_out fastest
+                let c = i % fs.c_out;
                 ranges[c].0 = ranges[c].0.min(w);
                 ranges[c].1 = ranges[c].1.max(w);
             }
@@ -152,7 +170,13 @@ impl AxConv2D {
         }
     }
 
-    fn spec_with_input_range(&self, lo: f32, hi: f32) -> ConvSpec<'_> {
+    /// Build the per-call spec against an existing plan. The filter-side
+    /// quantization is borrowed from the plan instead of re-derived via
+    /// [`Self::filter_quantization`], which for per-channel layers
+    /// rescans every filter tap — per-call work this engine exists to
+    /// hoist. (The prepared backends take the filter side from the plan
+    /// anyway; `spec.filter_q` only has to stay consistent with it.)
+    fn spec_with_plan<'a>(&'a self, plan: &'a PreparedFilter, lo: f32, hi: f32) -> ConvSpec<'a> {
         let range = self.quant_range();
         ConvSpec {
             filter: &self.filter,
@@ -160,9 +184,70 @@ impl AxConv2D {
             bias: self.bias.as_deref(),
             lut: &self.lut,
             input_q: QuantParams::from_range(lo, hi, range, self.round),
-            filter_q: self.filter_quantization(),
+            filter_q: Cow::Borrowed(plan.filter_quantization()),
             accumulator: self.accumulator,
         }
+    }
+
+    /// The cached prepared-execution plan, building it if necessary. The
+    /// second element carries the build cost (wall-clock for CPU
+    /// backends, modeled device seconds for the simulated GPU) exactly
+    /// once — `None` on every call after the first.
+    fn plan(&self) -> (Arc<PreparedFilter>, Option<PhaseProfile>) {
+        let mut built = None;
+        let plan = self.plan.get_or_init(|| {
+            let t0 = Instant::now();
+            let plan = PreparedFilter::from_filter(&self.filter, &self.filter_quantization());
+            let mut profile = PhaseProfile::new();
+            match self.ctx.backend() {
+                Backend::CpuDirect | Backend::CpuGemm => {
+                    profile.add(Phase::Quantization, t0.elapsed().as_secs_f64());
+                }
+                Backend::GpuSim => {
+                    let ev = plan.quant_events();
+                    profile.add(Phase::Quantization, self.ctx.device().seconds(&ev));
+                    self.ctx.record_events(&ev);
+                }
+            }
+            built = Some(profile);
+            Arc::new(plan)
+        });
+        (Arc::clone(plan), built)
+    }
+
+    /// Reject filter banks whose weights would bake NaN/Inf-derived
+    /// coefficients into a cached plan. `filter_range` comes from the
+    /// NaN-propagating min/max scan, so this check is O(1).
+    fn validate_filter_weights(&self) -> Result<(), EmuError> {
+        if !self.filter_range.0.is_finite() || !self.filter_range.1.is_finite() {
+            return Err(EmuError::Config(
+                "filter weights contain non-finite values".to_owned(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Eagerly build the prepared-execution plan (normally built lazily on
+    /// the first forward), recording its one-off quantization cost into
+    /// the context profile. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::Config`] if the filter weights are non-finite
+    /// (the same guard the forward path enforces).
+    pub fn prepare(&self) -> Result<(), EmuError> {
+        self.validate_filter_weights()?;
+        let (_, built) = self.plan();
+        if let Some(profile) = built {
+            self.ctx.record(&profile);
+        }
+        Ok(())
+    }
+
+    /// Whether the prepared-execution plan has been built.
+    #[must_use]
+    pub fn is_prepared(&self) -> bool {
+        self.plan.get().is_some()
     }
 
     /// Convolve with the input range supplied by the caller (the Fig. 1
@@ -170,19 +255,27 @@ impl AxConv2D {
     ///
     /// # Errors
     ///
-    /// Propagates shape errors.
+    /// Returns [`EmuError::Config`] for a non-finite or inverted input
+    /// range or a filter bank with non-finite weights; propagates shape
+    /// errors.
     pub fn convolve_with_range(
         &self,
         input: &Tensor<f32>,
         lo: f32,
         hi: f32,
     ) -> Result<Tensor<f32>, EmuError> {
-        let spec = self.spec_with_input_range(lo, hi);
-        let (out, profile) = match self.ctx.backend() {
-            Backend::CpuDirect => backend::run_cpu_direct(input, &spec, true)?,
-            Backend::CpuGemm => backend::run_cpu_gemm(input, &spec, self.ctx.chunk_size())?,
-            Backend::GpuSim => backend::run_gpusim(input, &spec, &self.ctx)?,
+        backend::validate_range(lo, hi)?;
+        self.validate_filter_weights()?;
+        let (plan, built) = self.plan();
+        let spec = self.spec_with_plan(&plan, lo, hi);
+        let (out, mut profile) = match self.ctx.backend() {
+            Backend::CpuDirect => backend::run_cpu_direct_prepared(input, &spec, &plan, true)?,
+            Backend::CpuGemm => backend::run_cpu_gemm_prepared(input, &spec, &plan, &self.ctx)?,
+            Backend::GpuSim => backend::run_gpusim_prepared(input, &spec, &plan, &self.ctx)?,
         };
+        if let Some(build_profile) = built {
+            profile.merge(&build_profile);
+        }
         self.ctx.record(&profile);
         Ok(out)
     }
@@ -215,8 +308,14 @@ impl Layer for AxConv2D {
 
     fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError> {
         check_arity(self.op_name(), inputs, 3)?;
-        let lo = inputs[1].as_slice()[0];
-        let hi = inputs[2].as_slice()[0];
+        let scalar = |t: &Tensor<f32>, name: &str| -> Result<f32, NnError> {
+            t.as_slice().first().copied().ok_or_else(|| NnError::Layer {
+                layer: "AxConv2D".to_owned(),
+                message: format!("empty {name} range tensor"),
+            })
+        };
+        let lo = scalar(inputs[1], "Min")?;
+        let hi = scalar(inputs[2], "Max")?;
         self.convolve_with_range(inputs[0], lo, hi)
             .map_err(|e| NnError::Layer {
                 layer: "AxConv2D".to_owned(),
@@ -260,6 +359,100 @@ mod tests {
         let out = layer.forward(&[&input, &scalar, &scalar_hi]).unwrap();
         assert_eq!(out.shape(), Shape4::new(2, 6, 6, 4));
         assert!(layer.forward(&[&input]).is_err());
+    }
+
+    #[test]
+    fn empty_range_tensor_is_an_error_not_a_panic() {
+        let (layer, input) = make(Backend::CpuDirect, MulLut::exact(Signedness::Signed));
+        let empty = Tensor::<f32>::zeros(Shape4::new(0, 1, 1, 1));
+        let scalar = Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![1.0]).unwrap();
+        let err = layer.forward(&[&input, &empty, &scalar]).unwrap_err();
+        assert!(err.to_string().contains("empty Min range tensor"), "{err}");
+        let err = layer.forward(&[&input, &scalar, &empty]).unwrap_err();
+        assert!(err.to_string().contains("empty Max range tensor"), "{err}");
+    }
+
+    #[test]
+    fn invalid_ranges_are_rejected() {
+        let (layer, input) = make(Backend::CpuGemm, MulLut::exact(Signedness::Signed));
+        assert!(layer.convolve_with_range(&input, 1.0, -1.0).is_err());
+        assert!(layer.convolve_with_range(&input, f32::NAN, 1.0).is_err());
+        assert!(layer
+            .convolve_with_range(&input, -1.0, f32::INFINITY)
+            .is_err());
+        // A degenerate-but-valid range still works.
+        assert!(layer.convolve_with_range(&input, 0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn non_finite_filter_weights_are_rejected() {
+        let mut weights = vec![0.1f32; 3 * 3 * 3 * 4];
+        weights[5] = f32::NAN;
+        let filter = Filter::from_vec(FilterShape::new(3, 3, 3, 4), weights).unwrap();
+        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
+        let layer = AxConv2D::new(
+            filter,
+            ConvGeometry::default(),
+            MulLut::exact(Signedness::Signed),
+            ctx,
+        );
+        let input = rng::uniform(Shape4::new(1, 6, 6, 3), 41, -1.0, 1.0);
+        let err = layer.convolve(&input).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn plan_is_built_once_and_reused() {
+        let (layer, input) = make(Backend::GpuSim, MulLut::exact(Signedness::Signed));
+        assert!(!layer.is_prepared());
+        let first_out = layer.convolve(&input).unwrap();
+        assert!(layer.is_prepared());
+        let first = layer.context().profile();
+        layer.context().reset_profile();
+        let second_out = layer.convolve(&input).unwrap();
+        let second = layer.context().profile();
+        assert_eq!(first_out, second_out);
+        // The modeled GPU profile is deterministic: the second call's
+        // Quantization share is input-side only — smaller than the first
+        // by exactly the plan's one-off filter-quantization charge.
+        let charge = layer.context().device().seconds(
+            &crate::PreparedFilter::from_filter(&layer.filter, &layer.filter_quantization())
+                .quant_events(),
+        );
+        let diff = first.seconds(Phase::Quantization) - second.seconds(Phase::Quantization);
+        assert!(
+            (diff - charge).abs() < 1e-12,
+            "diff {diff} vs one-off charge {charge}"
+        );
+    }
+
+    #[test]
+    fn prepare_is_eager_and_idempotent() {
+        let (layer, input) = make(Backend::CpuGemm, MulLut::exact(Signedness::Signed));
+        layer.prepare().unwrap();
+        assert!(layer.is_prepared());
+        let quant_after_prepare = layer.context().profile().seconds(Phase::Quantization);
+        assert!(quant_after_prepare > 0.0);
+        layer.prepare().unwrap(); // no-op
+        assert_eq!(
+            layer.context().profile().seconds(Phase::Quantization),
+            quant_after_prepare
+        );
+        let out = layer.convolve(&input).unwrap();
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn builder_mutation_invalidates_plan() {
+        let (layer, _) = make(Backend::CpuGemm, MulLut::exact(Signedness::Signed));
+        layer.prepare().unwrap();
+        assert!(layer.is_prepared());
+        let per_channel = layer.clone().with_per_channel_filter_quant();
+        assert!(!per_channel.is_prepared());
+        let (layer2, _) = make(Backend::CpuGemm, MulLut::exact(Signedness::Signed));
+        layer2.prepare().unwrap();
+        let rounded = layer2.clone().with_round_mode(RoundMode::TowardZero);
+        assert!(!rounded.is_prepared());
     }
 
     #[test]

@@ -7,14 +7,15 @@
 //! dequantize with the Eq. 4 correction (a dense layer is the `K = in`,
 //! one-patch-per-batch-row special case of the GEMM formulation).
 
-use crate::{EmuContext, EmuError};
+use crate::prepared::PreparedFilter;
+use crate::{backend, EmuContext, EmuError};
 use axmult::{MulLut, Signedness};
 use axnn::layer::{check_arity, Layer};
 use axnn::NnError;
 use axquant::{QuantParams, QuantRange, RoundMode};
-use axtensor::{ops, Shape4, Tensor};
+use axtensor::{ops, Matrix, Shape4, Tensor};
 use gpusim::{Phase, PhaseProfile};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Approximate dense layer: `[n, 1, 1, in] → [n, 1, 1, out]` with LUT
@@ -30,6 +31,10 @@ pub struct AxDense {
     round: RoundMode,
     weight_range: (f32, f32),
     ctx: Arc<EmuContext>,
+    /// The prepared weight plan (quantized weights + `Sf`), built lazily
+    /// on first forward — a dense layer is the `K = in`, per-tensor
+    /// special case of [`PreparedFilter`].
+    plan: OnceLock<Arc<PreparedFilter>>,
 }
 
 impl AxDense {
@@ -60,6 +65,7 @@ impl AxDense {
             round: RoundMode::NearestEven,
             weight_range,
             ctx,
+            plan: OnceLock::new(),
         }
     }
 
@@ -87,11 +93,45 @@ impl AxDense {
         }
     }
 
+    fn weight_quant(&self) -> QuantParams {
+        QuantParams::from_range(
+            self.weight_range.0,
+            self.weight_range.1,
+            self.quant_range(),
+            self.round,
+        )
+    }
+
+    /// The cached prepared weight plan, building it if necessary. The
+    /// second element carries the one-off build cost (`None` after the
+    /// first call).
+    fn plan(&self) -> (Arc<PreparedFilter>, Option<PhaseProfile>) {
+        let mut built = None;
+        let plan = self.plan.get_or_init(|| {
+            let t0 = Instant::now();
+            let wmat = Matrix::from_vec(self.in_features, self.out_features, self.weights.clone())
+                .expect("weight buffer sized in constructor");
+            let plan = PreparedFilter::from_matrix(wmat, &self.weight_quant().into());
+            let mut profile = PhaseProfile::new();
+            profile.add(Phase::Quantization, t0.elapsed().as_secs_f64());
+            built = Some(profile);
+            Arc::new(plan)
+        });
+        (Arc::clone(plan), built)
+    }
+
+    /// Whether the prepared weight plan has been built.
+    #[must_use]
+    pub fn is_prepared(&self) -> bool {
+        self.plan.get().is_some()
+    }
+
     /// Run the approximate dense computation (ranges computed per batch).
     ///
     /// # Errors
     ///
-    /// Returns [`EmuError::Config`] if the input feature count mismatches.
+    /// Returns [`EmuError::Config`] if the input feature count mismatches
+    /// or the input contains non-finite values.
     pub fn compute(&self, input: &Tensor<f32>) -> Result<Tensor<f32>, EmuError> {
         let s = input.shape();
         if s.h * s.w * s.c != self.in_features {
@@ -101,25 +141,33 @@ impl AxDense {
                 self.in_features
             )));
         }
-        let range = self.quant_range();
+        // `weight_range` comes from the NaN-propagating min/max scan: one
+        // O(1) check rejects non-finite weights before they are baked
+        // into a cached plan.
+        if !self.weight_range.0.is_finite() || !self.weight_range.1.is_finite() {
+            return Err(EmuError::Config(
+                "dense weights contain non-finite values".to_owned(),
+            ));
+        }
         let (lo, hi) = ops::min_max(input);
-        let input_q = QuantParams::from_range(lo, hi, range, self.round);
-        let weight_q =
-            QuantParams::from_range(self.weight_range.0, self.weight_range.1, range, self.round);
+        backend::validate_range(lo, hi)?;
+        let input_q = QuantParams::from_range(lo, hi, self.quant_range(), self.round);
+        let weight_q = self.weight_quant();
+        let (plan, built) = self.plan();
 
         let mut profile = PhaseProfile::new();
+        if let Some(build_profile) = built {
+            profile.merge(&build_profile);
+        }
         let t0 = Instant::now();
         let q_in: Vec<i32> = input
             .as_slice()
             .iter()
             .map(|&v| input_q.quantize(v))
             .collect();
-        let q_w: Vec<i32> = self.weights.iter().map(|&v| weight_q.quantize(v)).collect();
-        let mut sf = vec![0i64; self.out_features];
-        for (i, &q) in q_w.iter().enumerate() {
-            sf[i % self.out_features] += i64::from(q);
-        }
         profile.add(Phase::Quantization, t0.elapsed().as_secs_f64());
+        let q_w = plan.q_logical();
+        let sf = plan.sf();
 
         let t1 = Instant::now();
         let b1 = i64::from(input_q.zero_point());
@@ -270,6 +318,77 @@ mod tests {
         let a = exact.compute(&input).unwrap();
         let b = approx.compute(&input).unwrap();
         assert!(a.max_abs_diff(&b).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn weight_plan_built_once_and_results_stable() {
+        let (weights, bias, input) = random_parts(6);
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let ax = AxDense::new(
+            64,
+            10,
+            weights,
+            bias,
+            MulLut::exact(Signedness::Signed),
+            ctx,
+        );
+        assert!(!ax.is_prepared());
+        let first = ax.compute(&input).unwrap();
+        assert!(ax.is_prepared());
+        let second = ax.compute(&input).unwrap();
+        assert_eq!(first, second, "cached plan must be bit-identical");
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected() {
+        let (mut weights, bias, input) = random_parts(9);
+        weights[17] = f32::INFINITY;
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let ax = AxDense::new(
+            64,
+            10,
+            weights,
+            bias,
+            MulLut::exact(Signedness::Signed),
+            ctx,
+        );
+        let err = ax.compute(&input).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_input_is_an_error() {
+        let (weights, bias, _) = random_parts(7);
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let ax = AxDense::new(
+            64,
+            10,
+            weights,
+            bias,
+            MulLut::exact(Signedness::Signed),
+            ctx,
+        );
+        let mut bad = Tensor::<f32>::zeros(Shape4::new(1, 1, 1, 64));
+        bad.as_mut_slice()[3] = f32::NAN;
+        assert!(ax.compute(&bad).is_err());
+    }
+
+    #[test]
+    fn zero_batch_dense_returns_empty_output() {
+        let (weights, bias, _) = random_parts(8);
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let ax = AxDense::new(
+            64,
+            10,
+            weights,
+            bias,
+            MulLut::exact(Signedness::Signed),
+            ctx,
+        );
+        let empty = Tensor::<f32>::zeros(Shape4::new(0, 1, 1, 64));
+        let out = ax.compute(&empty).unwrap();
+        assert_eq!(out.shape(), Shape4::new(0, 1, 1, 10));
+        assert!(out.as_slice().is_empty());
     }
 
     #[test]

@@ -7,19 +7,28 @@
 //! - [`run_cpu_direct`]: nested loops (ALWANN \[12\]), `i64` accumulation,
 //!   no intermediate patch matrix;
 //! - [`run_cpu_gemm`]: Algorithm 1 on host threads — chunked quantizing
-//!   im2col, multi-threaded tiled LUT GEMM, Eq. 4 correction;
+//!   im2col, LUT GEMM on the context's persistent worker pool, Eq. 4
+//!   correction;
 //! - [`run_gpusim`]: Algorithm 1 on the simulated device — the paper's
 //!   kernels with texture-cache LUT fetches and analytic cycle accounting.
+//!
+//! Each backend comes in two flavours: a `*_prepared` variant that
+//! consumes a [`PreparedFilter`] plan (all layer-invariant quantization
+//! hoisted out — what [`crate::AxConv2D`] calls with its cached plan), and
+//! a standalone wrapper of the same name as before that builds a
+//! throwaway plan per call and charges its cost to the Quantization phase.
 
 use crate::accumulator::Accumulator;
+use crate::prepared::PreparedFilter;
 use crate::{EmuContext, EmuError};
 use axmult::{MulLut, Signedness};
 use axquant::{FilterQuantization, QuantParams};
 use axtensor::{ops::Filter, ConvGeometry, Shape4, Tensor};
-use gpusim::kernels::gemm::{approx_gemm, GemmQuant};
+use gpusim::kernels::gemm::approx_gemm_prepared;
 use gpusim::kernels::im2col::{im2col_quant, PatchSumStrategy};
 use gpusim::kernels::minmax::reduction_events;
 use gpusim::{Phase, PhaseProfile};
+use std::borrow::Cow;
 use std::time::Instant;
 
 /// Everything a backend needs to run one approximate convolution.
@@ -36,21 +45,93 @@ pub struct ConvSpec<'a> {
     /// Input quantization (`α₁`, `β₁`), from the batch's min/max.
     pub input_q: QuantParams,
     /// Filter quantization (`α₂`, `β₂`), per-tensor or per-channel, from
-    /// the weight range(s).
-    pub filter_q: FilterQuantization,
+    /// the weight range(s). A `Cow` so the prepared call path can borrow
+    /// the plan's resolved quantization instead of cloning per call
+    /// (only the standalone wrappers, which build a throwaway plan, read
+    /// it).
+    pub filter_q: Cow<'a, FilterQuantization>,
     /// Accumulator model of the emulated MAC (CPU backends; the GPU
     /// kernel accumulates in f32 like the paper's).
     pub accumulator: Accumulator,
 }
 
+/// Validate an input range before it feeds `ComputeCoeffs`: both ends
+/// finite and not inverted. NaNs (from e.g. a poisoned activation tensor)
+/// and `lo > hi` would otherwise flow silently into [`QuantParams`] and
+/// produce garbage scales.
+///
+/// # Errors
+///
+/// Returns [`EmuError::Config`] for non-finite or inverted ranges.
+pub fn validate_range(lo: f32, hi: f32) -> Result<(), EmuError> {
+    if !lo.is_finite() || !hi.is_finite() || lo > hi {
+        return Err(EmuError::Config(format!(
+            "invalid input range [{lo}, {hi}]: bounds must be finite with lo <= hi"
+        )));
+    }
+    Ok(())
+}
+
 fn apply_bias(mut out: Tensor<f32>, bias: Option<&[f32]>) -> Tensor<f32> {
     if let Some(b) = bias {
         let c = out.shape().c;
+        // NHWC invariant: the channel is the fastest-varying dimension, so
+        // flat index i belongs to channel i % c. Tensor construction
+        // guarantees len == n*h*w*c, but the bias length is caller data —
+        // guard it so a mis-sized bias cannot silently rotate through the
+        // wrong channels.
+        assert_eq!(
+            b.len(),
+            c,
+            "bias length {} != output channel count {c}",
+            b.len()
+        );
+        debug_assert!(
+            out.as_slice().len().is_multiple_of(c.max(1)),
+            "non-NHWC buffer"
+        );
         for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
             *v += b[i % c];
         }
     }
     out
+}
+
+/// The LUT-emulated dot product of one patch row with one filter column
+/// (both as 8-bit byte patterns). The exact-accumulator cases take a
+/// branch-free path; narrower accumulator models fold per tap.
+#[inline]
+fn lut_dot(
+    patch: &[u8],
+    fcol: &[u8],
+    lut: &MulLut,
+    signedness: Signedness,
+    accumulator: Accumulator,
+) -> i64 {
+    match (accumulator, signedness) {
+        (Accumulator::Exact, Signedness::Signed) => patch
+            .iter()
+            .zip(fcol)
+            .map(|(&a, &b)| i64::from(lut.fetch(a, b) as i16))
+            .sum(),
+        (Accumulator::Exact, Signedness::Unsigned) => patch
+            .iter()
+            .zip(fcol)
+            .map(|(&a, &b)| i64::from(lut.fetch(a, b)))
+            .sum(),
+        _ => {
+            let mut acc = 0i64;
+            for (&a, &b) in patch.iter().zip(fcol) {
+                let raw = lut.fetch(a, b);
+                let prod = match signedness {
+                    Signedness::Signed => i64::from(raw as i16),
+                    Signedness::Unsigned => i64::from(raw),
+                };
+                acc = accumulator.add(acc, prod);
+            }
+            acc
+        }
+    }
 }
 
 /// Direct nested-loop emulation (the paper's approximate-CPU baseline).
@@ -60,6 +141,9 @@ fn apply_bias(mut out: Tensor<f32>, bias: Option<&[f32]>) -> Tensor<f32> {
 /// the difference in wall-clock between the two runs isolates the LUT
 /// share for the Fig. 2 CPU breakdown.
 ///
+/// Builds a throwaway [`PreparedFilter`] per call; use
+/// [`run_cpu_direct_prepared`] to amortize it across calls.
+///
 /// # Errors
 ///
 /// Propagates shape errors.
@@ -68,36 +152,46 @@ pub fn run_cpu_direct(
     spec: &ConvSpec<'_>,
     use_lut: bool,
 ) -> Result<(Tensor<f32>, PhaseProfile), EmuError> {
+    let t0 = Instant::now();
+    let plan = PreparedFilter::from_filter(spec.filter, &spec.filter_q);
+    let build_s = t0.elapsed().as_secs_f64();
+    let (out, mut profile) = run_cpu_direct_prepared(input, spec, &plan, use_lut)?;
+    profile.add(Phase::Quantization, build_s);
+    Ok((out, profile))
+}
+
+/// [`run_cpu_direct`] against a pre-built plan: only the input side is
+/// quantized per call. `plan` must have been built from `spec.filter`
+/// under `spec.filter_q`.
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn run_cpu_direct_prepared(
+    input: &Tensor<f32>,
+    spec: &ConvSpec<'_>,
+    plan: &PreparedFilter,
+    use_lut: bool,
+) -> Result<(Tensor<f32>, PhaseProfile), EmuError> {
     let fs = spec.filter.shape();
     let out_shape = spec.geometry.output_shape(input.shape(), fs)?;
     let (pad_h, pad_w) = spec.geometry.pad_before(input.shape(), fs);
     let shape = input.shape();
     let mut profile = PhaseProfile::new();
 
-    // --- Quantization of both operands (logical values).
+    // --- Input quantization (logical values); the filter side comes
+    // pre-quantized from the plan.
     let t0 = Instant::now();
     let q_in: Vec<i32> = input
         .as_slice()
         .iter()
         .map(|&v| spec.input_q.quantize(v))
         .collect();
-    let col_q: Vec<QuantParams> = (0..fs.c_out)
-        .map(|c| spec.filter_q.for_channel(c))
-        .collect();
-    let q_f: Vec<i32> = spec
-        .filter
-        .as_slice()
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| col_q[i % fs.c_out].quantize(v))
-        .collect();
     let zero_q = spec.input_q.quantize(0.0);
-    // Per-output-channel filter sums Sf.
-    let mut sf = vec![0i64; fs.c_out];
-    for (i, &q) in q_f.iter().enumerate() {
-        sf[i % fs.c_out] += i64::from(q);
-    }
     profile.add(Phase::Quantization, t0.elapsed().as_secs_f64());
+    let col_q = plan.col_q();
+    let q_f = plan.q_logical();
+    let sf = plan.sf();
 
     // --- The convolution loops.
     let t1 = Instant::now();
@@ -173,8 +267,12 @@ pub fn run_cpu_direct(
     Ok((apply_bias(out, spec.bias), profile))
 }
 
-/// Optimized host-side Algorithm 1: chunked quantizing im2col + threaded
-/// tiled LUT GEMM + Eq. 4 correction.
+/// Optimized host-side Algorithm 1: chunked quantizing im2col + LUT GEMM
+/// on the context's persistent worker pool + Eq. 4 correction.
+///
+/// Builds a throwaway [`PreparedFilter`] per call; use
+/// [`run_cpu_gemm_prepared`] to amortize it across calls. Chunk size and
+/// worker pool come from `ctx`.
 ///
 /// # Errors
 ///
@@ -182,33 +280,53 @@ pub fn run_cpu_direct(
 pub fn run_cpu_gemm(
     input: &Tensor<f32>,
     spec: &ConvSpec<'_>,
-    chunk_size: usize,
+    ctx: &EmuContext,
+) -> Result<(Tensor<f32>, PhaseProfile), EmuError> {
+    let t0 = Instant::now();
+    let plan = PreparedFilter::from_filter(spec.filter, &spec.filter_q);
+    let build_s = t0.elapsed().as_secs_f64();
+    let (out, mut profile) = run_cpu_gemm_prepared(input, spec, &plan, ctx)?;
+    profile.add(Phase::Quantization, build_s);
+    Ok((out, profile))
+}
+
+/// [`run_cpu_gemm`] against a pre-built plan: the filter bytes, `Sf` sums
+/// and per-channel parameters come straight from `plan`, and the GEMM
+/// runs on `ctx`'s persistent worker pool instead of spawning a thread
+/// scope per chunk. `plan` must have been built from `spec.filter` under
+/// `spec.filter_q`.
+///
+/// A zero-batch input returns a correctly-shaped empty output.
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn run_cpu_gemm_prepared(
+    input: &Tensor<f32>,
+    spec: &ConvSpec<'_>,
+    plan: &PreparedFilter,
+    ctx: &EmuContext,
 ) -> Result<(Tensor<f32>, PhaseProfile), EmuError> {
     let fs = spec.filter.shape();
     let mut profile = PhaseProfile::new();
     let signedness = spec.lut.signedness();
-
-    // Filter quantization + Sf, once per call.
-    let t0 = Instant::now();
-    let c_out = fs.c_out;
-    let k = fs.patch_len();
-    let fmat = spec.filter.to_matrix();
-    let col_q: Vec<QuantParams> = (0..c_out).map(|c| spec.filter_q.for_channel(c)).collect();
-    let mut f_bytes = vec![0u8; k * c_out];
-    let mut sf = vec![0i64; c_out];
-    for r in 0..k {
-        for c in 0..c_out {
-            let q = col_q[c].quantize(fmat.at(r, c));
-            f_bytes[r * c_out + c] = (q & 0xFF) as u8;
-            sf[c] += i64::from(q);
-        }
+    let out_shape = spec.geometry.output_shape(input.shape(), fs)?;
+    let n = input.shape().n;
+    if n == 0 {
+        return Ok((apply_bias(Tensor::zeros(out_shape), spec.bias), profile));
     }
-    profile.add(Phase::Quantization, t0.elapsed().as_secs_f64());
 
+    let c_out = plan.c_out();
+    let k = plan.k();
+    let col_q = plan.col_q();
+    let sf = plan.sf();
     let b1 = i64::from(spec.input_q.zero_point());
     let a1 = f64::from(spec.input_q.scale());
+    let lut = spec.lut;
+    let accumulator = spec.accumulator;
+    let pool = ctx.pool();
+    let chunk_size = ctx.chunk_size();
 
-    let n = input.shape().n;
     let mut parts: Vec<Tensor<f32>> = Vec::new();
     let mut start = 0usize;
     while start < n {
@@ -227,47 +345,34 @@ pub fn run_cpu_gemm(
         .output;
         profile.add(Phase::Other, t1.elapsed().as_secs_f64());
 
-        // Threaded LUT GEMM.
+        // LUT GEMM on the persistent pool.
         let t2 = Instant::now();
         let rows = patches.matrix.rows();
         let mut out_buf = vec![0f32; rows * c_out];
-        let threads = std::thread::available_parallelism().map_or(1, usize::from);
-        let rows_per = rows.div_ceil(threads.max(1)).max(1);
+        let rows_per = rows.div_ceil(pool.threads()).max(1);
         let mp = &patches.matrix;
         let sp = &patches.patch_sums;
-        let lut = spec.lut;
-        let f_bytes_ref = &f_bytes;
-        let sf_ref = &sf;
-        let col_q_ref = &col_q;
-        let accumulator = spec.accumulator;
-        std::thread::scope(|scope| {
-            for (t, slab) in out_buf.chunks_mut(rows_per * c_out).enumerate() {
-                let r0 = t * rows_per;
-                scope.spawn(move || {
-                    for (local_r, out_row) in slab.chunks_mut(c_out).enumerate() {
-                        let r = r0 + local_r;
-                        let patch = mp.row(r);
-                        for (c, out_v) in out_row.iter_mut().enumerate() {
-                            let mut acc = 0i64;
-                            for (kk, &av) in patch.iter().enumerate() {
-                                let bv = f_bytes_ref[kk * c_out + c];
-                                let raw = lut.fetch(av, bv);
-                                let prod = match signedness {
-                                    Signedness::Signed => i64::from(raw as i16),
-                                    Signedness::Unsigned => i64::from(raw),
-                                };
-                                acc = accumulator.add(acc, prod);
-                            }
-                            let b2 = i64::from(col_q_ref[c].zero_point());
-                            let a1a2 = a1 * f64::from(col_q_ref[c].scale());
-                            let corrected =
-                                acc - b2 * sp[r] - b1 * sf_ref[c] + (k as i64) * b1 * b2;
-                            *out_v = (a1a2 * corrected as f64) as f32;
-                        }
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> =
+            Vec::with_capacity(rows.div_ceil(rows_per));
+        for (t, slab) in out_buf.chunks_mut(rows_per * c_out).enumerate() {
+            let r0 = t * rows_per;
+            jobs.push(Box::new(move || {
+                for (local_r, out_row) in slab.chunks_mut(c_out).enumerate() {
+                    let r = r0 + local_r;
+                    let patch = mp.row(r);
+                    let sp_r = sp[r];
+                    for (c, out_v) in out_row.iter_mut().enumerate() {
+                        let acc =
+                            lut_dot(patch, plan.channel_bytes(c), lut, signedness, accumulator);
+                        let b2 = i64::from(col_q[c].zero_point());
+                        let a1a2 = a1 * f64::from(col_q[c].scale());
+                        let corrected = acc - b2 * sp_r - b1 * sf[c] + (k as i64) * b1 * b2;
+                        *out_v = (a1a2 * corrected as f64) as f32;
                     }
-                });
-            }
-        });
+                }
+            }));
+        }
+        pool.run(jobs);
         profile.add(Phase::LutLookup, t2.elapsed().as_secs_f64());
 
         parts.push(Tensor::from_vec(patches.out_shape, out_buf)?);
@@ -285,12 +390,42 @@ pub fn run_cpu_gemm(
 /// graph performs per batch are also charged here (they run on the device
 /// in the paper's implementation).
 ///
+/// Builds a throwaway [`PreparedFilter`] per call and charges its modeled
+/// quantization cost; use [`run_gpusim_prepared`] to amortize it.
+///
 /// # Errors
 ///
 /// Propagates shape errors.
 pub fn run_gpusim(
     input: &Tensor<f32>,
     spec: &ConvSpec<'_>,
+    ctx: &EmuContext,
+) -> Result<(Tensor<f32>, PhaseProfile), EmuError> {
+    let plan = PreparedFilter::from_filter(spec.filter, &spec.filter_q);
+    let (out, mut profile) = run_gpusim_prepared(input, spec, &plan, ctx)?;
+    // A standalone call pays the filter quantization a prepared caller
+    // pays once at plan-build time.
+    let ev = plan.quant_events();
+    profile.add(Phase::Quantization, ctx.device().seconds(&ev));
+    ctx.record_events(&ev);
+    Ok((out, profile))
+}
+
+/// [`run_gpusim`] against a pre-built plan: the device kernels consume the
+/// plan's quantized filter bytes directly, so no chunk ever re-quantizes
+/// the filter bank (the pre-refactor code did — and rebuilt the f32
+/// filter matrix — on **every** chunk). `plan` must have been built from
+/// `spec.filter` under `spec.filter_q`.
+///
+/// A zero-batch input returns a correctly-shaped empty output.
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn run_gpusim_prepared(
+    input: &Tensor<f32>,
+    spec: &ConvSpec<'_>,
+    plan: &PreparedFilter,
     ctx: &EmuContext,
 ) -> Result<(Tensor<f32>, PhaseProfile), EmuError> {
     let fs = spec.filter.shape();
@@ -303,11 +438,12 @@ pub fn run_gpusim(
         dev.seconds(&reduction_events(input.shape().len())),
     );
 
-    let quant = GemmQuant {
-        input: spec.input_q,
-        filter: spec.filter_q.clone(),
-    };
+    let out_shape = spec.geometry.output_shape(input.shape(), fs)?;
     let n = input.shape().n;
+    if n == 0 {
+        return Ok((apply_bias(Tensor::zeros(out_shape), spec.bias), profile));
+    }
+
     let mut parts: Vec<Tensor<f32>> = Vec::new();
     let mut start = 0usize;
     while start < n {
@@ -328,11 +464,13 @@ pub fn run_gpusim(
         let patches = im2col.output;
 
         let gemm = ctx.with_cache(|cache| {
-            approx_gemm(
+            approx_gemm_prepared(
                 &patches.matrix,
                 &patches.patch_sums,
-                &spec.filter.to_matrix(),
-                &quant,
+                plan.f_bytes(),
+                plan.sf(),
+                plan.col_q(),
+                spec.input_q,
                 spec.lut,
                 cache,
             )
@@ -423,8 +561,9 @@ mod tests {
             bias: None,
             lut,
             input_q: QuantParams::from_range(-1.0, 1.0, QuantRange::i8(), RoundMode::NearestEven),
-            filter_q: QuantParams::from_range(-0.5, 0.5, QuantRange::i8(), RoundMode::NearestEven)
-                .into(),
+            filter_q: Cow::Owned(
+                QuantParams::from_range(-0.5, 0.5, QuantRange::i8(), RoundMode::NearestEven).into(),
+            ),
             accumulator: Accumulator::Exact,
         }
     }
@@ -445,7 +584,8 @@ mod tests {
         ] {
             let s = spec(&filter, &lut, geom);
             let (direct, _) = run_cpu_direct(&input, &s, true).unwrap();
-            let (gemm, _) = run_cpu_gemm(&input, &s, 2).unwrap();
+            let gemm_ctx = EmuContext::new(Backend::CpuGemm).with_chunk_size(2);
+            let (gemm, _) = run_cpu_gemm(&input, &s, &gemm_ctx).unwrap();
             let ctx = EmuContext::new(Backend::GpuSim).with_chunk_size(2);
             let (gpu, _) = run_gpusim(&input, &s, &ctx).unwrap();
             assert!(close(&direct, &gemm, 1e-4), "direct vs gemm, {geom:?}");
@@ -460,11 +600,79 @@ mod tests {
         let bam = axmult::catalog::by_name("mul8s_bam_v8h0").unwrap();
         let s = spec(&filter, bam.lut(), ConvGeometry::default());
         let (direct, _) = run_cpu_direct(&input, &s, true).unwrap();
-        let (gemm, _) = run_cpu_gemm(&input, &s, 1).unwrap();
+        let gemm_ctx = EmuContext::new(Backend::CpuGemm).with_chunk_size(1);
+        let (gemm, _) = run_cpu_gemm(&input, &s, &gemm_ctx).unwrap();
         let ctx = EmuContext::new(Backend::GpuSim);
         let (gpu, _) = run_gpusim(&input, &s, &ctx).unwrap();
         assert!(close(&direct, &gemm, 1e-4));
         assert!(close(&direct, &gpu, 1e-2));
+    }
+
+    #[test]
+    fn prepared_paths_match_standalone_wrappers() {
+        let input = rng::uniform(Shape4::new(3, 6, 6, 2), 17, -1.0, 1.0);
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 4), 18, -0.5, 0.5);
+        let lut = MulLut::exact(Signedness::Signed);
+        let s = spec(&filter, &lut, ConvGeometry::default().with_stride(2));
+        let plan = PreparedFilter::from_filter(s.filter, &s.filter_q);
+
+        let (direct, _) = run_cpu_direct(&input, &s, true).unwrap();
+        let (direct_p, _) = run_cpu_direct_prepared(&input, &s, &plan, true).unwrap();
+        assert_eq!(direct, direct_p);
+
+        let ctx = EmuContext::new(Backend::CpuGemm).with_chunk_size(2);
+        let (gemm, _) = run_cpu_gemm(&input, &s, &ctx).unwrap();
+        let (gemm_p, _) = run_cpu_gemm_prepared(&input, &s, &plan, &ctx).unwrap();
+        assert_eq!(gemm, gemm_p);
+
+        let gctx = EmuContext::new(Backend::GpuSim).with_chunk_size(2);
+        let (gpu, _) = run_gpusim(&input, &s, &gctx).unwrap();
+        let (gpu_p, _) = run_gpusim_prepared(&input, &s, &plan, &gctx).unwrap();
+        assert_eq!(gpu, gpu_p);
+    }
+
+    #[test]
+    fn zero_batch_returns_shaped_empty_output() {
+        let input = Tensor::<f32>::zeros(Shape4::new(0, 6, 6, 2));
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 4), 19, -0.5, 0.5);
+        let lut = MulLut::exact(Signedness::Signed);
+        let bias = [0.5f32, -0.5, 1.0, 0.0];
+        let mut s = spec(&filter, &lut, ConvGeometry::default());
+        s.bias = Some(&bias);
+        let expect = Shape4::new(0, 6, 6, 4);
+
+        let (direct, _) = run_cpu_direct(&input, &s, true).unwrap();
+        assert_eq!(direct.shape(), expect);
+        assert!(direct.as_slice().is_empty());
+
+        let ctx = EmuContext::new(Backend::CpuGemm);
+        let (gemm, _) = run_cpu_gemm(&input, &s, &ctx).unwrap();
+        assert_eq!(gemm.shape(), expect);
+        assert!(gemm.as_slice().is_empty());
+
+        let gctx = EmuContext::new(Backend::GpuSim);
+        let (gpu, _) = run_gpusim(&input, &s, &gctx).unwrap();
+        assert_eq!(gpu.shape(), expect);
+        assert!(gpu.as_slice().is_empty());
+    }
+
+    #[test]
+    fn range_validation_rejects_nan_and_inverted() {
+        assert!(validate_range(-1.0, 1.0).is_ok());
+        assert!(validate_range(0.0, 0.0).is_ok());
+        assert!(validate_range(f32::NAN, 1.0).is_err());
+        assert!(validate_range(-1.0, f32::NAN).is_err());
+        assert!(validate_range(f32::NEG_INFINITY, 1.0).is_err());
+        assert!(validate_range(-1.0, f32::INFINITY).is_err());
+        assert!(validate_range(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn mis_sized_bias_is_rejected() {
+        let out = Tensor::<f32>::zeros(Shape4::new(1, 2, 2, 3));
+        let bias = [1.0f32, 2.0]; // 2 entries for 3 channels
+        let _ = apply_bias(out, Some(&bias));
     }
 
     #[test]
@@ -506,8 +714,10 @@ mod tests {
         let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 3), 10, -0.5, 0.5);
         let lut = MulLut::exact(Signedness::Signed);
         let s = spec(&filter, &lut, ConvGeometry::default());
-        let (one, _) = run_cpu_gemm(&input, &s, 5).unwrap();
-        let (many, _) = run_cpu_gemm(&input, &s, 1).unwrap();
+        let one_ctx = EmuContext::new(Backend::CpuGemm).with_chunk_size(5);
+        let (one, _) = run_cpu_gemm(&input, &s, &one_ctx).unwrap();
+        let many_ctx = EmuContext::new(Backend::CpuGemm).with_chunk_size(1);
+        let (many, _) = run_cpu_gemm(&input, &s, &many_ctx).unwrap();
         assert!(close(&one, &many, 1e-6));
     }
 
@@ -537,6 +747,27 @@ mod tests {
         assert!(profile.seconds(Phase::LutLookup) > 0.0);
         assert!(profile.seconds(Phase::Quantization) > 0.0);
         assert!(profile.seconds(Phase::Other) > 0.0);
+    }
+
+    #[test]
+    fn gpusim_prepared_models_less_quantization() {
+        // The prepared path's modeled Quantization time must be strictly
+        // below the standalone path's, by exactly the plan's one-off
+        // filter-quantization charge.
+        let input = rng::uniform(Shape4::new(4, 6, 6, 2), 23, -1.0, 1.0);
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 4), 24, -0.5, 0.5);
+        let lut = MulLut::exact(Signedness::Signed);
+        let s = spec(&filter, &lut, ConvGeometry::default());
+        let plan = PreparedFilter::from_filter(s.filter, &s.filter_q);
+        let ctx = EmuContext::new(Backend::GpuSim).with_chunk_size(2);
+        let (_, standalone) = run_gpusim(&input, &s, &ctx).unwrap();
+        let (_, prepared) = run_gpusim_prepared(&input, &s, &plan, &ctx).unwrap();
+        let charge = ctx.device().seconds(&plan.quant_events());
+        let diff = standalone.seconds(Phase::Quantization) - prepared.seconds(Phase::Quantization);
+        assert!(
+            (diff - charge).abs() < 1e-12,
+            "diff {diff} vs one-off charge {charge}"
+        );
     }
 
     #[test]

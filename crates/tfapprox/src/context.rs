@@ -1,9 +1,12 @@
-//! Shared emulation state: backend selection, profiling, the texture cache.
+//! Shared emulation state: backend selection, profiling, the texture
+//! cache, and the persistent worker pool.
 
+use crate::pool::WorkerPool;
 use gpusim::{DeviceConfig, EventCounts, PhaseProfile, TextureCache};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Where the approximate convolution is emulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -46,9 +49,13 @@ pub struct EmuContext {
     backend: Backend,
     device: DeviceConfig,
     chunk_size: usize,
+    threads: usize,
     profile: Mutex<PhaseProfile>,
     events: Mutex<EventCounts>,
     cache: Mutex<TextureCache>,
+    /// Spawned on first use and reused for the context's whole lifetime —
+    /// the host GEMM backend no longer opens a thread scope per chunk.
+    pool: OnceLock<WorkerPool>,
 }
 
 impl EmuContext {
@@ -68,9 +75,11 @@ impl EmuContext {
             // Algorithm 1 splits the batch "into chunks of a constant size
             // to decouple memory usage from convolution parameters".
             chunk_size: 125,
+            threads: std::thread::available_parallelism().map_or(1, usize::from),
             profile: Mutex::new(PhaseProfile::new()),
             events: Mutex::new(EventCounts::new()),
             cache: Mutex::new(cache),
+            pool: OnceLock::new(),
         }
     }
 
@@ -102,6 +111,24 @@ impl EmuContext {
     #[must_use]
     pub fn chunk_size(&self) -> usize {
         self.chunk_size
+    }
+
+    /// Override the host worker-thread count (default: available
+    /// parallelism). Takes effect only if set before the pool's first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// The persistent host worker pool, spawned on first use.
+    pub fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| WorkerPool::new(self.threads))
     }
 
     /// Add phase times (thread-safe).

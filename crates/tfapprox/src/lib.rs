@@ -20,6 +20,13 @@
 //!   approach of ALWANN \[12\]), `CpuGemm` (optimized im2col + GEMM on
 //!   host threads), or `GpuSim` (Algorithm 1 on the simulated
 //!   CUDA-capable device from [`gpusim`]),
+//! - [`PreparedFilter`]: the prepared-execution plan — every
+//!   layer-invariant artifact (quantized filter bytes in both GEMM
+//!   layouts, logical integer taps, per-channel parameters, `Sf` sums)
+//!   built once per layer and reused by all backends, so repeated
+//!   inference quantizes each filter bank exactly once,
+//! - [`WorkerPool`]: the persistent host worker pool the GEMM backend
+//!   runs on (no per-chunk thread spawning),
 //! - [`flow`]: the design flow — take a trained graph, replace every
 //!   `Conv2D` by `AxConv2D`, inserting `Min`/`Max` observers (Fig. 1),
 //! - [`runtime`]: batch-wise inference with `tinit + tcomp` accounting,
@@ -58,6 +65,8 @@ pub mod backend;
 pub mod context;
 pub mod flow;
 pub mod perfmodel;
+pub mod pool;
+pub mod prepared;
 pub mod runtime;
 
 mod error;
@@ -67,4 +76,6 @@ pub use axconv2d::AxConv2D;
 pub use axdense::AxDense;
 pub use context::{Backend, EmuContext};
 pub use error::EmuError;
+pub use pool::WorkerPool;
+pub use prepared::PreparedFilter;
 pub use runtime::EmulationReport;

@@ -1,0 +1,258 @@
+//! A persistent scoped worker pool for the host-side GEMM backend.
+//!
+//! `run_cpu_gemm` used to open a fresh `std::thread::scope` — spawning and
+//! joining OS threads — for **every chunk of every forward call**. Under
+//! repeated inference that thread churn is pure overhead. The pool here is
+//! spawned once per [`crate::EmuContext`] and reused for the context's
+//! whole lifetime; [`WorkerPool::run`] submits a batch of borrowing
+//! closures and blocks until all of them have executed, which is what
+//! makes lending stack references to long-lived workers sound.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolState {
+    queue: Mutex<PoolQueue>,
+    work_cv: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing batches of scoped jobs.
+pub struct WorkerPool {
+    state: Arc<PoolState>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads` workers (at least one).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("emu-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            state,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute every job in `jobs` on the pool, blocking until all have
+    /// finished. Jobs may borrow from the caller's stack: because this
+    /// method does not return before the last job completes, no borrow
+    /// outlives its referent.
+    ///
+    /// Must not be called from inside a pool job (the worker would wait on
+    /// work only it could execute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job panicked (after all jobs have finished).
+    pub fn run<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let total = jobs.len();
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let panicked = Arc::new(AtomicBool::new(false));
+        {
+            let mut queue = self.state.queue.lock().expect("pool queue");
+            assert!(!queue.shutdown, "worker pool already shut down");
+            for job in jobs {
+                // SAFETY: the only thing erased here is the `'env`
+                // lifetime bound. The loop below blocks until all `total`
+                // jobs have signalled completion, so every borrow captured
+                // by `job` is still live whenever the job runs.
+                let job: Job = unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() + Send + 'env>,
+                        Box<dyn FnOnce() + Send + 'static>,
+                    >(job)
+                };
+                let done = Arc::clone(&done);
+                let panicked = Arc::clone(&panicked);
+                queue.jobs.push_back(Box::new(move || {
+                    if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                        panicked.store(true, Ordering::SeqCst);
+                    }
+                    let (count, cv) = &*done;
+                    *count.lock().expect("completion count") += 1;
+                    cv.notify_all();
+                }));
+            }
+            self.state.work_cv.notify_all();
+        }
+        let (count, cv) = &*done;
+        let mut finished = count.lock().expect("completion count");
+        while *finished < total {
+            finished = cv.wait(finished).expect("completion wait");
+        }
+        assert!(
+            !panicked.load(Ordering::SeqCst),
+            "a worker-pool job panicked"
+        );
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Ok(mut queue) = self.state.queue.lock() {
+            queue.shutdown = true;
+        }
+        self.state.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(state: &PoolState) {
+    loop {
+        let job = {
+            let mut queue = state.queue.lock().expect("pool queue");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break Some(job);
+                }
+                if queue.shutdown {
+                    break None;
+                }
+                queue = state.work_cv.wait(queue).expect("pool wait");
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_borrowing_jobs_to_completion() {
+        let pool = WorkerPool::new(3);
+        let mut out = vec![0usize; 64];
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
+            .chunks_mut(16)
+            .enumerate()
+            .map(|(i, slab)| {
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    for (j, v) in slab.iter_mut().enumerate() {
+                        *v = i * 100 + j;
+                    }
+                });
+                job
+            })
+            .collect();
+        pool.run(jobs);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i / 16) * 100 + i % 16);
+        }
+    }
+
+    #[test]
+    fn reusable_across_batches() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..10 {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|_| {
+                    let job: Box<dyn FnOnce() + Send + '_> = Box::new(|| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    });
+                    job
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pool = WorkerPool::new(1);
+        pool.run(Vec::new());
+    }
+
+    #[test]
+    fn zero_thread_request_still_works() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let ran = AtomicBool::new(false);
+        pool.run(vec![
+            Box::new(|| ran.store(true, Ordering::SeqCst)) as Box<dyn FnOnce() + Send + '_>
+        ]);
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker-pool job panicked")]
+    fn job_panic_propagates_after_batch() {
+        let pool = WorkerPool::new(2);
+        let survivor = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&survivor);
+        pool.run(vec![
+            Box::new(|| panic!("boom")) as Box<dyn FnOnce() + Send + '_>,
+            Box::new(move || flag.store(true, Ordering::SeqCst)),
+        ]);
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_job() {
+        let pool = WorkerPool::new(1);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![
+                Box::new(|| panic!("boom")) as Box<dyn FnOnce() + Send + '_>
+            ]);
+        }));
+        assert!(result.is_err());
+        // The worker thread is still alive and accepts new work.
+        let ran = AtomicBool::new(false);
+        pool.run(vec![
+            Box::new(|| ran.store(true, Ordering::SeqCst)) as Box<dyn FnOnce() + Send + '_>
+        ]);
+        assert!(ran.load(Ordering::SeqCst));
+    }
+}

@@ -54,6 +54,11 @@ pub fn gpu_init_seconds(ctx: &EmuContext, dataset_bytes: u64) -> f64 {
 /// simulated GPU it is the modeled time accumulated in the context's
 /// profile plus a DRAM charge for the non-convolution layers.
 ///
+/// The first batch of the first run additionally pays each layer's
+/// prepared-plan build (one-off filter quantization, charged to the
+/// Quantization phase); subsequent runs over the same graph reuse the
+/// cached plans, so their Quantization share is input-side only.
+///
 /// Returns the per-batch outputs and the report.
 ///
 /// # Errors
@@ -184,6 +189,19 @@ mod tests {
         assert!(report.tinit > ctx.device().context_init_s);
         // Tiny workload: modeled comp far below init.
         assert!(report.tcomp < report.tinit);
+    }
+
+    #[test]
+    fn second_run_reuses_prepared_plans() {
+        // Modeled GPU time is deterministic: the first run pays every
+        // layer's one-off filter-quantization charge, later runs don't.
+        let (graph, batches, ctx) = tiny_setup(Backend::GpuSim);
+        let (_, first) = run_approx(&graph, &batches, &ctx).unwrap();
+        let (_, second) = run_approx(&graph, &batches, &ctx).unwrap();
+        let (_, third) = run_approx(&graph, &batches, &ctx).unwrap();
+        let q = |r: &EmulationReport| r.profile.seconds(Phase::Quantization);
+        assert!(q(&second) < q(&first));
+        assert!((q(&second) - q(&third)).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Property tests of the prepared-execution engine: a layer's cached plan
+//! must be indistinguishable — bit for bit — from building a fresh plan
+//! per call, across convolution geometries, signednesses, quantization
+//! flavours, and all three backends.
+
+use axmult::{MulLut, Signedness};
+use axtensor::{rng, ConvGeometry, FilterShape, Padding, Shape4, Tensor};
+use proptest::prelude::*;
+use std::sync::Arc;
+use tfapprox::{AxConv2D, Backend, EmuContext};
+
+fn geometry(stride: usize, dilation: usize, valid: bool) -> ConvGeometry {
+    let mut geom = ConvGeometry::default().with_stride(stride);
+    // Dilation only combines with Valid padding in this suite (matching
+    // the reference-op tests); Same padding is exercised undilated.
+    if dilation > 1 || valid {
+        geom = geom.with_dilation(dilation).with_padding(Padding::Valid);
+    }
+    geom
+}
+
+fn layer(
+    filter: &axtensor::Filter,
+    geom: ConvGeometry,
+    lut: &MulLut,
+    backend: Backend,
+    per_channel: bool,
+) -> AxConv2D {
+    let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(2));
+    let l = AxConv2D::new(filter.clone(), geom, lut.clone(), ctx);
+    if per_channel {
+        l.with_per_channel_filter_quant()
+    } else {
+        l
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cached-plan results are bit-identical to fresh-plan results and
+    /// stable across repeated calls, for every backend.
+    #[test]
+    fn cached_plan_is_bit_identical_to_fresh_plan(
+        seed in 0u64..1000,
+        stride in 1usize..3,
+        dilation in 1usize..3,
+        valid in any::<bool>(),
+        one_by_one in any::<bool>(),
+        signed in any::<bool>(),
+        per_channel in any::<bool>(),
+    ) {
+        let signedness = if signed { Signedness::Signed } else { Signedness::Unsigned };
+        let lut = MulLut::exact(signedness);
+        let ksize = if one_by_one { 1 } else { 3 };
+        let filter = rng::uniform_filter(FilterShape::new(ksize, ksize, 2, 3), seed ^ 7, -0.5, 0.5);
+        let input = rng::uniform(Shape4::new(3, 6, 6, 2), seed, -1.0, 1.0);
+        let geom = geometry(stride, dilation, valid);
+
+        for backend in [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim] {
+            // `cached` reuses one plan across calls; `fresh` is an
+            // identically-built layer whose first (plan-building) call is
+            // the reference.
+            let cached = layer(&filter, geom, &lut, backend, per_channel);
+            let fresh = layer(&filter, geom, &lut, backend, per_channel);
+            let first = cached.convolve(&input).unwrap();
+            let second = cached.convolve(&input).unwrap();
+            let reference = fresh.convolve(&input).unwrap();
+            prop_assert_eq!(&first, &second, "repeat drifted on {:?}", backend);
+            prop_assert_eq!(&first, &reference, "cached != fresh on {:?}", backend);
+        }
+    }
+
+    /// The three backends stay in numerical agreement when driven through
+    /// their prepared plans (exact LUT; direct is the golden model).
+    #[test]
+    fn prepared_backends_agree(seed in 0u64..1000, stride in 1usize..3) {
+        let lut = MulLut::exact(Signedness::Signed);
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 3), seed ^ 13, -0.5, 0.5);
+        let input = rng::uniform(Shape4::new(2, 6, 6, 2), seed, -1.0, 1.0);
+        let geom = ConvGeometry::default().with_stride(stride);
+        let run = |backend: Backend| -> Tensor<f32> {
+            let l = layer(&filter, geom, &lut, backend, false);
+            l.prepare().unwrap();
+            l.convolve(&input).unwrap()
+        };
+        let direct = run(Backend::CpuDirect);
+        let gemm = run(Backend::CpuGemm);
+        let gpu = run(Backend::GpuSim);
+        prop_assert!(direct.max_abs_diff(&gemm).unwrap() < 1e-4);
+        prop_assert!(direct.max_abs_diff(&gpu).unwrap() < 1e-2);
+    }
+}
+
+/// Zero-batch inputs flow through every backend as correctly-shaped empty
+/// outputs (regression: `concat_batch(&[])` used to panic).
+#[test]
+fn zero_batch_graph_level_regression() {
+    let lut = MulLut::exact(Signedness::Signed);
+    let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 4), 5, -0.5, 0.5);
+    let empty = Tensor::<f32>::zeros(Shape4::new(0, 6, 6, 2));
+    for backend in [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim] {
+        let l = layer(&filter, ConvGeometry::default(), &lut, backend, false);
+        let out = l.convolve(&empty).unwrap();
+        assert_eq!(out.shape(), Shape4::new(0, 6, 6, 4), "{backend:?}");
+        assert!(out.as_slice().is_empty(), "{backend:?}");
+    }
+}
