@@ -236,13 +236,49 @@ pub fn catalog() -> Result<Vec<AxMultiplier>, MultError> {
 ///
 /// # Errors
 ///
-/// Returns [`MultError::UnknownMultiplier`] for names not in the catalog,
-/// and propagates construction failures.
+/// Returns [`MultError::UnknownMultiplier`] for names not in the catalog
+/// — the error lists every available name (and the nearest match, so a
+/// typo like `mul8s_exact_` points straight at the intended entry) — and
+/// propagates construction failures.
 pub fn by_name(name: &str) -> Result<AxMultiplier, MultError> {
-    catalog()?
-        .into_iter()
-        .find(|m| m.name() == name)
-        .ok_or_else(|| MultError::UnknownMultiplier(name.to_owned()))
+    let cat = catalog()?;
+    if let Some(m) = cat.iter().find(|m| m.name() == name) {
+        return Ok(m.clone());
+    }
+    Err(MultError::UnknownMultiplier {
+        name: name.to_owned(),
+        available: cat.iter().map(|m| m.name().to_owned()).collect(),
+    })
+}
+
+/// Levenshtein edit distance — small inputs only (catalog names).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(row[j] + 1).min(prev + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// The catalog name nearest to `name` by edit distance, if any is close
+/// enough to plausibly be a typo (distance ≤ 3). Used by the
+/// [`MultError::UnknownMultiplier`] message.
+#[must_use]
+pub fn nearest_name<S: AsRef<str>>(name: &str, available: &[S]) -> Option<String> {
+    available
+        .iter()
+        .map(|cand| (edit_distance(name, cand.as_ref()), cand.as_ref()))
+        .min_by_key(|&(d, _)| d)
+        .filter(|&(d, _)| d <= 3)
+        .map(|(_, cand)| cand.to_owned())
 }
 
 #[cfg(test)]
@@ -292,7 +328,31 @@ mod tests {
     #[test]
     fn unknown_name_is_error() {
         let err = by_name("mul8u_nonexistent").unwrap_err();
-        assert!(matches!(err, MultError::UnknownMultiplier(_)));
+        assert!(matches!(err, MultError::UnknownMultiplier { .. }));
+    }
+
+    #[test]
+    fn unknown_name_error_lists_catalog_and_suggests_nearest() {
+        // A one-character typo of a real entry must surface the intended
+        // name as the nearest match, plus the full list of options.
+        let err = by_name("mul8s_exakt").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("did you mean 'mul8s_exact'?"), "{msg}");
+        for m in catalog().unwrap() {
+            assert!(msg.contains(m.name()), "missing {} in: {msg}", m.name());
+        }
+    }
+
+    #[test]
+    fn nearest_name_bounds() {
+        let names = ["mul8s_exact", "mul8u_drum4"];
+        assert_eq!(
+            nearest_name("mul8s_exact_", &names).as_deref(),
+            Some("mul8s_exact")
+        );
+        // Nothing within edit distance 3 -> no suggestion.
+        assert_eq!(nearest_name("totally_different", &names), None);
+        assert_eq!(nearest_name("x", &[] as &[&str]), None);
     }
 
     #[test]

@@ -19,7 +19,12 @@ pub enum MultError {
         width_b: u32,
     },
     /// A named multiplier was not found in the catalog.
-    UnknownMultiplier(String),
+    UnknownMultiplier {
+        /// The name that was looked up.
+        name: String,
+        /// Every name the catalog does know, in catalog order.
+        available: Vec<String>,
+    },
     /// A circuit-level error bubbled up during construction.
     Circuit(axcircuit::CircuitError),
 }
@@ -33,8 +38,16 @@ impl fmt::Display for MultError {
             MultError::BadTruthTableShape { width_a, width_b } => {
                 write!(f, "expected an 8x8 truth table, got {width_a}x{width_b}")
             }
-            MultError::UnknownMultiplier(name) => {
-                write!(f, "unknown multiplier '{name}' (see axmult::catalog)")
+            MultError::UnknownMultiplier { name, available } => {
+                write!(f, "unknown multiplier '{name}'")?;
+                if let Some(nearest) = crate::catalog::nearest_name(name, available) {
+                    write!(f, " (did you mean '{nearest}'?)")?;
+                }
+                if available.is_empty() {
+                    write!(f, "; the catalog is empty")
+                } else {
+                    write!(f, "; available: {}", available.join(", "))
+                }
             }
             MultError::Circuit(e) => write!(f, "circuit error: {e}"),
         }

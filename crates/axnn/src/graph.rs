@@ -152,7 +152,28 @@ impl Graph {
     /// paper's `L` column.
     #[must_use]
     pub fn conv_layer_count(&self) -> usize {
-        self.ops().filter(|(_, op)| op.ends_with("Conv2D")).count()
+        self.conv_layers().count()
+    }
+
+    /// Iterate over `(id, name)` of every 2D convolution layer (accurate
+    /// or approximate) in topological order — the layer identifiers a
+    /// per-layer multiplier assignment indexes into.
+    pub fn conv_layers(&self) -> impl Iterator<Item = (NodeId, &str)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match &n.kind {
+                NodeKind::Op(l) if l.op_name().ends_with("Conv2D") => {
+                    Some((NodeId(i), n.name.as_str()))
+                }
+                _ => None,
+            })
+    }
+
+    /// Name of a node, if the id exists.
+    #[must_use]
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.nodes.get(id.0).map(|n| n.name.as_str())
     }
 
     /// Execute the graph on one input batch.
@@ -451,5 +472,25 @@ mod tests {
         let c1 = g.add("c1", tiny_conv(), &[x]).unwrap();
         g.set_output(c1).unwrap();
         assert_eq!(g.conv_layer_count(), 1);
+    }
+
+    #[test]
+    fn conv_layers_yields_ids_and_names_in_topo_order() {
+        let mut g = Graph::new();
+        let x = g.input();
+        let c1 = g.add("stem", tiny_conv(), &[x]).unwrap();
+        let r = g.add("relu", Arc::new(ReLU::new()), &[c1]).unwrap();
+        let c2 = g.add("head", tiny_conv(), &[r]).unwrap();
+        g.set_output(c2).unwrap();
+        let convs: Vec<(NodeId, String)> = g
+            .conv_layers()
+            .map(|(id, name)| (id, name.to_owned()))
+            .collect();
+        assert_eq!(convs.len(), 2);
+        assert_eq!(convs[0].1, "stem");
+        assert_eq!(convs[1].1, "head");
+        assert!(convs[0].0.index() < convs[1].0.index());
+        assert_eq!(g.node_name(convs[1].0), Some("head"));
+        assert_eq!(g.node_name(NodeId(99)), None);
     }
 }

@@ -18,7 +18,11 @@ fn bench_chunking(c: &mut Criterion) {
     let mut group = c.benchmark_group("chunk_size");
     group.sample_size(10);
     for chunk in [1usize, 2, 4, 8, 16] {
-        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm).with_chunk_size(chunk));
+        let ctx = Arc::new(
+            EmuContext::new(Backend::CpuGemm)
+                .with_chunk_size(chunk)
+                .unwrap(),
+        );
         let layer = AxConv2D::new(filter.clone(), ConvGeometry::default(), lut.clone(), ctx);
         group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, _| {
             b.iter(|| black_box(layer.convolve(&input).expect("convolve")));

@@ -33,7 +33,7 @@ fn bench_prepared_convolve(c: &mut Criterion) {
         ("cpu_gemm", Backend::CpuGemm),
         ("gpu_sim_functional", Backend::GpuSim),
     ] {
-        let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(4));
+        let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(4).unwrap());
         let layer = AxConv2D::new(filter.clone(), ConvGeometry::default(), lut.clone(), ctx);
         layer.prepare().expect("prepare");
         group.bench_function(label, |b| {

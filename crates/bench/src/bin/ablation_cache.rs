@@ -9,8 +9,7 @@
 use axnn::dataset::SyntheticCifar10;
 use axnn::resnet::ResNetConfig;
 use gpusim::{DeviceConfig, Phase};
-use std::sync::Arc;
-use tfapprox::{flow, Backend, EmuContext};
+use tfapprox::prelude::*;
 use tfapprox_bench::arg_value;
 
 fn main() {
@@ -45,14 +44,18 @@ fn main() {
             name: format!("sim-{label}"),
             ..DeviceConfig::gtx1080()
         };
-        let ctx = Arc::new(EmuContext::with_device(Backend::GpuSim, dev));
-        let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
+        let session = Session::builder()
+            .backend(Backend::GpuSim)
+            .device(dev)
+            .multiplier(&mult)
+            .compile(&graph)
+            .expect("compile");
         // Warm pass to fill the cache, then a measured steady-state pass.
-        let _ = ax.forward(&batch).expect("warm forward");
-        ctx.reset_profile();
-        let _ = ax.forward(&batch).expect("measured forward");
-        let ev = ctx.events();
-        let profile = ctx.profile();
+        let _ = session.infer(&batch).expect("warm infer");
+        session.context().reset_profile();
+        let _ = session.infer(&batch).expect("measured infer");
+        let ev = session.context().events();
+        let profile = session.context().profile();
         let rate = if ev.tex_fetches() == 0 {
             0.0
         } else {

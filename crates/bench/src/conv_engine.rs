@@ -128,7 +128,7 @@ pub fn cases(quick: bool) -> Vec<ConvCase> {
 fn measure_backend(case: &ConvCase, backend: Backend, lut: &MulLut) -> BackendSample {
     let input = rng::uniform(case.input, 11, -1.0, 1.0);
     let filter = rng::uniform_filter(case.filter, 13, -0.5, 0.5);
-    let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(4));
+    let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(4).unwrap());
     let layer = AxConv2D::new(filter, ConvGeometry::default(), lut.clone(), ctx);
 
     // First call: builds and charges the prepared plan.

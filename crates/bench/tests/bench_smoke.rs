@@ -45,6 +45,33 @@ fn quick_suite_emits_well_formed_json() {
 }
 
 #[test]
+fn session_report_json_is_well_formed() {
+    // The session API's `EmulationReport::to_json` emits a document the
+    // same strict validator accepts, so session runs can append to a
+    // `BENCH_*.json` trajectory exactly like the conv bench does.
+    use tfapprox::prelude::*;
+    let graph = axnn::resnet::ResNetConfig::with_depth(8)
+        .expect("cfg")
+        .build(1)
+        .expect("graph");
+    let mult = axmult::catalog::by_name("mul8s_exact").expect("catalog");
+    let session = Session::builder()
+        .backend(Backend::GpuSim)
+        .multiplier(&mult)
+        .compile(&graph)
+        .expect("compile");
+    let batch = axnn::dataset::SyntheticCifar10::new(3).batch_sized(0, 2);
+    let (_, report) = session
+        .infer_batches(std::slice::from_ref(&batch))
+        .expect("run");
+    let doc = report.to_json();
+    json::validate(&doc).expect("session report must be well-formed JSON");
+    assert!(doc.contains("\"schema\": \"tfapprox-session-report/1\""));
+    assert!(doc.contains("\"images_per_second\""));
+    assert!((report.images_per_second() - 2.0 / report.total()).abs() < 1e-9);
+}
+
+#[test]
 fn prepared_engine_first_call_pays_more_quantization() {
     // Steady-state quantization is input-only; the first call adds the
     // one-off plan build. On the modeled GPU backend both numbers are

@@ -1,0 +1,163 @@
+//! Per-layer multiplier assignments for compiled sessions.
+
+#![deny(missing_docs)]
+
+use crate::Error;
+use axmult::AxMultiplier;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Kind {
+    /// One multiplier for every convolution layer.
+    Uniform(AxMultiplier),
+    /// Exactly one multiplier per convolution layer, in topological order.
+    PerLayer(Vec<AxMultiplier>),
+}
+
+/// Which approximate multiplier each convolution layer emulates.
+///
+/// The ALWANN use case the paper cites as its CPU predecessor \[12\]
+/// assigns a *different* multiplier to each layer: early layers are
+/// error-sensitive, deep layers tolerate rough multipliers, so mixed
+/// assignments dominate uniform ones on the accuracy/power Pareto front.
+/// An `Assignment` expresses both styles — a uniform base, optionally
+/// overridden per layer, or a full per-layer vector — and is resolved
+/// against a graph's convolution-layer list (in topological order, the
+/// order of [`axnn::Graph::conv_layers`]) when a session compiles.
+///
+/// # Example
+///
+/// ```
+/// use tfapprox::Assignment;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let precise = axmult::catalog::by_name("mul8s_exact")?;
+/// let rough = axmult::catalog::by_name("mul8s_bam_v8h0")?;
+///
+/// // Rough everywhere except the error-sensitive stem (layer 0).
+/// let assignment = Assignment::uniform(rough).with_layer(0, precise);
+/// let per_layer = assignment.resolve(7)?;
+/// assert_eq!(per_layer[0].name(), "mul8s_exact");
+/// assert_eq!(per_layer[6].name(), "mul8s_bam_v8h0");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    kind: Kind,
+    overrides: BTreeMap<usize, AxMultiplier>,
+}
+
+impl Assignment {
+    /// The same multiplier for every convolution layer — the paper's
+    /// Fig. 1 design flow.
+    #[must_use]
+    pub fn uniform(mult: AxMultiplier) -> Self {
+        Assignment {
+            kind: Kind::Uniform(mult),
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Exactly one multiplier per convolution layer, in topological
+    /// order. [`Assignment::resolve`] rejects the assignment unless the
+    /// length matches the graph's convolution-layer count.
+    #[must_use]
+    pub fn per_layer(mults: Vec<AxMultiplier>) -> Self {
+        Assignment {
+            kind: Kind::PerLayer(mults),
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Override the multiplier of one layer (0-based index into the
+    /// graph's convolution layers in topological order). Later calls for
+    /// the same layer replace earlier ones.
+    #[must_use]
+    pub fn with_layer(mut self, layer: usize, mult: AxMultiplier) -> Self {
+        self.overrides.insert(layer, mult);
+        self
+    }
+
+    /// Resolve to one multiplier per convolution layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if a per-layer assignment's length
+    /// differs from `conv_layers`, or an override index is out of range.
+    pub fn resolve(&self, conv_layers: usize) -> Result<Vec<AxMultiplier>, Error> {
+        let mut resolved = match &self.kind {
+            Kind::Uniform(m) => vec![m.clone(); conv_layers],
+            Kind::PerLayer(mults) => {
+                if mults.len() != conv_layers {
+                    return Err(Error::Config(format!(
+                        "{} multipliers supplied for {conv_layers} convolution layers",
+                        mults.len()
+                    )));
+                }
+                mults.clone()
+            }
+        };
+        for (&layer, mult) in &self.overrides {
+            let Some(slot) = resolved.get_mut(layer) else {
+                return Err(Error::Config(format!(
+                    "layer override {layer} out of range: the graph has {conv_layers} \
+                     convolution layers"
+                )));
+            };
+            *slot = mult.clone();
+        }
+        Ok(resolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact() -> AxMultiplier {
+        axmult::catalog::by_name("mul8s_exact").unwrap()
+    }
+
+    fn rough() -> AxMultiplier {
+        axmult::catalog::by_name("mul8s_bam_v8h0").unwrap()
+    }
+
+    #[test]
+    fn uniform_resolves_to_count() {
+        let a = Assignment::uniform(exact());
+        let r = a.resolve(4).unwrap();
+        assert_eq!(r.len(), 4);
+        assert!(r.iter().all(|m| m.name() == "mul8s_exact"));
+    }
+
+    #[test]
+    fn per_layer_count_checked() {
+        let a = Assignment::per_layer(vec![exact(), rough()]);
+        assert_eq!(a.resolve(2).unwrap().len(), 2);
+        let err = a.resolve(3).unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn overrides_apply_and_range_check() {
+        let a = Assignment::uniform(rough()).with_layer(1, exact());
+        let r = a.resolve(3).unwrap();
+        assert_eq!(r[0].name(), "mul8s_bam_v8h0");
+        assert_eq!(r[1].name(), "mul8s_exact");
+        assert_eq!(r[2].name(), "mul8s_bam_v8h0");
+
+        let bad = Assignment::uniform(rough()).with_layer(3, exact());
+        let err = bad.resolve(3).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn later_override_wins() {
+        let a = Assignment::uniform(rough())
+            .with_layer(0, exact())
+            .with_layer(0, rough());
+        let r = a.resolve(1).unwrap();
+        assert_eq!(r[0].name(), "mul8s_bam_v8h0");
+    }
+}

@@ -250,6 +250,21 @@ impl AxConv2D {
         self.plan.get().is_some()
     }
 
+    /// The cached plan, if already built (no build is triggered).
+    pub(crate) fn cached_plan(&self) -> Option<Arc<PreparedFilter>> {
+        self.plan.get().cloned()
+    }
+
+    /// Seed the plan cache with an already-built plan from an equivalent
+    /// layer — the session `reassign` fast path. The caller must
+    /// guarantee the donor layer had the same filter and the same
+    /// quantization flavour (range, rounding, per-channel setting);
+    /// under the session API that holds whenever the two multipliers
+    /// share a signedness. No-op if a plan is already cached.
+    pub(crate) fn seed_plan(&self, plan: Arc<PreparedFilter>) {
+        let _ = self.plan.set(plan);
+    }
+
     /// Convolve with the input range supplied by the caller (the Fig. 1
     /// `Min`/`Max` scalars).
     ///

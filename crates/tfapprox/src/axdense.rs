@@ -126,6 +126,31 @@ impl AxDense {
         self.plan.get().is_some()
     }
 
+    /// Eagerly build the prepared weight plan (normally built lazily on
+    /// the first forward), recording its one-off quantization cost into
+    /// the context profile. Idempotent — the dense counterpart of
+    /// [`crate::AxConv2D::prepare`], for callers that want lazy
+    /// first-forward failures (e.g. non-finite weights) surfaced early.
+    /// (The session graph transform only rewrites convolutions, so a
+    /// hand-built `AxDense` must be prepared by its owner.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::Config`] if the weights are non-finite (the
+    /// same guard the forward path enforces).
+    pub fn prepare(&self) -> Result<(), EmuError> {
+        if !self.weight_range.0.is_finite() || !self.weight_range.1.is_finite() {
+            return Err(EmuError::Config(
+                "dense weights contain non-finite values".to_owned(),
+            ));
+        }
+        let (_, built) = self.plan();
+        if let Some(profile) = built {
+            self.ctx.record(&profile);
+        }
+        Ok(())
+    }
+
     /// Run the approximate dense computation (ranges computed per batch).
     ///
     /// # Errors
@@ -337,6 +362,50 @@ mod tests {
         assert!(ax.is_prepared());
         let second = ax.compute(&input).unwrap();
         assert_eq!(first, second, "cached plan must be bit-identical");
+    }
+
+    #[test]
+    fn prepare_is_eager_and_idempotent() {
+        let (weights, bias, input) = random_parts(10);
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let ax = AxDense::new(
+            64,
+            10,
+            weights,
+            bias,
+            MulLut::exact(Signedness::Signed),
+            Arc::clone(&ctx),
+        );
+        assert!(!ax.is_prepared());
+        ax.prepare().unwrap();
+        assert!(ax.is_prepared());
+        let quant_after_prepare = ctx.profile().seconds(Phase::Quantization);
+        assert!(quant_after_prepare > 0.0);
+        ax.prepare().unwrap(); // no-op
+        assert_eq!(
+            ctx.profile().seconds(Phase::Quantization),
+            quant_after_prepare
+        );
+        let out = ax.compute(&input).unwrap();
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn prepare_rejects_non_finite_weights() {
+        let (mut weights, bias, _) = random_parts(11);
+        weights[0] = f32::NAN;
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let ax = AxDense::new(
+            64,
+            10,
+            weights,
+            bias,
+            MulLut::exact(Signedness::Signed),
+            ctx,
+        );
+        let err = ax.prepare().unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        assert!(!ax.is_prepared());
     }
 
     #[test]

@@ -584,9 +584,11 @@ mod tests {
         ] {
             let s = spec(&filter, &lut, geom);
             let (direct, _) = run_cpu_direct(&input, &s, true).unwrap();
-            let gemm_ctx = EmuContext::new(Backend::CpuGemm).with_chunk_size(2);
+            let gemm_ctx = EmuContext::new(Backend::CpuGemm)
+                .with_chunk_size(2)
+                .unwrap();
             let (gemm, _) = run_cpu_gemm(&input, &s, &gemm_ctx).unwrap();
-            let ctx = EmuContext::new(Backend::GpuSim).with_chunk_size(2);
+            let ctx = EmuContext::new(Backend::GpuSim).with_chunk_size(2).unwrap();
             let (gpu, _) = run_gpusim(&input, &s, &ctx).unwrap();
             assert!(close(&direct, &gemm, 1e-4), "direct vs gemm, {geom:?}");
             assert!(close(&direct, &gpu, 1e-2), "direct vs gpu, {geom:?}");
@@ -600,7 +602,9 @@ mod tests {
         let bam = axmult::catalog::by_name("mul8s_bam_v8h0").unwrap();
         let s = spec(&filter, bam.lut(), ConvGeometry::default());
         let (direct, _) = run_cpu_direct(&input, &s, true).unwrap();
-        let gemm_ctx = EmuContext::new(Backend::CpuGemm).with_chunk_size(1);
+        let gemm_ctx = EmuContext::new(Backend::CpuGemm)
+            .with_chunk_size(1)
+            .unwrap();
         let (gemm, _) = run_cpu_gemm(&input, &s, &gemm_ctx).unwrap();
         let ctx = EmuContext::new(Backend::GpuSim);
         let (gpu, _) = run_gpusim(&input, &s, &ctx).unwrap();
@@ -620,12 +624,14 @@ mod tests {
         let (direct_p, _) = run_cpu_direct_prepared(&input, &s, &plan, true).unwrap();
         assert_eq!(direct, direct_p);
 
-        let ctx = EmuContext::new(Backend::CpuGemm).with_chunk_size(2);
+        let ctx = EmuContext::new(Backend::CpuGemm)
+            .with_chunk_size(2)
+            .unwrap();
         let (gemm, _) = run_cpu_gemm(&input, &s, &ctx).unwrap();
         let (gemm_p, _) = run_cpu_gemm_prepared(&input, &s, &plan, &ctx).unwrap();
         assert_eq!(gemm, gemm_p);
 
-        let gctx = EmuContext::new(Backend::GpuSim).with_chunk_size(2);
+        let gctx = EmuContext::new(Backend::GpuSim).with_chunk_size(2).unwrap();
         let (gpu, _) = run_gpusim(&input, &s, &gctx).unwrap();
         let (gpu_p, _) = run_gpusim_prepared(&input, &s, &plan, &gctx).unwrap();
         assert_eq!(gpu, gpu_p);
@@ -714,9 +720,13 @@ mod tests {
         let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 3), 10, -0.5, 0.5);
         let lut = MulLut::exact(Signedness::Signed);
         let s = spec(&filter, &lut, ConvGeometry::default());
-        let one_ctx = EmuContext::new(Backend::CpuGemm).with_chunk_size(5);
+        let one_ctx = EmuContext::new(Backend::CpuGemm)
+            .with_chunk_size(5)
+            .unwrap();
         let (one, _) = run_cpu_gemm(&input, &s, &one_ctx).unwrap();
-        let many_ctx = EmuContext::new(Backend::CpuGemm).with_chunk_size(1);
+        let many_ctx = EmuContext::new(Backend::CpuGemm)
+            .with_chunk_size(1)
+            .unwrap();
         let (many, _) = run_cpu_gemm(&input, &s, &many_ctx).unwrap();
         assert!(close(&one, &many, 1e-6));
     }
@@ -759,7 +769,7 @@ mod tests {
         let lut = MulLut::exact(Signedness::Signed);
         let s = spec(&filter, &lut, ConvGeometry::default());
         let plan = PreparedFilter::from_filter(s.filter, &s.filter_q);
-        let ctx = EmuContext::new(Backend::GpuSim).with_chunk_size(2);
+        let ctx = EmuContext::new(Backend::GpuSim).with_chunk_size(2).unwrap();
         let (_, standalone) = run_gpusim(&input, &s, &ctx).unwrap();
         let (_, prepared) = run_gpusim_prepared(&input, &s, &plan, &ctx).unwrap();
         let charge = ctx.device().seconds(&plan.quant_events());

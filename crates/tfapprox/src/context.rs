@@ -2,6 +2,7 @@
 //! cache, and the persistent worker pool.
 
 use crate::pool::WorkerPool;
+use crate::EmuError;
 use gpusim::{DeviceConfig, EventCounts, PhaseProfile, TextureCache};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -85,14 +86,18 @@ impl EmuContext {
 
     /// Override the Algorithm-1 chunk size (images per chunk).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `chunk_size` is 0.
-    #[must_use]
-    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
-        assert!(chunk_size > 0, "chunk size must be positive");
+    /// Returns [`EmuError::Config`] if `chunk_size` is 0 — a zero chunk
+    /// would make the chunked GEMM loop silently process nothing.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Result<Self, EmuError> {
+        if chunk_size == 0 {
+            return Err(EmuError::Config(
+                "chunk size must be positive (got 0)".to_owned(),
+            ));
+        }
         self.chunk_size = chunk_size;
-        self
+        Ok(self)
     }
 
     /// The selected backend.
@@ -116,14 +121,18 @@ impl EmuContext {
     /// Override the host worker-thread count (default: available
     /// parallelism). Takes effect only if set before the pool's first use.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `threads` is 0.
-    #[must_use]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads > 0, "thread count must be positive");
+    /// Returns [`EmuError::Config`] if `threads` is 0 — a zero-worker
+    /// pool would deadlock the GEMM backend on its first chunk.
+    pub fn with_threads(mut self, threads: usize) -> Result<Self, EmuError> {
+        if threads == 0 {
+            return Err(EmuError::Config(
+                "thread count must be positive (got 0)".to_owned(),
+            ));
+        }
         self.threads = threads;
-        self
+        Ok(self)
     }
 
     /// The persistent host worker pool, spawned on first use.
@@ -195,9 +204,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "chunk size")]
-    fn zero_chunk_size_rejected() {
-        let _ = EmuContext::new(Backend::CpuGemm).with_chunk_size(0);
+    fn zero_chunk_size_rejected_as_error() {
+        let err = EmuContext::new(Backend::CpuGemm)
+            .with_chunk_size(0)
+            .unwrap_err();
+        assert!(matches!(err, EmuError::Config(_)), "{err}");
+        assert!(err.to_string().contains("chunk size"), "{err}");
+    }
+
+    #[test]
+    fn zero_threads_rejected_as_error() {
+        let err = EmuContext::new(Backend::CpuGemm)
+            .with_threads(0)
+            .unwrap_err();
+        assert!(matches!(err, EmuError::Config(_)), "{err}");
+        assert!(err.to_string().contains("thread count"), "{err}");
+    }
+
+    #[test]
+    fn positive_overrides_accepted() {
+        let ctx = EmuContext::new(Backend::CpuGemm)
+            .with_chunk_size(3)
+            .unwrap()
+            .with_threads(2)
+            .unwrap();
+        assert_eq!(ctx.chunk_size(), 3);
     }
 
     #[test]

@@ -53,3 +53,75 @@ impl From<axmult::MultError> for EmuError {
         EmuError::Mult(e)
     }
 }
+
+/// The unified error of the compiled-session API.
+///
+/// Every failure mode of building and running a [`crate::Session`] —
+/// emulation configuration ([`EmuError`], which also carries quantization
+/// failures as its `Config` variant), graph construction/execution
+/// ([`axnn::NnError`]), multiplier-catalog lookups
+/// ([`axmult::MultError`]), and tensor/shape errors
+/// ([`axtensor::TensorError`]) — converts into this one type via `From`,
+/// so `?` works uniformly at every call site.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An emulation-layer error (backend, quantization, configuration).
+    Emu(EmuError),
+    /// A graph construction or execution error.
+    Nn(axnn::NnError),
+    /// A multiplier/catalog error.
+    Mult(axmult::MultError),
+    /// A tensor/shape error.
+    Tensor(axtensor::TensorError),
+    /// An invalid session configuration.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Emu(e) => write!(f, "{e}"),
+            Error::Nn(e) => write!(f, "graph error: {e}"),
+            Error::Mult(e) => write!(f, "multiplier error: {e}"),
+            Error::Tensor(e) => write!(f, "tensor error: {e}"),
+            Error::Config(msg) => write!(f, "session configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Emu(e) => Some(e),
+            Error::Nn(e) => Some(e),
+            Error::Mult(e) => Some(e),
+            Error::Tensor(e) => Some(e),
+            Error::Config(_) => None,
+        }
+    }
+}
+
+impl From<EmuError> for Error {
+    fn from(e: EmuError) -> Self {
+        Error::Emu(e)
+    }
+}
+
+impl From<axnn::NnError> for Error {
+    fn from(e: axnn::NnError) -> Self {
+        Error::Nn(e)
+    }
+}
+
+impl From<axmult::MultError> for Error {
+    fn from(e: axmult::MultError) -> Self {
+        Error::Mult(e)
+    }
+}
+
+impl From<axtensor::TensorError> for Error {
+    fn from(e: axtensor::TensorError) -> Self {
+        Error::Tensor(e)
+    }
+}

@@ -10,72 +10,109 @@
 //! 256×256 look-up table, and run a GEMM-formulated convolution on a GPU
 //! with the LUT in texture memory.
 //!
-//! This crate is the paper's contribution layer:
+//! The crate's entry point is the **compiled-session API**:
 //!
-//! - [`AxConv2D`]: the approximate 2D convolution operator — reads
-//!   floating-point tensors, quantizes per Eq. 1, multiplies through the
-//!   LUT, accumulates, and dequantizes with the Eq. 4 correction so its
-//!   output range matches the accurate layer,
-//! - [`Backend`]: where the emulation runs — `CpuDirect` (the nested-loop
-//!   approach of ALWANN \[12\]), `CpuGemm` (optimized im2col + GEMM on
-//!   host threads), or `GpuSim` (Algorithm 1 on the simulated
-//!   CUDA-capable device from [`gpusim`]),
-//! - [`PreparedFilter`]: the prepared-execution plan — every
-//!   layer-invariant artifact (quantized filter bytes in both GEMM
-//!   layouts, logical integer taps, per-channel parameters, `Sf` sums)
-//!   built once per layer and reused by all backends, so repeated
-//!   inference quantizes each filter bank exactly once,
-//! - [`WorkerPool`]: the persistent host worker pool the GEMM backend
-//!   runs on (no per-chunk thread spawning),
-//! - [`flow`]: the design flow — take a trained graph, replace every
-//!   `Conv2D` by `AxConv2D`, inserting `Min`/`Max` observers (Fig. 1),
-//! - [`runtime`]: batch-wise inference with `tinit + tcomp` accounting,
+//! - [`SessionBuilder`]: owns every emulation knob — [`Backend`], device,
+//!   chunk size, threads, and the multiplier [`Assignment`] (uniform, or
+//!   per-layer in the ALWANN style),
+//! - [`Session`]: the compiled model — the Fig. 1 graph transform applied
+//!   once, every layer's [`PreparedFilter`] plan built **eagerly** (so
+//!   configuration mistakes fail at compile time, not on the first
+//!   forward), with [`Session::infer`], [`Session::infer_batches`]
+//!   (returning the `tinit + tcomp` [`EmulationReport`]), and
+//!   [`Session::reassign`] — the design-space hot path that recompiles
+//!   while reusing the cached plans of unchanged layers,
+//! - [`Error`]: the one error type every session operation returns,
+//! - [`prelude`]: one `use tfapprox::prelude::*` for all of the above.
+//!
+//! Underneath sit the operator and engine layers:
+//!
+//! - [`AxConv2D`] / [`AxDense`]: the approximate operators — quantize per
+//!   Eq. 1, multiply through the LUT, accumulate, dequantize with the
+//!   Eq. 4 correction,
+//! - [`Backend`]: `CpuDirect` (the nested-loop approach of ALWANN
+//!   \[12\]), `CpuGemm` (im2col + GEMM on host threads), or `GpuSim`
+//!   (Algorithm 1 on the simulated CUDA-capable device from [`gpusim`]),
+//! - [`PreparedFilter`] and [`WorkerPool`]: the prepared-execution engine,
 //! - [`perfmodel`]: the calibrated extrapolation that regenerates Table I
 //!   and Fig. 2 at the paper's full 10⁴-image scale.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use axmult::catalog;
-//! use axnn::resnet::ResNetConfig;
-//! use tfapprox::{flow, Backend, EmuContext};
-//! use std::sync::Arc;
+//! use tfapprox::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A trained model and a candidate approximate multiplier.
-//! let graph = ResNetConfig::with_depth(8)?.build(42)?;
-//! let mult = catalog::by_name("mul8s_bam_v8h0")?;
+//! let graph = axnn::resnet::ResNetConfig::with_depth(8)?.build(42)?;
+//! let mult = axmult::catalog::by_name("mul8s_bam_v8h0")?;
 //!
-//! // Replace Conv2D -> AxConv2D (Fig. 1) and run on the simulated GPU.
-//! let ctx = Arc::new(EmuContext::new(Backend::GpuSim));
-//! let (ax_graph, replaced) = flow::approximate_graph(&graph, &mult, &ctx)?;
-//! assert_eq!(replaced, 7);
+//! // Compile once: Conv2D -> AxConv2D (Fig. 1), every filter plan built
+//! // eagerly, on the simulated GPU.
+//! let session = Session::builder()
+//!     .backend(Backend::GpuSim)
+//!     .multiplier(&mult)
+//!     .compile(&graph)?;
+//! assert_eq!(session.replaced_layers(), 7);
 //!
+//! // Run many cheap inferences against the compiled model.
 //! let input = axtensor::rng::uniform(axnn::resnet::cifar_input_shape(2), 1, -1.0, 1.0);
-//! let probs = ax_graph.forward(&input)?;
-//! assert_eq!(probs.shape().c, 10);
+//! let (outputs, report) = session.infer_batches(std::slice::from_ref(&input))?;
+//! assert_eq!(outputs[0].shape().c, 10);
+//! assert_eq!(report.images, 2);
+//!
+//! // Move to the next design-space candidate: unchanged layers keep
+//! // their prepared plans.
+//! let precise = axmult::catalog::by_name("mul8s_exact")?;
+//! let next = session.reassign(&Assignment::uniform(mult).with_layer(0, precise))?;
+//! assert_eq!(next.multipliers()[0].name(), "mul8s_exact");
 //! # Ok(())
 //! # }
 //! ```
 
 pub mod accumulator;
+pub mod assignment;
 pub mod axconv2d;
 pub mod axdense;
 pub mod backend;
 pub mod context;
-pub mod flow;
 pub mod perfmodel;
 pub mod pool;
 pub mod prepared;
+pub mod session;
+
+// The pre-session free-function surface. Kept public so the equivalence
+// tests can pin `Session` bit-identical to the legacy path, but hidden
+// from the documented API: new code should compile a `Session`.
+#[doc(hidden)]
+pub mod flow;
+#[doc(hidden)]
 pub mod runtime;
 
 mod error;
 
 pub use accumulator::Accumulator;
+pub use assignment::Assignment;
 pub use axconv2d::AxConv2D;
 pub use axdense::AxDense;
 pub use context::{Backend, EmuContext};
-pub use error::EmuError;
+pub use error::{EmuError, Error};
 pub use pool::WorkerPool;
 pub use prepared::PreparedFilter;
-pub use runtime::EmulationReport;
+pub use runtime::{run_accurate_cpu, EmulationReport};
+pub use session::{Session, SessionBuilder};
+
+/// Everything a session-driven caller needs, in one import.
+///
+/// ```
+/// use tfapprox::prelude::*;
+/// let _ = Session::builder().backend(Backend::CpuGemm);
+/// ```
+pub mod prelude {
+    pub use crate::assignment::Assignment;
+    pub use crate::context::{Backend, EmuContext};
+    pub use crate::error::Error;
+    pub use crate::runtime::EmulationReport;
+    pub use crate::session::{Session, SessionBuilder};
+    pub use axmult::AxMultiplier;
+}

@@ -195,7 +195,8 @@ pub fn gpu_approx_times(
 ) -> Result<(ConfigTimes, PhaseProfile), EmuError> {
     let graph = cfg.build(seed)?;
     let ctx = Arc::new(
-        EmuContext::with_device(Backend::GpuSim, dev.clone()).with_chunk_size(sample_images.max(1)),
+        EmuContext::with_device(Backend::GpuSim, dev.clone())
+            .with_chunk_size(sample_images.max(1))?,
     );
     let (ax, _) = flow::approximate_graph(&graph, mult, &ctx)?;
     let data = SyntheticCifar10::new(seed);
@@ -308,7 +309,7 @@ pub fn measured_row(
     let (_, acc) = runtime::run_accurate_cpu(&graph, std::slice::from_ref(&batch))?;
 
     let run_backend = |backend: Backend| -> Result<EmulationReport, EmuError> {
-        let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(sample_images));
+        let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(sample_images)?);
         let (ax, _) = flow::approximate_graph(&graph, mult, &ctx)?;
         let (_, report) = runtime::run_approx(&ax, std::slice::from_ref(&batch), &ctx)?;
         Ok(report)

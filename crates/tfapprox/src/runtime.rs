@@ -37,6 +37,94 @@ impl EmulationReport {
     pub fn total(&self) -> f64 {
         self.tinit + self.tcomp
     }
+
+    /// Emulated-inference throughput, `images / (tinit + tcomp)` — the
+    /// figure of merit the paper's speedup columns compare. Returns 0.0
+    /// for an empty or zero-time run.
+    #[must_use]
+    pub fn images_per_second(&self) -> f64 {
+        let total = self.total();
+        if total > 0.0 {
+            self.images as f64 / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Render the report as one JSON object (schema
+    /// `tfapprox-session-report/1`), suitable for appending to a
+    /// `BENCH_*.json` trajectory the way the conv-engine bench does:
+    /// backend, `tinit`/`tcomp`/total seconds, image count, throughput,
+    /// and the Fig. 2 phase seconds and fractions.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let phase_entries = |f: &dyn Fn(Phase) -> f64| -> String {
+            let fields: Vec<String> = Phase::all()
+                .iter()
+                .map(|&p| {
+                    format!(
+                        "{}: {}",
+                        json_string(&format!("{p:?}").to_lowercase()),
+                        json_number(f(p))
+                    )
+                })
+                .collect();
+            format!("{{{}}}", fields.join(", "))
+        };
+        let fields = [
+            ("schema", json_string("tfapprox-session-report/1")),
+            ("backend", json_string(&self.backend.to_string())),
+            ("tinit_s", json_number(self.tinit)),
+            ("tcomp_s", json_number(self.tcomp)),
+            ("total_s", json_number(self.total())),
+            ("images", format!("{}", self.images)),
+            ("images_per_second", json_number(self.images_per_second())),
+            ("phase_seconds", phase_entries(&|p| self.profile.seconds(p))),
+            (
+                "phase_fractions",
+                phase_entries(&|p| self.profile.fraction(p)),
+            ),
+        ];
+        let body: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("{}: {v}", json_string(k)))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// Escape and quote a JSON string literal (backend names and schema tags
+/// only — no control characters beyond the standard escapes expected).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a float as a JSON number (`null` for non-finite values).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_owned()
+    }
 }
 
 /// Modeled `tinit` for the simulated GPU: context creation plus PCIe
@@ -159,7 +247,7 @@ mod tests {
     fn tiny_setup(backend: Backend) -> (Graph, Vec<Tensor<f32>>, Arc<EmuContext>) {
         let graph = ResNetConfig::with_depth(8).unwrap().build(1).unwrap();
         let mult = axmult::catalog::by_name("mul8s_exact").unwrap();
-        let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(2));
+        let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(2).unwrap());
         let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).unwrap();
         let batches = vec![
             rng::uniform(cifar_input_shape(2), 1, -1.0, 1.0),
@@ -211,6 +299,43 @@ mod tests {
         let (outputs, report) = run_accurate_cpu(&graph, &batches).unwrap();
         assert_eq!(outputs.len(), 1);
         assert!(report.tcomp > 0.0);
+    }
+
+    #[test]
+    fn images_per_second_coherent() {
+        let (graph, batches, ctx) = tiny_setup(Backend::GpuSim);
+        let (_, report) = run_approx(&graph, &batches, &ctx).unwrap();
+        let ips = report.images_per_second();
+        assert!((ips - report.images as f64 / report.total()).abs() < 1e-12);
+        let empty = EmulationReport {
+            backend: Backend::GpuSim,
+            tinit: 0.0,
+            tcomp: 0.0,
+            profile: PhaseProfile::new(),
+            images: 0,
+        };
+        assert_eq!(empty.images_per_second(), 0.0);
+    }
+
+    #[test]
+    fn report_json_contains_every_field() {
+        let (graph, batches, ctx) = tiny_setup(Backend::GpuSim);
+        let (_, report) = run_approx(&graph, &batches, &ctx).unwrap();
+        let doc = report.to_json();
+        for needle in [
+            "\"schema\": \"tfapprox-session-report/1\"",
+            "\"backend\": \"gpu-sim\"",
+            "\"tinit_s\"",
+            "\"tcomp_s\"",
+            "\"total_s\"",
+            "\"images\": 4",
+            "\"images_per_second\"",
+            "\"phase_seconds\"",
+            "\"phase_fractions\"",
+            "\"lutlookup\"",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in {doc}");
+        }
     }
 
     #[test]

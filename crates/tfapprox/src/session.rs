@@ -1,0 +1,526 @@
+//! The compiled-model entry point: build once, infer many times.
+
+#![deny(missing_docs)]
+
+use crate::{runtime, Assignment, AxConv2D, Backend, EmuContext, EmulationReport, Error};
+use axmult::AxMultiplier;
+use axnn::Graph;
+use axtensor::Tensor;
+use gpusim::DeviceConfig;
+use std::sync::Arc;
+
+/// Configures and compiles a [`Session`].
+///
+/// The builder owns every emulation knob — backend, simulated device,
+/// Algorithm-1 chunk size, host worker threads, and the multiplier
+/// [`Assignment`] — so a compiled session is fully determined by one
+/// `compile` call and the graph it transformed.
+///
+/// # Example
+///
+/// ```
+/// use tfapprox::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = axnn::resnet::ResNetConfig::with_depth(8)?.build(42)?;
+/// let mult = axmult::catalog::by_name("mul8s_exact")?;
+/// let session = Session::builder()
+///     .backend(Backend::CpuGemm)
+///     .chunk_size(4)
+///     .multiplier(&mult)
+///     .compile(&graph)?;
+/// assert_eq!(session.replaced_layers(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    backend: Backend,
+    device: Option<DeviceConfig>,
+    chunk_size: Option<usize>,
+    threads: Option<usize>,
+    assignment: Option<Assignment>,
+}
+
+impl SessionBuilder {
+    /// A builder with the default backend ([`Backend::GpuSim`]) and
+    /// device, and no multiplier assigned yet.
+    #[must_use]
+    pub fn new() -> Self {
+        SessionBuilder {
+            backend: Backend::default(),
+            device: None,
+            chunk_size: None,
+            threads: None,
+            assignment: None,
+        }
+    }
+
+    /// Select where the emulation runs.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Use an explicit simulated-device configuration (default:
+    /// GTX-1080-class).
+    #[must_use]
+    pub fn device(mut self, device: DeviceConfig) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Override the Algorithm-1 chunk size (images per chunk). Validated
+    /// at [`SessionBuilder::compile`]: zero is a compile error, not a
+    /// runtime misbehaviour.
+    #[must_use]
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = Some(chunk_size);
+        self
+    }
+
+    /// Override the host worker-thread count (default: available
+    /// parallelism). Validated at [`SessionBuilder::compile`].
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Emulate one multiplier in every convolution layer — shorthand for
+    /// [`SessionBuilder::assignment`] with [`Assignment::uniform`].
+    #[must_use]
+    pub fn multiplier(self, mult: &AxMultiplier) -> Self {
+        self.assignment(Assignment::uniform(mult.clone()))
+    }
+
+    /// Use a per-layer multiplier [`Assignment`] (the ALWANN use case).
+    #[must_use]
+    pub fn assignment(mut self, assignment: Assignment) -> Self {
+        self.assignment = Some(assignment);
+        self
+    }
+
+    /// Validate the configuration and build the shared emulation context.
+    fn build_context(&self) -> Result<Arc<EmuContext>, Error> {
+        let mut ctx = match &self.device {
+            Some(dev) => EmuContext::with_device(self.backend, dev.clone()),
+            None => EmuContext::new(self.backend),
+        };
+        if let Some(chunk) = self.chunk_size {
+            ctx = ctx.with_chunk_size(chunk)?;
+        }
+        if let Some(threads) = self.threads {
+            ctx = ctx.with_threads(threads)?;
+        }
+        Ok(Arc::new(ctx))
+    }
+
+    /// Transform `graph` (Conv2D → `AxConv2D` with `Min`/`Max` observers,
+    /// Fig. 1) and **eagerly** build every layer's prepared-execution
+    /// plan, so anything that would previously fail lazily on the first
+    /// forward — non-finite weights, a bad configuration — fails here.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::Config`] if no multiplier/assignment was set, the chunk
+    ///   size or thread count is zero, or the assignment does not match
+    ///   the graph's convolution-layer count.
+    /// - Propagates graph-transform and plan-build failures.
+    pub fn compile(&self, graph: &Graph) -> Result<Session, Error> {
+        let assignment = self.assignment.clone().ok_or_else(|| {
+            Error::Config(
+                "no multiplier assigned: call .multiplier(..) or .assignment(..) before compile"
+                    .to_owned(),
+            )
+        })?;
+        let ctx = self.build_context()?;
+        let mults = assignment.resolve(graph.conv_layer_count())?;
+        let (transformed, layers, replaced) = rewrite_with_mults(graph, &mults, |conv, mult| {
+            Arc::new(AxConv2D::from_conv2d(conv, mult, Arc::clone(&ctx)))
+        })?;
+        let session = Session {
+            source: graph.clone(),
+            graph: transformed,
+            layers,
+            mults,
+            ctx,
+            replaced,
+        };
+        session.prepare_all()?;
+        Ok(session)
+    }
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Rewrite `graph`'s convolutions, producing one layer per resolved
+/// multiplier via `make`, and collect the concrete `AxConv2D` handles so
+/// the session can prepare and later reuse their plans.
+fn rewrite_with_mults(
+    graph: &Graph,
+    mults: &[AxMultiplier],
+    mut make: impl FnMut(&axnn::layers::Conv2D, &AxMultiplier) -> Arc<AxConv2D>,
+) -> Result<(Graph, Vec<Arc<AxConv2D>>, usize), Error> {
+    let mut layers: Vec<Arc<AxConv2D>> = Vec::with_capacity(mults.len());
+    let (transformed, replaced) = graph.rewrite_convs(|conv| {
+        let mult = &mults[layers.len()];
+        let ax = make(conv, mult);
+        layers.push(Arc::clone(&ax));
+        ax
+    })?;
+    // `conv_layer_count` counts every `*Conv2D` op (the paper's `L`),
+    // but only accurate `Conv2D` nodes are rewritable — compiling an
+    // already-transformed graph would silently keep its old multipliers.
+    if replaced != mults.len() {
+        return Err(Error::Config(format!(
+            "graph has {} convolution layers but only {replaced} are rewritable Conv2D \
+             nodes — was it already transformed (e.g. a Session's own graph)?",
+            mults.len()
+        )));
+    }
+    Ok((transformed, layers, replaced))
+}
+
+/// A compiled approximate model: the transformed graph, the shared
+/// emulation context, and every layer's eagerly-built prepared-execution
+/// plan.
+///
+/// A session is the unit of the design-space loop: compile once, call
+/// [`Session::infer`] / [`Session::infer_batches`] many times, and move
+/// to the next candidate with [`Session::reassign`] — which recompiles
+/// while reusing the cached plans of every layer whose multiplier did not
+/// change.
+///
+/// # Example
+///
+/// ```
+/// use tfapprox::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = axnn::resnet::ResNetConfig::with_depth(8)?.build(42)?;
+/// let mult = axmult::catalog::by_name("mul8s_bam_v8h0")?;
+/// let session = Session::builder().multiplier(&mult).compile(&graph)?;
+///
+/// let input = axtensor::rng::uniform(axnn::resnet::cifar_input_shape(2), 1, -1.0, 1.0);
+/// let probs = session.infer(&input)?;
+/// assert_eq!(probs.shape().c, 10);
+///
+/// let (outputs, report) = session.infer_batches(std::slice::from_ref(&input))?;
+/// assert_eq!(outputs.len(), 1);
+/// assert_eq!(report.images, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    /// The untransformed source graph, kept so `reassign` can rewrite it
+    /// again without the caller holding on to it.
+    source: Graph,
+    /// The transformed (approximate) graph.
+    graph: Graph,
+    /// The `AxConv2D` nodes of `graph`, in topological order.
+    layers: Vec<Arc<AxConv2D>>,
+    /// The resolved multiplier of each layer, same order as `layers`.
+    mults: Vec<AxMultiplier>,
+    ctx: Arc<EmuContext>,
+    replaced: usize,
+}
+
+impl Session {
+    /// Start configuring a session.
+    #[must_use]
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// Eagerly build every layer's prepared plan (idempotent per layer).
+    fn prepare_all(&self) -> Result<(), Error> {
+        for layer in &self.layers {
+            layer.prepare()?;
+        }
+        Ok(())
+    }
+
+    /// Run one inference batch through the compiled graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph execution failures.
+    pub fn infer(&self, input: &Tensor<f32>) -> Result<Tensor<f32>, Error> {
+        Ok(self.graph.forward(input)?)
+    }
+
+    /// Run the compiled graph over evaluation batches, producing the
+    /// per-batch outputs and the `tinit + tcomp` [`EmulationReport`]
+    /// (Table I's decomposition; the profile carries the Fig. 2 phase
+    /// split).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph execution failures.
+    pub fn infer_batches(
+        &self,
+        batches: &[Tensor<f32>],
+    ) -> Result<(Vec<Tensor<f32>>, EmulationReport), Error> {
+        Ok(runtime::run_approx(&self.graph, batches, &self.ctx)?)
+    }
+
+    /// Recompile with a new multiplier [`Assignment`], **reusing the
+    /// cached prepared plan** of every layer whose multiplier is
+    /// unchanged — and, for changed layers of the same signedness,
+    /// transplanting the plan outright (the plan depends on the filter
+    /// and the quantized range, not on the LUT contents). This makes the
+    /// ALWANN design-space loop's per-candidate cost input-side only.
+    ///
+    /// The new session shares this session's emulation context (backend,
+    /// device, texture cache, worker pool); this session stays usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the assignment does not resolve
+    /// against the graph's convolution-layer count; propagates
+    /// graph-transform and plan-build failures.
+    pub fn reassign(&self, assignment: &Assignment) -> Result<Session, Error> {
+        let mults = assignment.resolve(self.mults.len())?;
+        let mut index = 0usize;
+        let (transformed, layers, replaced) =
+            rewrite_with_mults(&self.source, &mults, |conv, mult| {
+                let i = index;
+                index += 1;
+                let old_layer = &self.layers[i];
+                let old_mult = &self.mults[i];
+                if mult.lut() == old_mult.lut() {
+                    // Unchanged multiplier: the whole layer (and its
+                    // cached plan) is reusable as-is.
+                    return Arc::clone(old_layer);
+                }
+                let fresh = AxConv2D::from_conv2d(conv, mult, Arc::clone(&self.ctx));
+                if mult.signedness() == old_mult.signedness() {
+                    if let Some(plan) = old_layer.cached_plan() {
+                        fresh.seed_plan(plan);
+                    }
+                }
+                Arc::new(fresh)
+            })?;
+        let session = Session {
+            source: self.source.clone(),
+            graph: transformed,
+            layers,
+            mults,
+            ctx: Arc::clone(&self.ctx),
+            replaced,
+        };
+        session.prepare_all()?;
+        Ok(session)
+    }
+
+    /// The backend this session emulates on.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.ctx.backend()
+    }
+
+    /// The shared emulation context (profiles, events, texture cache).
+    #[must_use]
+    pub fn context(&self) -> &Arc<EmuContext> {
+        &self.ctx
+    }
+
+    /// The transformed (approximate) graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// How many `Conv2D` layers were replaced by `AxConv2D` — the
+    /// paper's `L`.
+    #[must_use]
+    pub fn replaced_layers(&self) -> usize {
+        self.replaced
+    }
+
+    /// The resolved multiplier of each convolution layer, in topological
+    /// order.
+    #[must_use]
+    pub fn multipliers(&self) -> &[AxMultiplier] {
+        &self.mults
+    }
+
+    /// Names of the convolution layers, in topological order — the
+    /// indices an [`Assignment`] addresses.
+    #[must_use]
+    pub fn conv_layer_names(&self) -> Vec<&str> {
+        self.source.conv_layers().map(|(_, name)| name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axnn::resnet::{cifar_input_shape, ResNetConfig};
+    use axtensor::rng;
+
+    fn exact() -> AxMultiplier {
+        axmult::catalog::by_name("mul8s_exact").unwrap()
+    }
+
+    fn rough() -> AxMultiplier {
+        axmult::catalog::by_name("mul8s_bam_v8h0").unwrap()
+    }
+
+    #[test]
+    fn compile_requires_a_multiplier() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(1).unwrap();
+        let err = Session::builder().compile(&graph).unwrap_err();
+        assert!(err.to_string().contains("no multiplier"), "{err}");
+    }
+
+    #[test]
+    fn compile_rejects_zero_chunk_and_threads() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(1).unwrap();
+        let err = Session::builder()
+            .multiplier(&exact())
+            .chunk_size(0)
+            .compile(&graph)
+            .unwrap_err();
+        assert!(err.to_string().contains("chunk size"), "{err}");
+        let err = Session::builder()
+            .multiplier(&exact())
+            .threads(0)
+            .compile(&graph)
+            .unwrap_err();
+        assert!(err.to_string().contains("thread count"), "{err}");
+    }
+
+    #[test]
+    fn compile_is_eager_lazy_failures_surface_at_compile_time() {
+        // A graph whose conv weights are non-finite used to fail on the
+        // first forward; with the session API it cannot even compile.
+        use axnn::layers::Conv2D;
+        use axtensor::{ConvGeometry, Filter, FilterShape};
+        let mut g = Graph::new();
+        let x = g.input();
+        let mut w = vec![0.1f32; 9];
+        w[4] = f32::NAN;
+        let conv = Conv2D::new(
+            Filter::from_vec(FilterShape::new(3, 3, 1, 1), w).unwrap(),
+            ConvGeometry::default(),
+        );
+        let c = g.add("bad", Arc::new(conv), &[x]).unwrap();
+        g.set_output(c).unwrap();
+        let err = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&exact())
+            .compile(&g)
+            .unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn compile_rejects_an_already_transformed_graph() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(1).unwrap();
+        let session = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&exact())
+            .compile(&graph)
+            .unwrap();
+        // The transformed graph's AxConv2D nodes are not rewritable:
+        // recompiling it must fail loudly, not keep the old multipliers.
+        let err = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&rough())
+            .compile(session.graph())
+            .unwrap_err();
+        assert!(err.to_string().contains("already transformed"), "{err}");
+    }
+
+    #[test]
+    fn compile_prepares_every_layer() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(2).unwrap();
+        let session = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&exact())
+            .compile(&graph)
+            .unwrap();
+        assert_eq!(session.replaced_layers(), 7);
+        assert_eq!(session.conv_layer_names().len(), 7);
+        assert!(session.layers.iter().all(|l| l.is_prepared()));
+    }
+
+    #[test]
+    fn infer_matches_direct_graph_forward() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(3).unwrap();
+        let session = Session::builder()
+            .backend(Backend::CpuGemm)
+            .chunk_size(2)
+            .multiplier(&rough())
+            .compile(&graph)
+            .unwrap();
+        let input = rng::uniform(cifar_input_shape(2), 7, -1.0, 1.0);
+        let a = session.infer(&input).unwrap();
+        let b = session.graph().forward(&input).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn infer_batches_reports_images() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(4).unwrap();
+        let session = Session::builder()
+            .backend(Backend::GpuSim)
+            .chunk_size(2)
+            .multiplier(&exact())
+            .compile(&graph)
+            .unwrap();
+        let batches = vec![
+            rng::uniform(cifar_input_shape(2), 1, -1.0, 1.0),
+            rng::uniform(cifar_input_shape(2), 2, -1.0, 1.0),
+        ];
+        let (outputs, report) = session.infer_batches(&batches).unwrap();
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(report.images, 4);
+        assert!(report.total() > 0.0);
+    }
+
+    #[test]
+    fn reassign_reuses_unchanged_layers() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(5).unwrap();
+        let session = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&rough())
+            .compile(&graph)
+            .unwrap();
+        // Protect the stem, keep everything else.
+        let next = session
+            .reassign(&Assignment::uniform(rough()).with_layer(0, exact()))
+            .unwrap();
+        assert!(Arc::ptr_eq(&session.layers[1], &next.layers[1]));
+        assert!(!Arc::ptr_eq(&session.layers[0], &next.layers[0]));
+        assert_eq!(next.multipliers()[0].name(), "mul8s_exact");
+        assert_eq!(next.multipliers()[1].name(), "mul8s_bam_v8h0");
+        // Both sessions still run.
+        let input = rng::uniform(cifar_input_shape(1), 9, -1.0, 1.0);
+        let a = session.infer(&input).unwrap();
+        let b = next.infer(&input).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() > 0.0, "stem change must show");
+    }
+
+    #[test]
+    fn reassign_identical_assignment_is_all_reuse() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(6).unwrap();
+        let session = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&exact())
+            .compile(&graph)
+            .unwrap();
+        let next = session.reassign(&Assignment::uniform(exact())).unwrap();
+        for (a, b) in session.layers.iter().zip(&next.layers) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+    }
+}

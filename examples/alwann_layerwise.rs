@@ -3,14 +3,14 @@
 //! search the assignment space. Early layers are error-sensitive; deep
 //! layers tolerate rough multipliers — so mixed assignments beat uniform
 //! ones on the accuracy/power Pareto front. Fast emulation makes this
-//! search practical: each candidate assignment is one emulated inference.
+//! search practical: each candidate is one `Session::reassign` (which
+//! reuses every unchanged layer's prepared plan) plus one inference.
 //!
 //! Run: `cargo run --release --example alwann_layerwise`
 
 use axnn::dataset::{top1_agreement, SyntheticCifar10};
 use axnn::resnet::ResNetConfig;
-use std::sync::Arc;
-use tfapprox::{flow, Backend, EmuContext};
+use tfapprox::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = ResNetConfig::with_depth(8)?.build(42)?;
@@ -29,19 +29,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "assignment (stem->head)", "mean power", "top-1 agr"
     );
 
-    // Sweep: the first k layers precise, the rest rough.
+    // Compile once (all rough), then sweep: the first k layers precise,
+    // the rest rough. Each candidate is a `reassign` off the previous
+    // session — only the one layer whose multiplier flips is recompiled.
+    let mut session = Session::builder()
+        .backend(Backend::CpuGemm)
+        .assignment(Assignment::uniform(rough.clone()))
+        .compile(&graph)?;
     for k in 0..=l {
-        let mut assignment = Vec::with_capacity(l);
-        for i in 0..l {
-            assignment.push(if i < k {
-                precise.clone()
-            } else {
-                rough.clone()
-            });
+        let mut assignment = Assignment::uniform(rough.clone());
+        for i in 0..k {
+            assignment = assignment.with_layer(i, precise.clone());
         }
-        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
-        let (ax, _) = flow::approximate_graph_layerwise(&graph, &assignment, &ctx)?;
-        let out = ax.forward(&batch)?;
+        session = session.reassign(&assignment)?;
+        let out = session.infer(&batch)?;
         let agreement = top1_agreement(&float_out, &out);
         let mean_power = (k as f64 * p_power + (l - k) as f64 * r_power) / l as f64;
         let label = format!("{} precise + {} rough", k, l - k);

@@ -10,8 +10,7 @@
 
 use axnn::dataset::{top1_agreement, SyntheticCifar10};
 use axnn::resnet::ResNetConfig;
-use std::sync::Arc;
-use tfapprox::{flow, Backend, EmuContext};
+use tfapprox::prelude::*;
 
 struct Candidate {
     name: String,
@@ -33,9 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let Some(cost) = mult.cost() else {
             continue; // no hardware estimate -> not comparable
         };
-        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
-        let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx)?;
-        let ax_out = ax.forward(&batch)?;
+        let session = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&mult)
+            .compile(&graph)?;
+        let ax_out = session.infer(&batch)?;
         candidates.push(Candidate {
             name: mult.name().to_owned(),
             power: cost.power,

@@ -7,8 +7,7 @@
 
 use axnn::dataset::{top1_agreement, SyntheticCifar10};
 use axnn::resnet::ResNetConfig;
-use std::sync::Arc;
-use tfapprox::{flow, Backend, EmuContext};
+use tfapprox::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = ResNetConfig::with_depth(8)?.build(42)?;
@@ -28,9 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Signed multipliers slot into the signed datapath directly; for
         // this demo we run all of them through the same ResNet (the
         // unsigned range shifts data via the zero-point).
-        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
-        let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx)?;
-        let ax_out = ax.forward(&batch)?;
+        let session = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&mult)
+            .compile(&graph)?;
+        let ax_out = session.infer(&batch)?;
         let agreement = top1_agreement(&float_out, &ax_out);
 
         println!(

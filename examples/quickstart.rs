@@ -3,15 +3,15 @@
 //! The three-step workflow of the paper's design flow:
 //! 1. load/build a trained model,
 //! 2. pick a candidate approximate multiplier (here from the catalog),
-//! 3. transform the graph (Conv2D → AxConv2D with Min/Max observers,
-//!    Fig. 1) and run inference to quantify the multiplier's impact.
+//! 3. compile a `Session` (Conv2D → AxConv2D with Min/Max observers,
+//!    Fig. 1, every filter plan built eagerly) and run inference to
+//!    quantify the multiplier's impact.
 //!
 //! Run: `cargo run --release --example quickstart`
 
 use axnn::dataset::{top1_agreement, SyntheticCifar10};
 use axnn::resnet::ResNetConfig;
-use std::sync::Arc;
-use tfapprox::{flow, runtime, Backend, EmuContext};
+use tfapprox::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A "trained" CIFAR-10 ResNet-8 (deterministic synthetic weights).
@@ -34,14 +34,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics.error_rate * 100.0
     );
 
-    // 3. Transform the graph and run on the simulated GPU.
-    let ctx = Arc::new(EmuContext::new(Backend::GpuSim));
-    let (ax_graph, replaced) = flow::approximate_graph(&graph, &mult, &ctx)?;
-    println!("replaced {replaced} Conv2D layers with AxConv2D (+ Min/Max observers)");
+    // 3. Compile the session on the simulated GPU and run.
+    let session = Session::builder()
+        .backend(Backend::GpuSim)
+        .multiplier(&mult)
+        .compile(&graph)?;
+    println!(
+        "compiled session: replaced {} Conv2D layers with AxConv2D (+ Min/Max observers)",
+        session.replaced_layers()
+    );
 
     let data = SyntheticCifar10::new(7);
     let batch = data.batch_sized(0, 16);
-    let (outputs, report) = runtime::run_approx(&ax_graph, std::slice::from_ref(&batch), &ctx)?;
+    let (outputs, report) = session.infer_batches(std::slice::from_ref(&batch))?;
 
     // Compare predictions against the accurate float network.
     let float_out = graph.forward(&batch)?;
@@ -56,8 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          agreement is the *finding*; try mul8s_drum4 for a near-lossless one)"
     );
     println!(
-        "modeled device time: tinit {:.2}s + tcomp {:.4}s",
-        report.tinit, report.tcomp
+        "modeled device time: tinit {:.2}s + tcomp {:.4}s ({:.0} images/s)",
+        report.tinit,
+        report.tcomp,
+        report.images_per_second()
     );
     for phase in gpusim::Phase::all() {
         println!(
@@ -65,5 +72,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.profile.fraction(phase) * 100.0
         );
     }
+    println!("report JSON: {}", report.to_json());
     Ok(())
 }

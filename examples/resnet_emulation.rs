@@ -7,9 +7,8 @@
 use axnn::dataset::SyntheticCifar10;
 use axnn::resnet::ResNetConfig;
 use gpusim::DeviceConfig;
-use std::sync::Arc;
 use tfapprox::perfmodel::{self, CpuModel};
-use tfapprox::{flow, runtime, Backend, EmuContext};
+use tfapprox::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,14 +24,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ResNet-{depth}, {images} images (reduced workload, measured on this host)");
 
     // Accurate f32 on the host.
-    let (_, acc) = runtime::run_accurate_cpu(&graph, std::slice::from_ref(&batch))?;
+    let (_, acc) = tfapprox::run_accurate_cpu(&graph, std::slice::from_ref(&batch))?;
     println!("accurate f32 (host):        tcomp {:.3}s", acc.tcomp);
 
     // Approximate on both CPU backends.
     for backend in [Backend::CpuDirect, Backend::CpuGemm] {
-        let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(images));
-        let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx)?;
-        let (_, rep) = runtime::run_approx(&ax, std::slice::from_ref(&batch), &ctx)?;
+        let session = Session::builder()
+            .backend(backend)
+            .chunk_size(images)
+            .multiplier(&mult)
+            .compile(&graph)?;
+        let (_, rep) = session.infer_batches(std::slice::from_ref(&batch))?;
         println!(
             "approximate {:<14} tcomp {:.3}s  ({:.1}x slower than f32)",
             format!("({backend}):"),
@@ -42,9 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Approximate on the simulated GPU (modeled seconds).
-    let ctx = Arc::new(EmuContext::new(Backend::GpuSim).with_chunk_size(images));
-    let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx)?;
-    let (_, rep) = runtime::run_approx(&ax, &[batch], &ctx)?;
+    let session = Session::builder()
+        .backend(Backend::GpuSim)
+        .chunk_size(images)
+        .multiplier(&mult)
+        .compile(&graph)?;
+    let (_, rep) = session.infer_batches(&[batch])?;
     println!(
         "approximate (gpu-sim):      tinit {:.2}s + tcomp {:.4}s (modeled GTX-1080-class)",
         rep.tinit, rep.tcomp

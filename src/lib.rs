@@ -10,7 +10,9 @@
 //! - [`axquant`] — affine quantization (scale/zero-point) per Eq. 1 of the paper.
 //! - [`gpusim`] — simulated CUDA-capable GPU with a texture-cache model.
 //! - [`axnn`] — layers, graphs, the CIFAR-10 ResNet family, graph rewriting.
-//! - [`tfapprox`] — the paper's contribution: the `AxConv2D` operator, the
+//! - [`tfapprox`] — the paper's contribution: the compiled-session API
+//!   (`Session` / `SessionBuilder` / `Assignment` behind
+//!   `tfapprox::prelude`), the `AxConv2D`/`AxDense` operators, the
 //!   prepared-execution engine (`PreparedFilter` plans + the persistent
 //!   `WorkerPool`), and the three emulation backends.
 

@@ -1,12 +1,12 @@
 //! Cross-crate integration tests: the full circuit → LUT → graph →
-//! emulation pipeline, and the paper's headline claims at small scale.
+//! emulation pipeline through the compiled-session API, and the paper's
+//! headline claims at small scale.
 
 use axnn::dataset::{top1_agreement, SyntheticCifar10};
 use axnn::resnet::ResNetConfig;
 use gpusim::{DeviceConfig, Phase};
-use std::sync::Arc;
 use tfapprox::perfmodel::{self, CpuModel};
-use tfapprox::{flow, runtime, Backend, EmuContext};
+use tfapprox::prelude::*;
 
 /// Circuit-to-emulation pipeline: build a broken-array multiplier at gate
 /// level, extract its truth table, load it as a LUT, and run it inside a
@@ -17,26 +17,29 @@ fn gate_level_multiplier_runs_inside_network() {
     let tt = axcircuit::truth::TruthTable::from_netlist(&netlist).expect("truth table");
     let lut = axmult::MulLut::from_truth_table(&tt, axmult::Signedness::Signed).expect("lut");
     let cost = axcircuit::cost::evaluate(&netlist);
-    let mult = axmult::AxMultiplier::new("test_bam", "integration test", lut, Some(cost));
+    let mult = AxMultiplier::new("test_bam", "integration test", lut, Some(cost));
 
     let graph = ResNetConfig::with_depth(8)
         .expect("cfg")
         .build(1)
         .expect("graph");
-    let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
-    let (ax, replaced) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
-    assert_eq!(replaced, 7);
+    let session = Session::builder()
+        .backend(Backend::CpuGemm)
+        .multiplier(&mult)
+        .compile(&graph)
+        .expect("compile");
+    assert_eq!(session.replaced_layers(), 7);
 
     let batch = SyntheticCifar10::new(5).batch_sized(0, 4);
-    let out = ax.forward(&batch).expect("forward");
+    let out = session.infer(&batch).expect("infer");
     assert_eq!(out.shape().c, 10);
     assert!(out.as_slice().iter().all(|v| v.is_finite()));
 }
 
 /// §IV accuracy claim: with the exact multiplier, the approximate layer is
 /// "the same as ... the quantization followed by dequantization available
-/// in TensorFlow" — so the transformed network must track the float
-/// network up to quantization noise, on every backend.
+/// in TensorFlow" — so the compiled network must track the float network
+/// up to quantization noise, on every backend.
 #[test]
 fn exact_lut_network_tracks_float_network_on_all_backends() {
     let graph = ResNetConfig::with_depth(8)
@@ -48,9 +51,13 @@ fn exact_lut_network_tracks_float_network_on_all_backends() {
     let float_out = graph.forward(&batch).expect("float forward");
 
     for backend in [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim] {
-        let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(2));
-        let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
-        let ax_out = ax.forward(&batch).expect("ax forward");
+        let session = Session::builder()
+            .backend(backend)
+            .chunk_size(2)
+            .multiplier(&mult)
+            .compile(&graph)
+            .expect("compile");
+        let ax_out = session.infer(&batch).expect("infer");
         let agreement = top1_agreement(&float_out, &ax_out);
         assert!(agreement >= 0.75, "{backend}: top-1 agreement {agreement}");
     }
@@ -69,9 +76,13 @@ fn backends_agree_through_a_full_network() {
 
     let mut outputs = Vec::new();
     for backend in [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim] {
-        let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(1));
-        let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
-        outputs.push(ax.forward(&batch).expect("forward"));
+        let session = Session::builder()
+            .backend(backend)
+            .chunk_size(1)
+            .multiplier(&mult)
+            .compile(&graph)
+            .expect("compile");
+        outputs.push(session.infer(&batch).expect("infer"));
     }
     // Softmax outputs in [0,1]: the GPU's f32 accumulator may deviate in
     // the last ulps, amplified through 7 layers; a small tolerance
@@ -151,12 +162,16 @@ fn texture_cache_mechanism() {
     let batch = SyntheticCifar10::new(11).batch_sized(0, 1);
 
     let run = |dev: DeviceConfig| {
-        let ctx = Arc::new(EmuContext::with_device(Backend::GpuSim, dev));
-        let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
-        let _ = ax.forward(&batch).expect("warm");
-        ctx.reset_profile();
-        let _ = ax.forward(&batch).expect("measured");
-        (ctx.events(), ctx.profile())
+        let session = Session::builder()
+            .backend(Backend::GpuSim)
+            .device(dev)
+            .multiplier(&mult)
+            .compile(&graph)
+            .expect("compile");
+        let _ = session.infer(&batch).expect("warm");
+        session.context().reset_profile();
+        let _ = session.infer(&batch).expect("measured");
+        (session.context().events(), session.context().profile())
     };
 
     let (ev_big, prof_big) = run(DeviceConfig {
@@ -186,16 +201,20 @@ fn chunking_transparent_at_network_level() {
     let batch = SyntheticCifar10::new(13).batch_sized(0, 5);
 
     let run = |chunk: usize| {
-        let ctx = Arc::new(EmuContext::new(Backend::CpuGemm).with_chunk_size(chunk));
-        let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
-        ax.forward(&batch).expect("forward")
+        let session = Session::builder()
+            .backend(Backend::CpuGemm)
+            .chunk_size(chunk)
+            .multiplier(&mult)
+            .compile(&graph)
+            .expect("compile");
+        session.infer(&batch).expect("infer")
     };
     let a = run(1);
     let b = run(5);
     assert!(a.max_abs_diff(&b).expect("shapes") < 1e-6);
 }
 
-/// The emulation runtime reports tinit + tcomp with coherent bookkeeping.
+/// The session runtime reports tinit + tcomp with coherent bookkeeping.
 #[test]
 fn runtime_report_coherent() {
     let graph = ResNetConfig::with_depth(8)
@@ -203,12 +222,17 @@ fn runtime_report_coherent() {
         .build(6)
         .expect("graph");
     let mult = axmult::catalog::by_name("mul8s_exact").expect("catalog");
-    let ctx = Arc::new(EmuContext::new(Backend::GpuSim).with_chunk_size(2));
-    let (ax, _) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
+    let session = Session::builder()
+        .backend(Backend::GpuSim)
+        .chunk_size(2)
+        .multiplier(&mult)
+        .compile(&graph)
+        .expect("compile");
     let data = SyntheticCifar10::new(1);
     let batches = vec![data.batch_sized(0, 2), data.batch_sized(1, 2)];
-    let (outputs, report) = runtime::run_approx(&ax, &batches, &ctx).expect("run");
+    let (outputs, report) = session.infer_batches(&batches).expect("run");
     assert_eq!(outputs.len(), 2);
     assert_eq!(report.images, 4);
     assert!((report.total() - report.profile.total()).abs() < 1e-9);
+    assert!(report.images_per_second() > 0.0);
 }

@@ -5,19 +5,23 @@ use axnn::dataset::{top1_agreement, SyntheticCifar10};
 use axnn::models::{lenet, VggConfig};
 use axnn::resnet::cifar_input_shape;
 use std::sync::Arc;
-use tfapprox::{flow, Accumulator, AxDense, Backend, EmuContext};
+use tfapprox::prelude::*;
+use tfapprox::{Accumulator, AxDense, EmuContext};
 
 #[test]
 fn vgg_transforms_and_tracks_float() {
     let graph = VggConfig::vgg8().build(1).expect("vgg");
     let mult = axmult::catalog::by_name("mul8s_exact").expect("catalog");
-    let ctx = Arc::new(EmuContext::new(Backend::CpuGemm));
-    let (ax, replaced) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
-    assert_eq!(replaced, 6);
+    let session = Session::builder()
+        .backend(Backend::CpuGemm)
+        .multiplier(&mult)
+        .compile(&graph)
+        .expect("compile");
+    assert_eq!(session.replaced_layers(), 6);
 
     let batch = SyntheticCifar10::new(2).batch_sized(0, 4);
     let float_out = graph.forward(&batch).expect("float");
-    let ax_out = ax.forward(&batch).expect("approx");
+    let ax_out = session.infer(&batch).expect("approx");
     let agreement = top1_agreement(&float_out, &ax_out);
     assert!(agreement >= 0.75, "agreement {agreement}");
 }
@@ -26,13 +30,19 @@ fn vgg_transforms_and_tracks_float() {
 fn lenet_transforms_and_runs_on_gpusim() {
     let graph = lenet(3).expect("lenet");
     let mult = axmult::catalog::by_name("mul8s_bam_v8h0").expect("catalog");
-    let ctx = Arc::new(EmuContext::new(Backend::GpuSim));
-    let (ax, replaced) = flow::approximate_graph(&graph, &mult, &ctx).expect("flow");
-    assert_eq!(replaced, 2);
+    let session = Session::builder()
+        .backend(Backend::GpuSim)
+        .multiplier(&mult)
+        .compile(&graph)
+        .expect("compile");
+    assert_eq!(session.replaced_layers(), 2);
     let batch = SyntheticCifar10::new(4).batch_sized(0, 2);
-    let out = ax.forward(&batch).expect("forward");
+    let out = session.infer(&batch).expect("infer");
     assert_eq!(out.shape().c, 10);
-    assert!(ctx.profile().total() > 0.0, "modeled time recorded");
+    assert!(
+        session.context().profile().total() > 0.0,
+        "modeled time recorded"
+    );
 }
 
 #[test]

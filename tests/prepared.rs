@@ -26,7 +26,7 @@ fn layer(
     backend: Backend,
     per_channel: bool,
 ) -> AxConv2D {
-    let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(2));
+    let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(2).unwrap());
     let l = AxConv2D::new(filter.clone(), geom, lut.clone(), ctx);
     if per_channel {
         l.with_per_channel_filter_quant()

@@ -86,7 +86,7 @@ proptest! {
         });
         let geom = ConvGeometry::default().with_stride(stride);
         let run = |backend: Backend| {
-            let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(1));
+            let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(1).unwrap());
             AxConv2D::new(filter.clone(), geom, lut.clone(), ctx)
                 .convolve(&input)
                 .unwrap()
@@ -130,7 +130,7 @@ proptest! {
         let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 2), seed + 7, -0.5, 0.5);
         let lut = MulLut::exact(Signedness::Signed);
         let run = |c: usize| {
-            let ctx = Arc::new(EmuContext::new(Backend::CpuGemm).with_chunk_size(c));
+            let ctx = Arc::new(EmuContext::new(Backend::CpuGemm).with_chunk_size(c).unwrap());
             AxConv2D::new(filter.clone(), ConvGeometry::default(), lut.clone(), ctx)
                 .convolve(&input)
                 .unwrap()

@@ -1,0 +1,175 @@
+//! The compiled-session equivalence suite.
+//!
+//! `Session` is a facade over the legacy free-function surface
+//! (`flow::approximate_graph` + `runtime::run_approx`), so it must be
+//! **bit-identical** to it — same transform, same plans, same arithmetic
+//! — on every backend. These tests are the one sanctioned consumer of
+//! the `#[doc(hidden)]` legacy modules outside tfapprox internals.
+
+use axnn::resnet::{cifar_input_shape, ResNetConfig};
+use axtensor::{rng, Tensor};
+use proptest::prelude::*;
+use std::sync::Arc;
+use tfapprox::prelude::*;
+use tfapprox::{flow, runtime};
+
+fn exact() -> AxMultiplier {
+    axmult::catalog::by_name("mul8s_exact").unwrap()
+}
+
+fn rough() -> AxMultiplier {
+    axmult::catalog::by_name("mul8s_bam_v8h0").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `Session::infer_batches` produces bit-identical outputs to the
+    /// legacy `flow::approximate_graph` + `runtime::run_approx` path on
+    /// all three backends, across seeds, multipliers, chunk sizes and
+    /// batch splits.
+    #[test]
+    fn session_bit_identical_to_legacy_path(
+        seed in 0u64..500,
+        use_rough in any::<bool>(),
+        chunk in 1usize..4,
+        two_batches in any::<bool>(),
+    ) {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(seed).unwrap();
+        let mult = if use_rough { rough() } else { exact() };
+        let mut batches = vec![rng::uniform(cifar_input_shape(2), seed ^ 21, -1.0, 1.0)];
+        if two_batches {
+            batches.push(rng::uniform(cifar_input_shape(1), seed ^ 22, -1.0, 1.0));
+        }
+
+        for backend in [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim] {
+            // Legacy: transform, then run batch-wise.
+            let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(chunk).unwrap());
+            let (ax, replaced) = flow::approximate_graph(&graph, &mult, &ctx).unwrap();
+            let (legacy_out, legacy_rep) = runtime::run_approx(&ax, &batches, &ctx).unwrap();
+
+            // Session: compile, then run the same batches.
+            let session = Session::builder()
+                .backend(backend)
+                .chunk_size(chunk)
+                .multiplier(&mult)
+                .compile(&graph)
+                .unwrap();
+            let (out, rep) = session.infer_batches(&batches).unwrap();
+
+            prop_assert_eq!(session.replaced_layers(), replaced);
+            prop_assert_eq!(out.len(), legacy_out.len());
+            for (a, b) in out.iter().zip(&legacy_out) {
+                // Bit-identical: same shapes, same f32 bits.
+                prop_assert_eq!(a, b, "session != legacy on {:?}", backend);
+            }
+            prop_assert_eq!(rep.images, legacy_rep.images);
+            prop_assert_eq!(rep.backend, legacy_rep.backend);
+        }
+    }
+
+    /// The builder rejects zero chunk sizes and thread counts as
+    /// compile-time errors, and accepts every positive value.
+    #[test]
+    fn builder_validates_chunk_and_threads(chunk in 0usize..5, threads in 0usize..5) {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(1).unwrap();
+        let result = Session::builder()
+            .backend(Backend::CpuGemm)
+            .chunk_size(chunk)
+            .threads(threads)
+            .multiplier(&exact())
+            .compile(&graph);
+        if chunk == 0 || threads == 0 {
+            let err = result.err().map(|e| e.to_string()).unwrap_or_default();
+            prop_assert!(
+                err.contains("must be positive"),
+                "zero accepted or wrong error: {}", err
+            );
+        } else {
+            prop_assert!(result.is_ok());
+        }
+        // The raw context builders enforce the same contract.
+        prop_assert_eq!(
+            EmuContext::new(Backend::CpuGemm).with_chunk_size(chunk).is_ok(),
+            chunk > 0
+        );
+        prop_assert_eq!(
+            EmuContext::new(Backend::CpuGemm).with_threads(threads).is_ok(),
+            threads > 0
+        );
+    }
+}
+
+/// `reassign` must not rebuild the plans of unchanged layers. On the
+/// modeled GPU backend every plan build records deterministic
+/// quantization events into the shared context, so the event counter is
+/// an exact witness: compiling ResNet-8 charges 7 plan builds, a
+/// reassign that changes one layer to a multiplier of a *different*
+/// signedness charges exactly 1 more, and a same-signedness change or a
+/// no-op reassign charges none (the plan transplants).
+#[test]
+fn reassign_keeps_cached_plans_of_unchanged_layers() {
+    let graph = ResNetConfig::with_depth(8).unwrap().build(7).unwrap();
+    let session = Session::builder()
+        .backend(Backend::GpuSim)
+        .multiplier(&rough()) // signed
+        .compile(&graph)
+        .unwrap();
+    let after_compile = session.context().events().quant_ops;
+    assert!(after_compile > 0, "compile must build 7 plans eagerly");
+
+    // No-op reassign: all layers reused, no new plan builds.
+    let same = session.reassign(&Assignment::uniform(rough())).unwrap();
+    assert_eq!(same.context().events().quant_ops, after_compile);
+
+    // Same signedness, different LUT: fresh layers but transplanted
+    // plans — still no new filter-quantization events.
+    let transplanted = session
+        .reassign(&Assignment::uniform(rough()).with_layer(0, exact()))
+        .unwrap();
+    assert_eq!(transplanted.context().events().quant_ops, after_compile);
+
+    // Different signedness (unsigned catalog entry) on one layer: that
+    // single plan must rebuild, and only that one.
+    let unsigned = axmult::catalog::by_name("mul8u_drum4").unwrap();
+    let rebuilt = session
+        .reassign(&Assignment::uniform(rough()).with_layer(0, unsigned))
+        .unwrap();
+    let after_rebuild = rebuilt.context().events().quant_ops;
+    assert!(
+        after_rebuild > after_compile,
+        "changed-signedness layer must rebuild its plan"
+    );
+    let one_layer_charge = after_rebuild - after_compile;
+    assert!(
+        one_layer_charge < after_compile,
+        "only one of 7 plans may rebuild: charge {one_layer_charge} vs compile {after_compile}"
+    );
+}
+
+/// A reassigned session computes the same result as a freshly compiled
+/// session with the same assignment — plan reuse is an optimization, not
+/// a semantic change.
+#[test]
+fn reassign_bit_identical_to_fresh_compile() {
+    let graph = ResNetConfig::with_depth(8).unwrap().build(9).unwrap();
+    let assignment = Assignment::uniform(rough()).with_layer(0, exact());
+    let input: Tensor<f32> = rng::uniform(cifar_input_shape(2), 33, -1.0, 1.0);
+
+    for backend in [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim] {
+        let base = Session::builder()
+            .backend(backend)
+            .multiplier(&rough())
+            .compile(&graph)
+            .unwrap();
+        let reassigned = base.reassign(&assignment).unwrap();
+        let fresh = Session::builder()
+            .backend(backend)
+            .assignment(assignment.clone())
+            .compile(&graph)
+            .unwrap();
+        let a = reassigned.infer(&input).unwrap();
+        let b = fresh.infer(&input).unwrap();
+        assert_eq!(a, b, "reassign != fresh compile on {backend:?}");
+    }
+}
