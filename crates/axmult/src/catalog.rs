@@ -240,6 +240,19 @@ pub fn catalog() -> Result<Vec<AxMultiplier>, MultError> {
 /// — the error lists every available name (and the nearest match, so a
 /// typo like `mul8s_exact_` points straight at the intended entry) — and
 /// propagates construction failures.
+///
+/// ```
+/// # fn main() -> Result<(), axmult::MultError> {
+/// let bam = axmult::catalog::by_name("mul8s_bam_v8h0")?;
+/// assert_eq!(bam.signedness(), axmult::Signedness::Signed);
+/// assert!(!bam.metrics().is_exact());
+///
+/// // A typo is rejected with the nearest real entry suggested.
+/// let err = axmult::catalog::by_name("mul8s_bam_v8h1").unwrap_err();
+/// assert!(err.to_string().contains("did you mean 'mul8s_bam_v8h0'?"));
+/// # Ok(())
+/// # }
+/// ```
 pub fn by_name(name: &str) -> Result<AxMultiplier, MultError> {
     let cat = catalog()?;
     if let Some(m) = cat.iter().find(|m| m.name() == name) {

@@ -34,6 +34,8 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod behavioral;
 pub mod catalog;
 pub mod error;

@@ -110,6 +110,16 @@ impl MulLut {
     /// return the (possibly approximate) product; the value is wrapped to
     /// 16 bits when stored, exactly as a hardware multiplier's output bus
     /// would truncate it.
+    ///
+    /// ```
+    /// use axmult::{MulLut, Signedness};
+    ///
+    /// // A truncating multiplier that zeroes the 4 least-significant
+    /// // product bits — the table holds the approximate products.
+    /// let lut = MulLut::from_fn(Signedness::Unsigned, |a, b| (a * b) & !0xF);
+    /// assert_eq!(lut.product(7, 9), 48); // exact 63, low nibble dropped
+    /// assert_eq!(lut.product(16, 16), 256); // already a multiple of 16
+    /// ```
     #[must_use]
     pub fn from_fn(signedness: Signedness, mut f: impl FnMut(i32, i32) -> i32) -> Self {
         let mut entries = vec![0u16; LUT_ENTRIES];
@@ -237,6 +247,33 @@ impl MulLut {
         self.entries[index as usize]
     }
 
+    /// The 256-entry table row for second-operand byte `b`: entry `a` of
+    /// the returned array is [`MulLut::fetch`]`(a, b)`.
+    ///
+    /// This is the hot-loop accessor of the tiled LUT-GEMM: a microkernel
+    /// that holds one filter byte fixed while streaming activation bytes
+    /// hoists this 512-byte row out of its inner loop, so every lookup
+    /// lands in one cache-resident row instead of striding the full
+    /// 128 kB table — the CPU analogue of the paper's texture-cache
+    /// locality.
+    ///
+    /// ```
+    /// use axmult::{MulLut, Signedness};
+    ///
+    /// let lut = MulLut::exact(Signedness::Unsigned);
+    /// let row = lut.row(3);
+    /// assert_eq!(row[7], lut.fetch(7, 3));
+    /// assert_eq!(row.len(), 256);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn row(&self, b: u8) -> &[u16; 256] {
+        let start = (b as usize) << 8;
+        self.entries[start..start + 256]
+            .try_into()
+            .expect("a LUT row is exactly 256 entries")
+    }
+
     /// Logical product of two logical operand values.
     ///
     /// # Panics
@@ -297,6 +334,19 @@ mod tests {
         let lut = MulLut::exact(Signedness::Unsigned);
         assert_eq!(lut.fetch(7, 9), 63);
         assert_eq!(lut.fetch_index((9 << 8) | 7), 63);
+    }
+
+    #[test]
+    fn row_matches_fetch_for_every_operand_pair() {
+        for signedness in [Signedness::Unsigned, Signedness::Signed] {
+            let lut = MulLut::from_fn(signedness, |a, b| a * b - (a & 3));
+            for b in [0u8, 1, 127, 128, 255] {
+                let row = lut.row(b);
+                for a in 0..=255u8 {
+                    assert_eq!(row[a as usize], lut.fetch(a, b), "a={a} b={b}");
+                }
+            }
+        }
     }
 
     #[test]

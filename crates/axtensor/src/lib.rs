@@ -40,7 +40,7 @@ pub mod tensor;
 mod error;
 
 pub use error::TensorError;
-pub use im2col::{im2col, PatchMatrix};
+pub use im2col::{im2col, im2col_panels, PatchMatrix, PatchPanels};
 pub use ops::{Filter, Matrix};
 pub use shape::{ConvGeometry, FilterShape, Padding, Shape4};
 pub use tensor::Tensor;

@@ -7,9 +7,11 @@
 //! cost model; CPU percentages from the Xeon-calibrated share model. The
 //! paper's published bars are printed alongside. Pass `--probe` to also
 //! derive the CPU LUT share *empirically* on this host by differencing a
-//! LUT run against a native-multiply run of the same nested loops.
+//! LUT run against a native-multiply run of the same nested loops, and
+//! `--sweep-threads` to run the tiled CpuGemm backend at 1/2/4 host
+//! worker threads and print the measured throughput of each point.
 //!
-//! Usage: `fig2 [--images N] [--sample N] [--probe]`
+//! Usage: `fig2 [--images N] [--sample N] [--probe] [--sweep-threads]`
 
 use axnn::dataset::SyntheticCifar10;
 use axnn::resnet::{cifar_input_shape, ResNetConfig};
@@ -85,6 +87,38 @@ fn main() {
             print_bar(
                 "  (paper)",
                 [p[0] / 100.0, p[1] / 100.0, p[2] / 100.0, p[3] / 100.0],
+            );
+        }
+    }
+
+    if has_flag(&args, "--sweep-threads") {
+        // The tiled LUT-GEMM shards output rows across the context's
+        // worker pool; this prints how throughput scales with the pool
+        // size on this host (bit-identical outputs at every point).
+        println!();
+        println!(
+            "CpuGemm host-thread sweep (ResNet-8, {} image(s)):",
+            sample.max(1)
+        );
+        let graph = ResNetConfig::with_depth(8)
+            .expect("depth")
+            .build(42)
+            .expect("build");
+        let batch = SyntheticCifar10::new(42).batch_sized(0, sample.max(1));
+        for threads in [1usize, 2, 4] {
+            let session = Session::builder()
+                .backend(Backend::CpuGemm)
+                .threads(threads)
+                .multiplier(&mult)
+                .compile(&graph)
+                .expect("compile");
+            let (_, report) = session
+                .infer_batches(std::slice::from_ref(&batch))
+                .expect("infer");
+            println!(
+                "  threads {threads}: {:>7.2} images/s  (tcomp {:.3} s)",
+                report.images_per_second(),
+                report.tcomp
             );
         }
     }

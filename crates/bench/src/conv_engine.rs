@@ -7,6 +7,10 @@
 //! regime the paper's Table I reports. Per backend it also captures the
 //! [`Phase`] split of the steady-state profile (the Fig. 2 breakdown)
 //! and the one-off plan-build quantization charge of the first call.
+//! The thread-sharded CpuGemm backend is additionally swept over
+//! [`THREAD_SWEEP`] host worker counts, and the primary case over the
+//! [`tile_sweep_configs`] cache-blocking panel sizes of the tiled
+//! LUT-GEMM microkernel.
 //!
 //! The criterion bench `benches/conv_engine.rs` drives [`run_suite`] and
 //! writes the report with [`write_report`]; the bench-smoke integration
@@ -21,7 +25,10 @@ use gpusim::Phase;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
-use tfapprox::{AxConv2D, Backend, EmuContext};
+use tfapprox::{AxConv2D, Backend, EmuContext, TileConfig};
+
+/// The host worker-thread counts the CpuGemm backend is swept over.
+pub const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
 
 /// One benchmark case: a convolution shape at a fixed batch size.
 #[derive(Debug, Clone)]
@@ -41,6 +48,9 @@ pub struct ConvCase {
 pub struct BackendSample {
     /// Which backend ran.
     pub backend: Backend,
+    /// Host worker threads the run used (the CpuGemm backend is swept
+    /// over [`THREAD_SWEEP`]; the other backends always report 1).
+    pub threads: usize,
     /// Mean wall-clock seconds per convolve call (plan already built).
     pub mean_s: f64,
     /// Quantization-phase seconds of the first (plan-building) call.
@@ -51,6 +61,20 @@ pub struct BackendSample {
     /// Fig. 2-style phase fractions of the steady-state profile, in
     /// [`Phase::all`] order.
     pub phase_fractions: [f64; 4],
+}
+
+/// One point of the tile-size sweep: the tiled LUT-GEMM at `threads = 1`
+/// under explicit cache-blocking panel sizes.
+#[derive(Debug, Clone)]
+pub struct TileSweepSample {
+    /// Rows per accumulator tile.
+    pub mc: usize,
+    /// Taps per `K` panel.
+    pub kc: usize,
+    /// Channels per accumulator tile.
+    pub nc: usize,
+    /// Mean wall-clock seconds per convolve call.
+    pub mean_s: f64,
 }
 
 /// All measurements of one case.
@@ -64,22 +88,30 @@ pub struct CaseReport {
     pub macs: u64,
     /// Mean wall-clock seconds of the accurate f32 GEMM convolution.
     pub accurate_f32_s: f64,
-    /// One sample per backend.
+    /// One sample per backend — the CpuGemm backend appears once per
+    /// [`THREAD_SWEEP`] entry.
     pub samples: Vec<BackendSample>,
+    /// Tile-size sweep of the CpuGemm microkernel (primary case only;
+    /// empty elsewhere).
+    pub tile_sweep: Vec<TileSweepSample>,
 }
 
 impl CaseReport {
-    fn sample(&self, backend: Backend) -> Option<&BackendSample> {
-        self.samples.iter().find(|s| s.backend == backend)
+    fn sample(&self, backend: Backend, threads: usize) -> Option<&BackendSample> {
+        self.samples
+            .iter()
+            .find(|s| s.backend == backend && s.threads == threads)
     }
 
     /// Wall-clock speedup of the GEMM-formulated host backend over the
-    /// direct nested-loop (ALWANN-style) emulation.
+    /// direct nested-loop (ALWANN-style) emulation, both single-threaded
+    /// — the like-for-like kernel comparison (thread scaling is reported
+    /// separately by the swept samples).
     #[must_use]
     pub fn speedup_gemm_vs_direct(&self) -> f64 {
         match (
-            self.sample(Backend::CpuDirect),
-            self.sample(Backend::CpuGemm),
+            self.sample(Backend::CpuDirect, 1),
+            self.sample(Backend::CpuGemm, 1),
         ) {
             (Some(d), Some(g)) if g.mean_s > 0.0 => d.mean_s / g.mean_s,
             _ => f64::NAN,
@@ -125,10 +157,21 @@ pub fn cases(quick: bool) -> Vec<ConvCase> {
     }
 }
 
-fn measure_backend(case: &ConvCase, backend: Backend, lut: &MulLut) -> BackendSample {
+fn measure_backend(
+    case: &ConvCase,
+    backend: Backend,
+    lut: &MulLut,
+    threads: usize,
+) -> BackendSample {
     let input = rng::uniform(case.input, 11, -1.0, 1.0);
     let filter = rng::uniform_filter(case.filter, 13, -0.5, 0.5);
-    let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(4).unwrap());
+    let ctx = Arc::new(
+        EmuContext::new(backend)
+            .with_chunk_size(4)
+            .unwrap()
+            .with_threads(threads)
+            .unwrap(),
+    );
     let layer = AxConv2D::new(filter, ConvGeometry::default(), lut.clone(), ctx);
 
     // First call: builds and charges the prepared plan.
@@ -151,6 +194,7 @@ fn measure_backend(case: &ConvCase, backend: Backend, lut: &MulLut) -> BackendSa
     }
     BackendSample {
         backend,
+        threads,
         mean_s,
         first_call_quant_s,
         steady_quant_s,
@@ -158,7 +202,52 @@ fn measure_backend(case: &ConvCase, backend: Backend, lut: &MulLut) -> BackendSa
     }
 }
 
-fn measure_case(case: &ConvCase, multiplier: &str, lut: &MulLut) -> CaseReport {
+/// The tile configurations swept on the primary case: the default plus
+/// smaller/larger accumulator tiles and a deliberately tiny corner.
+#[must_use]
+pub fn tile_sweep_configs() -> Vec<TileConfig> {
+    [
+        (64, 512, 16), // default
+        (32, 256, 8),
+        (128, 512, 32),
+        (16, 64, 4),
+    ]
+    .into_iter()
+    .map(|(mc, kc, nc)| TileConfig::new(mc, kc, nc).expect("non-zero tiles"))
+    .collect()
+}
+
+fn measure_tiles(case: &ConvCase, lut: &MulLut) -> Vec<TileSweepSample> {
+    let input = rng::uniform(case.input, 11, -1.0, 1.0);
+    let filter = rng::uniform_filter(case.filter, 13, -0.5, 0.5);
+    tile_sweep_configs()
+        .into_iter()
+        .map(|tiles| {
+            let ctx = Arc::new(
+                EmuContext::new(Backend::CpuGemm)
+                    .with_chunk_size(4)
+                    .unwrap()
+                    .with_threads(1)
+                    .unwrap()
+                    .with_tile_config(tiles),
+            );
+            let layer = AxConv2D::new(filter.clone(), ConvGeometry::default(), lut.clone(), ctx);
+            let _ = layer.convolve(&input).expect("first convolve");
+            let t0 = Instant::now();
+            for _ in 0..case.iters {
+                std::hint::black_box(layer.convolve(&input).expect("steady convolve"));
+            }
+            TileSweepSample {
+                mc: tiles.mc(),
+                kc: tiles.kc(),
+                nc: tiles.nc(),
+                mean_s: t0.elapsed().as_secs_f64() / case.iters as f64,
+            }
+        })
+        .collect()
+}
+
+fn measure_case(case: &ConvCase, multiplier: &str, lut: &MulLut, sweep_tiles: bool) -> CaseReport {
     let input = rng::uniform(case.input, 11, -1.0, 1.0);
     let filter = rng::uniform_filter(case.filter, 13, -0.5, 0.5);
     let macs = ConvGeometry::default()
@@ -173,33 +262,44 @@ fn measure_case(case: &ConvCase, multiplier: &str, lut: &MulLut) -> CaseReport {
     }
     let accurate_f32_s = t0.elapsed().as_secs_f64() / case.iters as f64;
 
-    let samples = [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim]
-        .into_iter()
-        .map(|backend| measure_backend(case, backend, lut))
-        .collect();
+    // CpuDirect and GpuSim are single-threaded by construction; the
+    // thread-sharded CpuGemm kernel is swept.
+    let mut samples = vec![measure_backend(case, Backend::CpuDirect, lut, 1)];
+    for threads in THREAD_SWEEP {
+        samples.push(measure_backend(case, Backend::CpuGemm, lut, threads));
+    }
+    samples.push(measure_backend(case, Backend::GpuSim, lut, 1));
+    let tile_sweep = if sweep_tiles {
+        measure_tiles(case, lut)
+    } else {
+        Vec::new()
+    };
     CaseReport {
         case: case.clone(),
         multiplier: multiplier.to_owned(),
         macs,
         accurate_f32_s,
         samples,
+        tile_sweep,
     }
 }
 
-/// Run the whole suite: every case against the exact LUT, plus the
-/// primary case against an approximate catalog multiplier (the LUT
-/// contents change cache behaviour, not arithmetic cost — one
-/// approximate configuration suffices to show that).
+/// Run the whole suite: every case against the exact LUT (with the tile
+/// sweep on the primary case), plus the primary case against an
+/// approximate catalog multiplier (the LUT contents change cache
+/// behaviour, not arithmetic cost — one approximate configuration
+/// suffices to show that).
 #[must_use]
 pub fn run_suite(quick: bool) -> Vec<CaseReport> {
     let exact = MulLut::exact(Signedness::Signed);
     let mut reports: Vec<CaseReport> = cases(quick)
         .iter()
-        .map(|case| measure_case(case, "mul8s_exact", &exact))
+        .enumerate()
+        .map(|(i, case)| measure_case(case, "mul8s_exact", &exact, i == 0))
         .collect();
     if let Ok(bam) = axmult::catalog::by_name("mul8s_bam_v8h0") {
         if let Some(first) = cases(quick).first() {
-            reports.push(measure_case(first, "mul8s_bam_v8h0", bam.lut()));
+            reports.push(measure_case(first, "mul8s_bam_v8h0", bam.lut(), false));
         }
     }
     reports
@@ -226,6 +326,7 @@ fn sample_json(sample: &BackendSample) -> String {
         .collect();
     json::object(&[
         ("backend", json::string(&sample.backend.to_string())),
+        ("threads", json::integer(sample.threads as u64)),
         ("mean_s", json::number(sample.mean_s)),
         (
             "first_call_quantization_s",
@@ -233,6 +334,15 @@ fn sample_json(sample: &BackendSample) -> String {
         ),
         ("steady_quantization_s", json::number(sample.steady_quant_s)),
         ("phase_fractions", json::object(&phase_fields)),
+    ])
+}
+
+fn tile_sample_json(sample: &TileSweepSample) -> String {
+    json::object(&[
+        ("mc", json::integer(sample.mc as u64)),
+        ("kc", json::integer(sample.kc as u64)),
+        ("nc", json::integer(sample.nc as u64)),
+        ("mean_s", json::number(sample.mean_s)),
     ])
 }
 
@@ -267,6 +377,15 @@ pub fn report_json(reports: &[CaseReport], quick: bool) -> String {
                 (
                     "backends",
                     json::array(&r.samples.iter().map(sample_json).collect::<Vec<_>>()),
+                ),
+                (
+                    "tile_sweep",
+                    json::array(
+                        &r.tile_sweep
+                            .iter()
+                            .map(tile_sample_json)
+                            .collect::<Vec<_>>(),
+                    ),
                 ),
             ])
         })
@@ -318,6 +437,13 @@ mod tests {
         assert_eq!(quick.len(), 1);
         assert!(quick[0].input.len() <= 8 * 8 * 8);
         assert_eq!(cases(false).len(), 3);
+    }
+
+    #[test]
+    fn tile_sweep_configs_are_valid_and_include_the_default() {
+        let configs = tile_sweep_configs();
+        assert!(configs.len() >= 3);
+        assert!(configs.contains(&TileConfig::default()));
     }
 
     #[test]

@@ -9,8 +9,14 @@ fn quick_suite_emits_well_formed_json() {
     // One exact case plus the approximate-LUT rerun of the primary case.
     assert_eq!(reports.len(), 2);
     for report in &reports {
-        assert_eq!(report.samples.len(), 3, "one sample per backend");
+        // CpuDirect + one CpuGemm sample per swept thread count + GpuSim.
+        assert_eq!(
+            report.samples.len(),
+            2 + conv_engine::THREAD_SWEEP.len(),
+            "one sample per backend/thread point"
+        );
         for sample in &report.samples {
+            assert!(sample.threads >= 1);
             assert!(sample.mean_s > 0.0, "{:?} measured nothing", sample.backend);
             assert!(
                 sample.first_call_quant_s > 0.0,
@@ -24,9 +30,20 @@ fn quick_suite_emits_well_formed_json() {
                 sample.backend
             );
         }
+        let gemm_threads: Vec<usize> = report
+            .samples
+            .iter()
+            .filter(|s| s.backend == tfapprox::Backend::CpuGemm)
+            .map(|s| s.threads)
+            .collect();
+        assert_eq!(gemm_threads, conv_engine::THREAD_SWEEP.to_vec());
         assert!(report.macs > 0);
         assert!(report.speedup_gemm_vs_direct().is_finite());
     }
+    // The primary case carries the tile sweep; its points all measured.
+    assert!(!reports[0].tile_sweep.is_empty());
+    assert!(reports[0].tile_sweep.iter().all(|t| t.mean_s > 0.0));
+    assert!(reports[1].tile_sweep.is_empty());
 
     let doc = conv_engine::report_json(&reports, true);
     json::validate(&doc).expect("BENCH_conv.json must be well-formed JSON");
@@ -36,6 +53,9 @@ fn quick_suite_emits_well_formed_json() {
         "\"cpu-direct\"",
         "\"cpu-gemm\"",
         "\"gpu-sim\"",
+        "\"threads\": 4",
+        "\"tile_sweep\"",
+        "\"kc\"",
         "\"speedup_cpu_gemm_vs_cpu_direct\"",
         "\"steady_quantization_s\"",
         "\"phase_fractions\"",

@@ -37,6 +37,8 @@
 //! assert!(cache.stats().hit_rate() > 0.9);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cost;
 pub mod device;
 pub mod kernels;

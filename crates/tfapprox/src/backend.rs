@@ -19,9 +19,10 @@
 //! throwaway plan per call and charges its cost to the Quantization phase.
 
 use crate::accumulator::Accumulator;
+use crate::kernel;
 use crate::prepared::PreparedFilter;
 use crate::{EmuContext, EmuError};
-use axmult::{MulLut, Signedness};
+use axmult::MulLut;
 use axquant::{FilterQuantization, QuantParams};
 use axtensor::{ops::Filter, ConvGeometry, Shape4, Tensor};
 use gpusim::kernels::gemm::approx_gemm_prepared;
@@ -95,43 +96,6 @@ fn apply_bias(mut out: Tensor<f32>, bias: Option<&[f32]>) -> Tensor<f32> {
         }
     }
     out
-}
-
-/// The LUT-emulated dot product of one patch row with one filter column
-/// (both as 8-bit byte patterns). The exact-accumulator cases take a
-/// branch-free path; narrower accumulator models fold per tap.
-#[inline]
-fn lut_dot(
-    patch: &[u8],
-    fcol: &[u8],
-    lut: &MulLut,
-    signedness: Signedness,
-    accumulator: Accumulator,
-) -> i64 {
-    match (accumulator, signedness) {
-        (Accumulator::Exact, Signedness::Signed) => patch
-            .iter()
-            .zip(fcol)
-            .map(|(&a, &b)| i64::from(lut.fetch(a, b) as i16))
-            .sum(),
-        (Accumulator::Exact, Signedness::Unsigned) => patch
-            .iter()
-            .zip(fcol)
-            .map(|(&a, &b)| i64::from(lut.fetch(a, b)))
-            .sum(),
-        _ => {
-            let mut acc = 0i64;
-            for (&a, &b) in patch.iter().zip(fcol) {
-                let raw = lut.fetch(a, b);
-                let prod = match signedness {
-                    Signedness::Signed => i64::from(raw as i16),
-                    Signedness::Unsigned => i64::from(raw),
-                };
-                acc = accumulator.add(acc, prod);
-            }
-            acc
-        }
-    }
 }
 
 /// Direct nested-loop emulation (the paper's approximate-CPU baseline).
@@ -291,10 +255,12 @@ pub fn run_cpu_gemm(
 }
 
 /// [`run_cpu_gemm`] against a pre-built plan: the filter bytes, `Sf` sums
-/// and per-channel parameters come straight from `plan`, and the GEMM
-/// runs on `ctx`'s persistent worker pool instead of spawning a thread
-/// scope per chunk. `plan` must have been built from `spec.filter` under
-/// `spec.filter_q`.
+/// and per-channel parameters come straight from `plan`, and the GEMM is
+/// the tiled, thread-sharded microkernel of [`crate::kernel`] running on
+/// `ctx`'s persistent worker pool — cache-blocked per
+/// [`EmuContext::tile_config`], with register micro-tiles streaming the
+/// patch matrix against one hoisted LUT row per tap. `plan` must have
+/// been built from `spec.filter` under `spec.filter_q`.
 ///
 /// A zero-batch input returns a correctly-shaped empty output.
 ///
@@ -309,22 +275,16 @@ pub fn run_cpu_gemm_prepared(
 ) -> Result<(Tensor<f32>, PhaseProfile), EmuError> {
     let fs = spec.filter.shape();
     let mut profile = PhaseProfile::new();
-    let signedness = spec.lut.signedness();
     let out_shape = spec.geometry.output_shape(input.shape(), fs)?;
     let n = input.shape().n;
     if n == 0 {
         return Ok((apply_bias(Tensor::zeros(out_shape), spec.bias), profile));
     }
 
-    let c_out = plan.c_out();
-    let k = plan.k();
-    let col_q = plan.col_q();
-    let sf = plan.sf();
-    let b1 = i64::from(spec.input_q.zero_point());
-    let a1 = f64::from(spec.input_q.scale());
     let lut = spec.lut;
     let accumulator = spec.accumulator;
     let pool = ctx.pool();
+    let tiles = ctx.tile_config();
     let chunk_size = ctx.chunk_size();
 
     let mut parts: Vec<Tensor<f32>> = Vec::new();
@@ -345,34 +305,18 @@ pub fn run_cpu_gemm_prepared(
         .output;
         profile.add(Phase::Other, t1.elapsed().as_secs_f64());
 
-        // LUT GEMM on the persistent pool.
+        // Tiled LUT GEMM on the persistent pool.
         let t2 = Instant::now();
-        let rows = patches.matrix.rows();
-        let mut out_buf = vec![0f32; rows * c_out];
-        let rows_per = rows.div_ceil(pool.threads()).max(1);
-        let mp = &patches.matrix;
-        let sp = &patches.patch_sums;
-        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> =
-            Vec::with_capacity(rows.div_ceil(rows_per));
-        for (t, slab) in out_buf.chunks_mut(rows_per * c_out).enumerate() {
-            let r0 = t * rows_per;
-            jobs.push(Box::new(move || {
-                for (local_r, out_row) in slab.chunks_mut(c_out).enumerate() {
-                    let r = r0 + local_r;
-                    let patch = mp.row(r);
-                    let sp_r = sp[r];
-                    for (c, out_v) in out_row.iter_mut().enumerate() {
-                        let acc =
-                            lut_dot(patch, plan.channel_bytes(c), lut, signedness, accumulator);
-                        let b2 = i64::from(col_q[c].zero_point());
-                        let a1a2 = a1 * f64::from(col_q[c].scale());
-                        let corrected = acc - b2 * sp_r - b1 * sf[c] + (k as i64) * b1 * b2;
-                        *out_v = (a1a2 * corrected as f64) as f32;
-                    }
-                }
-            }));
-        }
-        pool.run(jobs);
+        let out_buf = kernel::lut_gemm_tiled(
+            &patches.matrix,
+            &patches.patch_sums,
+            plan,
+            spec.input_q,
+            lut,
+            accumulator,
+            tiles,
+            pool,
+        );
         profile.add(Phase::LutLookup, t2.elapsed().as_secs_f64());
 
         parts.push(Tensor::from_vec(patches.out_shape, out_buf)?);
@@ -551,6 +495,7 @@ pub fn quantized_reference(
 mod tests {
     use super::*;
     use crate::Backend;
+    use axmult::Signedness;
     use axquant::{QuantRange, RoundMode};
     use axtensor::{rng, FilterShape, Padding};
 

@@ -1,6 +1,7 @@
 //! Shared emulation state: backend selection, profiling, the texture
 //! cache, and the persistent worker pool.
 
+use crate::kernel::TileConfig;
 use crate::pool::WorkerPool;
 use crate::EmuError;
 use gpusim::{DeviceConfig, EventCounts, PhaseProfile, TextureCache};
@@ -51,6 +52,7 @@ pub struct EmuContext {
     device: DeviceConfig,
     chunk_size: usize,
     threads: usize,
+    tiles: TileConfig,
     profile: Mutex<PhaseProfile>,
     events: Mutex<EventCounts>,
     cache: Mutex<TextureCache>,
@@ -77,6 +79,7 @@ impl EmuContext {
             // to decouple memory usage from convolution parameters".
             chunk_size: 125,
             threads: std::thread::available_parallelism().map_or(1, usize::from),
+            tiles: TileConfig::default(),
             profile: Mutex::new(PhaseProfile::new()),
             events: Mutex::new(EventCounts::new()),
             cache: Mutex::new(cache),
@@ -133,6 +136,20 @@ impl EmuContext {
         }
         self.threads = threads;
         Ok(self)
+    }
+
+    /// Override the cache-blocking panel sizes of the tiled host LUT-GEMM
+    /// (already validated non-zero by [`TileConfig::new`]).
+    #[must_use]
+    pub fn with_tile_config(mut self, tiles: TileConfig) -> Self {
+        self.tiles = tiles;
+        self
+    }
+
+    /// The cache-blocking panel sizes of the tiled host LUT-GEMM.
+    #[must_use]
+    pub fn tile_config(&self) -> TileConfig {
+        self.tiles
     }
 
     /// The persistent host worker pool, spawned on first use.

@@ -34,6 +34,9 @@
 //!   \[12\]), `CpuGemm` (im2col + GEMM on host threads), or `GpuSim`
 //!   (Algorithm 1 on the simulated CUDA-capable device from [`gpusim`]),
 //! - [`PreparedFilter`] and [`WorkerPool`]: the prepared-execution engine,
+//! - [`kernel`]: the tiled, thread-sharded LUT-GEMM microkernel behind
+//!   `CpuGemm` — cache-blocked per [`TileConfig`], with LUT rows hoisted
+//!   out of the inner loop,
 //! - [`perfmodel`]: the calibrated extrapolation that regenerates Table I
 //!   and Fig. 2 at the paper's full 10⁴-image scale.
 //!
@@ -76,6 +79,7 @@ pub mod axconv2d;
 pub mod axdense;
 pub mod backend;
 pub mod context;
+pub mod kernel;
 pub mod perfmodel;
 pub mod pool;
 pub mod prepared;
@@ -97,6 +101,7 @@ pub use axconv2d::AxConv2D;
 pub use axdense::AxDense;
 pub use context::{Backend, EmuContext};
 pub use error::{EmuError, Error};
+pub use kernel::TileConfig;
 pub use pool::WorkerPool;
 pub use prepared::PreparedFilter;
 pub use runtime::{run_accurate_cpu, EmulationReport};
@@ -112,6 +117,7 @@ pub mod prelude {
     pub use crate::assignment::Assignment;
     pub use crate::context::{Backend, EmuContext};
     pub use crate::error::Error;
+    pub use crate::kernel::TileConfig;
     pub use crate::runtime::EmulationReport;
     pub use crate::session::{Session, SessionBuilder};
     pub use axmult::AxMultiplier;

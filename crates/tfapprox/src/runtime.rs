@@ -39,15 +39,18 @@ impl EmulationReport {
     }
 
     /// Emulated-inference throughput, `images / (tinit + tcomp)` — the
-    /// figure of merit the paper's speedup columns compare. Returns 0.0
-    /// for an empty or zero-time run.
+    /// figure of merit the paper's speedup columns compare.
+    ///
+    /// Returns an explicit 0.0 — never a division by zero or a NaN — for
+    /// degenerate runs: zero images (zero-batch inputs are legal and flow
+    /// through every backend) or zero total time.
     #[must_use]
     pub fn images_per_second(&self) -> f64 {
         let total = self.total();
-        if total > 0.0 {
-            self.images as f64 / total
-        } else {
+        if self.images == 0 || total <= 0.0 {
             0.0
+        } else {
+            self.images as f64 / total
         }
     }
 
@@ -315,6 +318,24 @@ mod tests {
             images: 0,
         };
         assert_eq!(empty.images_per_second(), 0.0);
+    }
+
+    #[test]
+    fn zero_batch_run_reports_zero_throughput() {
+        // A zero-image run is legal (zero-batch inputs flow through every
+        // backend); the throughput must be an explicit 0.0 even though
+        // tinit makes total() positive — not 0/0 or images/0.
+        let (graph, _, ctx) = tiny_setup(Backend::CpuGemm);
+        let empty = axtensor::Tensor::<f32>::zeros(cifar_input_shape(0));
+        let (outputs, report) = run_approx(&graph, std::slice::from_ref(&empty), &ctx).unwrap();
+        assert_eq!(report.images, 0);
+        assert!(report.total() > 0.0, "tinit must still be charged");
+        assert_eq!(report.images_per_second(), 0.0);
+        assert!(report.images_per_second().is_finite());
+        assert_eq!(outputs[0].shape().n, 0);
+        // The rendered report stays well-formed (no NaN -> null surprises
+        // in the throughput field).
+        assert!(report.to_json().contains("\"images_per_second\": 0.0"));
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 #![deny(missing_docs)]
 
-use crate::{runtime, Assignment, AxConv2D, Backend, EmuContext, EmulationReport, Error};
+use crate::{
+    runtime, Assignment, AxConv2D, Backend, EmuContext, EmulationReport, Error, TileConfig,
+};
 use axmult::AxMultiplier;
 use axnn::Graph;
 use axtensor::Tensor;
@@ -39,6 +41,7 @@ pub struct SessionBuilder {
     device: Option<DeviceConfig>,
     chunk_size: Option<usize>,
     threads: Option<usize>,
+    tiles: Option<TileConfig>,
     assignment: Option<Assignment>,
 }
 
@@ -52,6 +55,7 @@ impl SessionBuilder {
             device: None,
             chunk_size: None,
             threads: None,
+            tiles: None,
             assignment: None,
         }
     }
@@ -88,6 +92,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Override the cache-blocking panel sizes of the tiled host LUT-GEMM
+    /// (the [`Backend::CpuGemm`] hot path); zero-sized panels are already
+    /// rejected by [`TileConfig::new`].
+    #[must_use]
+    pub fn tile_config(mut self, tiles: TileConfig) -> Self {
+        self.tiles = Some(tiles);
+        self
+    }
+
     /// Emulate one multiplier in every convolution layer — shorthand for
     /// [`SessionBuilder::assignment`] with [`Assignment::uniform`].
     #[must_use]
@@ -113,6 +126,9 @@ impl SessionBuilder {
         }
         if let Some(threads) = self.threads {
             ctx = ctx.with_threads(threads)?;
+        }
+        if let Some(tiles) = self.tiles {
+            ctx = ctx.with_tile_config(tiles);
         }
         Ok(Arc::new(ctx))
     }

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in README.md and docs/*.md resolve.
+
+External links (http/https/mailto) are skipped; anchors are stripped
+before the path check. Exits non-zero listing every broken link.
+"""
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check(md: pathlib.Path) -> list[str]:
+    broken = []
+    for target in LINK.findall(md.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = (md.parent / target.split("#", 1)[0]).resolve()
+        if not path.exists():
+            broken.append(f"{md}: broken link -> {target}")
+    return broken
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    broken = [b for f in files if f.exists() for b in check(f)]
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"checked {len(files)} files, {len(broken)} broken links")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,6 +100,39 @@ proptest! {
     }
 }
 
+/// The tiled LUT-GEMM shards output rows across the worker pool; the
+/// partition must never leak into the numbers. A whole compiled model run
+/// end-to-end at 1, 2 and 4 host threads — and with non-default tile
+/// sizes — produces bit-identical outputs.
+#[test]
+fn cpu_gemm_sessions_are_thread_and_tile_invariant() {
+    let graph = ResNetConfig::with_depth(8).unwrap().build(11).unwrap();
+    let input: Tensor<f32> = rng::uniform(cifar_input_shape(3), 13, -1.0, 1.0);
+    let infer = |threads: usize, tiles: Option<TileConfig>| {
+        let mut builder = Session::builder()
+            .backend(Backend::CpuGemm)
+            .chunk_size(2)
+            .threads(threads)
+            .multiplier(&rough());
+        if let Some(t) = tiles {
+            builder = builder.tile_config(t);
+        }
+        builder.compile(&graph).unwrap().infer(&input).unwrap()
+    };
+    let reference = infer(1, None);
+    for threads in [2, 4] {
+        assert_eq!(reference, infer(threads, None), "threads {threads} drifted");
+    }
+    let odd_tiles = TileConfig::new(5, 17, 3).unwrap();
+    for threads in [1, 4] {
+        assert_eq!(
+            reference,
+            infer(threads, Some(odd_tiles)),
+            "tile config drifted at threads {threads}"
+        );
+    }
+}
+
 /// `reassign` must not rebuild the plans of unchanged layers. On the
 /// modeled GPU backend every plan build records deterministic
 /// quantization events into the shared context, so the event counter is
