@@ -15,6 +15,7 @@
 
 pub mod conv_engine;
 pub mod json;
+pub mod serve_bench;
 
 /// One row of Table I: (depth, L, MACs ×10⁶, cpu_acc (tinit, tcomp),
 /// gpu_acc, cpu_approx, gpu_approx).

@@ -1,7 +1,8 @@
-//! Bench-smoke: the conv-engine harness runs end to end in quick mode
-//! and its JSON report is well-formed and structurally complete.
+//! Bench-smoke: the conv-engine and serve harnesses run end to end in
+//! quick mode and their JSON reports are well-formed and structurally
+//! complete.
 
-use tfapprox_bench::{conv_engine, json};
+use tfapprox_bench::{conv_engine, json, serve_bench};
 
 #[test]
 fn quick_suite_emits_well_formed_json() {
@@ -59,6 +60,55 @@ fn quick_suite_emits_well_formed_json() {
         "\"speedup_cpu_gemm_vs_cpu_direct\"",
         "\"steady_quantization_s\"",
         "\"phase_fractions\"",
+    ] {
+        assert!(doc.contains(needle), "missing {needle} in report");
+    }
+}
+
+#[test]
+fn quick_serve_suite_emits_well_formed_json() {
+    let report = serve_bench::run_suite(true);
+    assert_eq!(
+        report.samples.len(),
+        serve_bench::CLIENT_SWEEP.len() * serve_bench::BUDGET_SWEEP.len(),
+        "one sample per (clients, budget) point"
+    );
+    assert!(report.serial.images_per_second > 0.0);
+    for s in &report.samples {
+        assert_eq!(s.requests_shed, 0, "sweep queue must be deep enough");
+        assert!(s.requests > 0 && s.images == s.requests * serve_bench::IMAGES_PER_REQUEST as u64);
+        assert!(s.batches >= 1 && s.batches <= s.requests);
+        assert!(s.images_per_second > 0.0);
+        assert!(s.mean_occupancy >= 1.0);
+        if s.max_batch_images == 1 {
+            // Budget 1 forces one batch per request (the single-request
+            // serving baseline the batched points are compared to).
+            assert_eq!(s.batches, s.requests);
+            assert!((s.mean_occupancy - 1.0).abs() < 1e-9);
+        }
+    }
+    // Coalescing must actually happen somewhere in the sweep: at least
+    // one batched point with occupancy above 1.
+    assert!(
+        report
+            .samples
+            .iter()
+            .any(|s| s.max_batch_images > 1 && s.mean_occupancy > 1.0),
+        "no point in the sweep ever coalesced"
+    );
+
+    let doc = serve_bench::report_json(&report, true);
+    json::validate(&doc).expect("BENCH_serve.json must be well-formed JSON");
+    for needle in [
+        "\"schema\": \"tfapprox-bench-serve/1\"",
+        "\"mode\": \"quick\"",
+        "\"serial\"",
+        "\"cases\"",
+        "\"max_batch_images\"",
+        "\"mean_occupancy\"",
+        "\"requests_shed\"",
+        "\"images_per_second\"",
+        "\"speedup_vs_single_request\"",
     ] {
         assert!(doc.contains(needle), "missing {needle} in report");
     }

@@ -281,6 +281,16 @@ impl AxConv2D {
     ) -> Result<Tensor<f32>, EmuError> {
         backend::validate_range(lo, hi)?;
         self.validate_filter_weights()?;
+        if input.shape().n == 0 {
+            // Zero images: nothing to compute, so build (and charge)
+            // nothing — in particular not the one-off plan, which would
+            // otherwise make a zero-image run report differently from a
+            // run with no batches at all.
+            let out_shape = self
+                .geometry
+                .output_shape(input.shape(), self.filter.shape())?;
+            return Ok(Tensor::zeros(out_shape));
+        }
         let (plan, built) = self.plan();
         let spec = self.spec_with_plan(&plan, lo, hi);
         let (out, mut profile) = match self.ctx.backend() {
@@ -439,6 +449,25 @@ mod tests {
             (diff - charge).abs() < 1e-12,
             "diff {diff} vs one-off charge {charge}"
         );
+    }
+
+    #[test]
+    fn zero_image_forward_builds_and_charges_no_plan() {
+        // Regression (PR 5): a zero-image forward used to build the
+        // prepared plan and charge its one-off quantization cost, making
+        // a zero-image `infer_batches` report differ from an empty one.
+        for backend in [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim] {
+            let (layer, _) = make(backend, MulLut::exact(Signedness::Signed));
+            let empty = Tensor::<f32>::zeros(Shape4::new(0, 6, 6, 3));
+            let out = layer.convolve(&empty).unwrap();
+            assert_eq!(out.shape(), Shape4::new(0, 6, 6, 4), "{backend:?}");
+            assert!(!layer.is_prepared(), "{backend:?} built a plan for nothing");
+            assert_eq!(
+                layer.context().profile().total(),
+                0.0,
+                "{backend:?} charged time for zero images"
+            );
+        }
     }
 
     #[test]

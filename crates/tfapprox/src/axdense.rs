@@ -176,6 +176,12 @@ impl AxDense {
         }
         let (lo, hi) = ops::min_max(input);
         backend::validate_range(lo, hi)?;
+        if s.n == 0 {
+            // Zero rows: compute (and charge) nothing — not even the
+            // one-off plan build — so zero-image runs report exactly
+            // like runs with no batches (see `AxConv2D`).
+            return Ok(Tensor::zeros(Shape4::new(0, 1, 1, self.out_features)));
+        }
         let input_q = QuantParams::from_range(lo, hi, self.quant_range(), self.round);
         let weight_q = self.weight_quant();
         let (plan, built) = self.plan();

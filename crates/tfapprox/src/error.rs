@@ -60,9 +60,10 @@ impl From<axmult::MultError> for EmuError {
 /// emulation configuration ([`EmuError`], which also carries quantization
 /// failures as its `Config` variant), graph construction/execution
 /// ([`axnn::NnError`]), multiplier-catalog lookups
-/// ([`axmult::MultError`]), and tensor/shape errors
-/// ([`axtensor::TensorError`]) — converts into this one type via `From`,
-/// so `?` works uniformly at every call site.
+/// ([`axmult::MultError`]), tensor/shape errors
+/// ([`axtensor::TensorError`]), and serving-engine rejections
+/// ([`crate::serve::ServeError`]) — converts into this one type via
+/// `From`, so `?` works uniformly at every call site.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum Error {
@@ -76,6 +77,10 @@ pub enum Error {
     Tensor(axtensor::TensorError),
     /// An invalid session configuration.
     Config(String),
+    /// A serving-engine rejection (backpressure shed, shutdown, or a
+    /// failed batch) — every request outcome is explicit, never a silent
+    /// drop.
+    Serve(crate::serve::ServeError),
 }
 
 impl fmt::Display for Error {
@@ -86,6 +91,7 @@ impl fmt::Display for Error {
             Error::Mult(e) => write!(f, "multiplier error: {e}"),
             Error::Tensor(e) => write!(f, "tensor error: {e}"),
             Error::Config(msg) => write!(f, "session configuration error: {msg}"),
+            Error::Serve(e) => write!(f, "serving error: {e}"),
         }
     }
 }
@@ -98,7 +104,14 @@ impl std::error::Error for Error {
             Error::Mult(e) => Some(e),
             Error::Tensor(e) => Some(e),
             Error::Config(_) => None,
+            Error::Serve(e) => Some(e),
         }
+    }
+}
+
+impl From<crate::serve::ServeError> for Error {
+    fn from(e: crate::serve::ServeError) -> Self {
+        Error::Serve(e)
     }
 }
 

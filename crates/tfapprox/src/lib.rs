@@ -23,6 +23,10 @@
 //!   [`Session::reassign`] — the design-space hot path that recompiles
 //!   while reusing the cached plans of unchanged layers,
 //! - [`Error`]: the one error type every session operation returns,
+//! - [`serve`]: the serving layer — [`ServeEngine`] wraps an
+//!   `Arc<Session>` behind a bounded submission queue with dynamic
+//!   micro-batching, per-shard workers, explicit backpressure, and
+//!   bit-identical-to-solo responses,
 //! - [`prelude`]: one `use tfapprox::prelude::*` for all of the above.
 //!
 //! Underneath sit the operator and engine layers:
@@ -83,6 +87,7 @@ pub mod kernel;
 pub mod perfmodel;
 pub mod pool;
 pub mod prepared;
+pub mod serve;
 pub mod session;
 
 // The pre-session free-function surface. Kept public so the equivalence
@@ -105,6 +110,7 @@ pub use kernel::TileConfig;
 pub use pool::WorkerPool;
 pub use prepared::PreparedFilter;
 pub use runtime::{run_accurate_cpu, EmulationReport};
+pub use serve::{ServeConfig, ServeEngine, ServeError, ServeStats, Ticket};
 pub use session::{Session, SessionBuilder};
 
 /// Everything a session-driven caller needs, in one import.
@@ -114,11 +120,13 @@ pub use session::{Session, SessionBuilder};
 /// let _ = Session::builder().backend(Backend::CpuGemm);
 /// ```
 pub mod prelude {
+    pub use crate::accumulator::Accumulator;
     pub use crate::assignment::Assignment;
     pub use crate::context::{Backend, EmuContext};
     pub use crate::error::Error;
     pub use crate::kernel::TileConfig;
     pub use crate::runtime::EmulationReport;
+    pub use crate::serve::{ServeConfig, ServeEngine, ServeStats};
     pub use crate::session::{Session, SessionBuilder};
     pub use axmult::AxMultiplier;
 }

@@ -75,6 +75,25 @@ impl WorkerPool {
         self.threads
     }
 
+    /// Enqueue one `'static` job without waiting for it — the
+    /// fire-and-forget counterpart of [`WorkerPool::run`], used by
+    /// long-lived residents such as the [`crate::serve::ServeEngine`]
+    /// shard loops. A panicking job is caught so the worker thread stays
+    /// alive for subsequent submissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool has already been shut down.
+    pub fn submit(&self, job: Box<dyn FnOnce() + Send + 'static>) {
+        let mut queue = self.state.queue.lock().expect("pool queue");
+        assert!(!queue.shutdown, "worker pool already shut down");
+        queue.jobs.push_back(Box::new(move || {
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }));
+        drop(queue);
+        self.state.work_cv.notify_one();
+    }
+
     /// Execute every job in `jobs` on the pool, blocking until all have
     /// finished. Jobs may borrow from the caller's stack: because this
     /// method does not return before the last job completes, no borrow
@@ -220,6 +239,34 @@ mod tests {
     fn zero_thread_request_still_works() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.threads(), 1);
+        let ran = AtomicBool::new(false);
+        pool.run(vec![
+            Box::new(|| ran.store(true, Ordering::SeqCst)) as Box<dyn FnOnce() + Send + '_>
+        ]);
+        assert!(ran.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn submit_runs_detached_jobs() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = std::sync::mpsc::channel();
+        for i in 0..8 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || tx.send(i).expect("send result")));
+        }
+        let mut got: Vec<i32> = (0..8).map(|_| rx.recv().expect("job ran")).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn submitted_panic_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1);
+        pool.submit(Box::new(|| panic!("boom")));
+        // The single worker caught the panic and still serves both APIs.
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit(Box::new(move || tx.send(42u8).expect("send")));
+        assert_eq!(rx.recv().expect("worker alive"), 42);
         let ran = AtomicBool::new(false);
         pool.run(vec![
             Box::new(|| ran.store(true, Ordering::SeqCst)) as Box<dyn FnOnce() + Send + '_>

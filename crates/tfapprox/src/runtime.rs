@@ -145,6 +145,14 @@ pub fn gpu_init_seconds(ctx: &EmuContext, dataset_bytes: u64) -> f64 {
 /// simulated GPU it is the modeled time accumulated in the context's
 /// profile plus a DRAM charge for the non-convolution layers.
 ///
+/// Zero-image runs are legal in **both** shapes — an empty `batches`
+/// list and a list of zero-image batch tensors — and behave the same:
+/// `outputs` always holds exactly one (possibly shaped-empty) tensor per
+/// input batch, the report carries `images == 0` with an explicit 0.0
+/// throughput, and `tinit` is still charged (on the modeled GPU backend
+/// the two shapes produce bit-identical reports; on CPU backends `tcomp`
+/// is wall-clock and differs only by measurement noise).
+///
 /// The first batch of the first run additionally pays each layer's
 /// prepared-plan build (one-off filter quantization, charged to the
 /// Quantization phase); subsequent runs over the same graph reuse the
@@ -194,6 +202,11 @@ pub fn run_approx(
         }
     };
     profile.add(Phase::Init, tinit);
+    debug_assert_eq!(
+        outputs.len(),
+        batches.len(),
+        "one output per input batch, even for zero-image batches"
+    );
     Ok((
         outputs,
         EmulationReport {
@@ -336,6 +349,49 @@ mod tests {
         // The rendered report stays well-formed (no NaN -> null surprises
         // in the throughput field).
         assert!(report.to_json().contains("\"images_per_second\": 0.0"));
+    }
+
+    #[test]
+    fn empty_batch_list_matches_zero_batch_tensor() {
+        // The two zero-image shapes — no batches at all, and batches with
+        // zero images — must report identically. The modeled GPU backend
+        // is deterministic, so the comparison is exact.
+        let (graph, _, ctx) = tiny_setup(Backend::GpuSim);
+        let (none_out, none) = run_approx(&graph, &[], &ctx).unwrap();
+        let zero = Tensor::<f32>::zeros(cifar_input_shape(0));
+        let (zero_out, zeroed) = run_approx(&graph, std::slice::from_ref(&zero), &ctx).unwrap();
+
+        // One output per input batch, shaped-empty where the batch was.
+        assert!(none_out.is_empty());
+        assert_eq!(zero_out.len(), 1);
+        assert_eq!(zero_out[0].shape().n, 0);
+
+        for (report, label) in [(&none, "empty list"), (&zeroed, "zero tensor")] {
+            assert_eq!(report.images, 0, "{label}");
+            assert_eq!(report.images_per_second(), 0.0, "{label}");
+            assert!(report.tinit > 0.0, "{label}: tinit still charged");
+        }
+        assert_eq!(none.tinit, zeroed.tinit);
+        assert_eq!(none.tcomp, zeroed.tcomp);
+        for p in Phase::all() {
+            assert_eq!(
+                none.profile.seconds(p),
+                zeroed.profile.seconds(p),
+                "phase {p:?} differs between empty-list and zero-tensor"
+            );
+        }
+        assert_eq!(none.to_json(), zeroed.to_json());
+    }
+
+    #[test]
+    fn empty_batch_list_on_cpu_reports_zero_images() {
+        let (graph, _, ctx) = tiny_setup(Backend::CpuGemm);
+        let (outputs, report) = run_approx(&graph, &[], &ctx).unwrap();
+        assert!(outputs.is_empty());
+        assert_eq!(report.images, 0);
+        assert_eq!(report.images_per_second(), 0.0);
+        assert_eq!(report.tinit, CPU_INIT_S);
+        assert!(report.to_json().contains("\"images\": 0"));
     }
 
     #[test]

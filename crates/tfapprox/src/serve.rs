@@ -1,0 +1,824 @@
+//! The serving layer: a batched throughput engine over a compiled
+//! [`Session`].
+//!
+//! PRs 2–4 made one `Session::infer` call fast; this module lets many
+//! concurrent callers share that speed. A [`ServeEngine`] wraps an
+//! `Arc<Session>` behind a bounded submission queue: requests arriving
+//! within a configurable window/size budget are coalesced into one
+//! micro-batch, executed through **one** [`Session::infer_batches`] call
+//! by a shard worker, and split back into per-request responses delivered
+//! over oneshot channels. The queue is bounded with an explicit
+//! backpressure error ([`ServeError::Overloaded`]) — a request is never
+//! silently dropped.
+//!
+//! # Determinism
+//!
+//! A request's output is **bit-identical** whether it ran solo, in any
+//! batch composition, or on any shard. This is by construction: a
+//! micro-batch keeps one tensor per request and `infer_batches` runs the
+//! graph once per tensor, so each request sees exactly the forward pass
+//! `Session::infer` would have given it. Requests are deliberately *not*
+//! fused into one batch tensor: the transformed graph's `Min`/`Max`
+//! observers reduce over the whole input tensor ("determined once per a
+//! batch"), so fusing two callers' data would cross-contaminate their
+//! quantization ranges and change their bits.
+
+#![deny(missing_docs)]
+
+use crate::pool::WorkerPool;
+use crate::{Error, Session};
+use axtensor::Tensor;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One queue-poll tick: how long a shard worker holding a partial batch
+/// waits for further arrivals before re-checking the queue.
+/// [`ServeConfig::flush_ticks`] is expressed in multiples of this.
+pub const QUEUE_POLL_TICK: Duration = Duration::from_micros(200);
+
+/// A serving-engine rejection. Every request outcome is explicit: a
+/// request is either answered with its output tensor or with one of these
+/// errors — never silently dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The bounded submission queue was full — the request was shed at
+    /// submission time (explicit backpressure). Carries the configured
+    /// queue depth the caller collided with.
+    Overloaded {
+        /// The configured [`ServeConfig::queue_depth`] that was full.
+        depth: usize,
+    },
+    /// The engine is shutting down and no longer accepts submissions.
+    ShuttingDown,
+    /// The batch this request was part of failed to execute, or the
+    /// response channel was severed; the message carries the underlying
+    /// failure.
+    Failed(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "request shed: submission queue full ({depth} requests)")
+            }
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Failed(msg) => write!(f, "batch execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Configuration of a [`ServeEngine`].
+///
+/// # Example
+///
+/// ```
+/// use tfapprox::serve::ServeConfig;
+/// let cfg = ServeConfig::new()
+///     .with_max_batch_images(16)
+///     .with_flush_ticks(2)
+///     .with_shards(2)
+///     .with_queue_depth(512);
+/// assert_eq!(cfg.max_batch_images(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    max_batch_images: usize,
+    flush_ticks: usize,
+    shards: usize,
+    queue_depth: usize,
+}
+
+impl ServeConfig {
+    /// The default configuration: up to 32 images per micro-batch, a
+    /// 2-tick flush window, one shard, and a 256-request queue.
+    #[must_use]
+    pub fn new() -> Self {
+        ServeConfig {
+            max_batch_images: 32,
+            flush_ticks: 2,
+            shards: 1,
+            queue_depth: 256,
+        }
+    }
+
+    /// Image budget of one micro-batch: a shard stops coalescing once the
+    /// batch holds at least this many images. A single request larger
+    /// than the budget still runs (as a batch of its own).
+    #[must_use]
+    pub fn with_max_batch_images(mut self, max_batch_images: usize) -> Self {
+        self.max_batch_images = max_batch_images;
+        self
+    }
+
+    /// Flush window, in queue-poll ticks of [`QUEUE_POLL_TICK`]: how many
+    /// ticks a shard holding a partial batch waits for further arrivals
+    /// before flushing it. `0` flushes as soon as the queue runs dry.
+    #[must_use]
+    pub fn with_flush_ticks(mut self, flush_ticks: usize) -> Self {
+        self.flush_ticks = flush_ticks;
+        self
+    }
+
+    /// Number of shard workers forming and executing micro-batches
+    /// concurrently (each holds the shared session; outputs are
+    /// shard-invariant).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Bound of the submission queue, in requests. Submissions beyond it
+    /// are shed with [`ServeError::Overloaded`].
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// The micro-batch image budget.
+    #[must_use]
+    pub fn max_batch_images(&self) -> usize {
+        self.max_batch_images
+    }
+
+    /// The flush window in queue-poll ticks.
+    #[must_use]
+    pub fn flush_ticks(&self) -> usize {
+        self.flush_ticks
+    }
+
+    /// The shard-worker count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The submission-queue bound in requests.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Reject configurations that would deadlock or process nothing.
+    fn validate(&self) -> Result<(), Error> {
+        if self.max_batch_images == 0 {
+            return Err(Error::Config(
+                "serve max_batch_images must be positive (got 0)".to_owned(),
+            ));
+        }
+        if self.shards == 0 {
+            return Err(Error::Config(
+                "serve shards must be positive (got 0)".to_owned(),
+            ));
+        }
+        if self.queue_depth == 0 {
+            return Err(Error::Config(
+                "serve queue_depth must be positive (got 0)".to_owned(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time snapshot of the engine's counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeStats {
+    /// Micro-batches formed and executed.
+    pub batches: u64,
+    /// Requests answered (successfully or with a batch failure).
+    pub requests: u64,
+    /// Images answered across all requests.
+    pub images: u64,
+    /// Requests shed at submission time (queue full).
+    pub shed: u64,
+    /// Mean requests per micro-batch (`requests / batches`; 0.0 before
+    /// the first batch). Occupancy above 1 means coalescing is happening.
+    pub mean_occupancy: f64,
+    /// Sustained serving throughput: images answered per second of shard
+    /// busy time (time spent inside `infer_batches`, summed over shards).
+    /// Idle gaps between batches do not dilute it.
+    pub images_per_second: f64,
+}
+
+/// One queued request: the input tensor and the oneshot responder.
+struct Request {
+    input: Tensor<f32>,
+    responder: mpsc::SyncSender<Result<Tensor<f32>, Error>>,
+}
+
+struct ServeQueue {
+    requests: VecDeque<Request>,
+    shutdown: bool,
+}
+
+/// State shared between the engine handle and its shard workers.
+struct Shared {
+    session: Arc<Session>,
+    config: ServeConfig,
+    queue: Mutex<ServeQueue>,
+    arrival: Condvar,
+    batches: AtomicU64,
+    requests: AtomicU64,
+    images: AtomicU64,
+    shed: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+impl Shared {
+    /// Form the next micro-batch: pop a first request, then coalesce
+    /// further arrivals until the image budget is met or the flush window
+    /// expires. Returns `None` when the engine is shut down *and* the
+    /// queue is drained — pending requests are always served first.
+    fn next_batch(&self) -> Option<Vec<Request>> {
+        let mut q = self.queue.lock().expect("serve queue");
+        loop {
+            if let Some(first) = q.requests.pop_front() {
+                let mut images = first.input.shape().n;
+                let mut batch = vec![first];
+                let mut ticks_left = self.config.flush_ticks;
+                while images < self.config.max_batch_images {
+                    if let Some(next) = q.requests.pop_front() {
+                        images += next.input.shape().n;
+                        batch.push(next);
+                        continue;
+                    }
+                    if ticks_left == 0 || q.shutdown {
+                        break;
+                    }
+                    let (guard, timeout) = self
+                        .arrival
+                        .wait_timeout(q, QUEUE_POLL_TICK)
+                        .expect("serve wait");
+                    q = guard;
+                    if timeout.timed_out() {
+                        ticks_left -= 1;
+                    }
+                }
+                return Some(batch);
+            }
+            if q.shutdown {
+                return None;
+            }
+            q = self.arrival.wait(q).expect("serve wait");
+        }
+    }
+
+    /// Run one micro-batch through the session and deliver per-request
+    /// responses. A failed — or even panicking — batch answers every
+    /// member with [`ServeError::Failed`] and leaves the shard alive for
+    /// the next batch: never a silent drop, never a dead engine.
+    fn execute(&self, batch: Vec<Request>) {
+        let (inputs, responders): (Vec<Tensor<f32>>, Vec<_>) =
+            batch.into_iter().map(|r| (r.input, r.responder)).unzip();
+        let images: usize = inputs.iter().map(|t| t.shape().n).sum();
+        let t0 = Instant::now();
+        // A panic escaping here would unwind the whole shard loop: the
+        // pool's catch would keep the *thread* alive but the loop job
+        // would be gone, and with one shard every later accepted request
+        // would hang forever. Contain it at the batch boundary instead.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.session.infer_batches(&inputs)
+        }));
+        self.busy_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.requests
+            .fetch_add(responders.len() as u64, Ordering::Relaxed);
+        self.images.fetch_add(images as u64, Ordering::Relaxed);
+        match result {
+            Ok(Ok((outputs, _report))) => {
+                debug_assert_eq!(outputs.len(), responders.len());
+                for (out, tx) in outputs.into_iter().zip(responders) {
+                    // A dropped Ticket is the receiver's choice, not a
+                    // lost response; ignore the send error.
+                    let _ = tx.send(Ok(out));
+                }
+            }
+            Ok(Err(e)) => {
+                let msg = e.to_string();
+                for tx in responders {
+                    let _ = tx.send(Err(ServeError::Failed(msg.clone()).into()));
+                }
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "batch execution panicked".to_owned());
+                let msg = format!("panic: {msg}");
+                for tx in responders {
+                    let _ = tx.send(Err(ServeError::Failed(msg.clone()).into()));
+                }
+            }
+        }
+    }
+
+    fn shard_loop(&self) {
+        while let Some(batch) = self.next_batch() {
+            self.execute(batch);
+        }
+    }
+}
+
+/// A pending response: wait on it to receive the request's output.
+///
+/// Each submitted request gets exactly one ticket and each ticket
+/// resolves exactly once — to the output tensor or to an explicit
+/// [`ServeError`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Tensor<f32>, Error>>,
+}
+
+impl Ticket {
+    /// Block until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's explicit per-request error — a failed batch,
+    /// or a severed response channel (a shard panicked mid-batch).
+    pub fn wait(self) -> Result<Tensor<f32>, Error> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(ServeError::Failed("response channel severed".into()).into()))
+    }
+
+    /// Block until the response arrives or `timeout` elapses (useful for
+    /// watchdogs around the engine).
+    ///
+    /// # Errors
+    ///
+    /// As [`Ticket::wait`], or [`ServeError::Failed`] on timeout.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Tensor<f32>, Error> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                Err(ServeError::Failed(format!("no response within {timeout:?}")).into())
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(ServeError::Failed("response channel severed".into()).into())
+            }
+        }
+    }
+}
+
+/// A multi-threaded serving engine over a compiled [`Session`].
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use tfapprox::prelude::*;
+/// use tfapprox::serve::{ServeConfig, ServeEngine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = axnn::resnet::ResNetConfig::with_depth(8)?.build(42)?;
+/// let mult = axmult::catalog::by_name("mul8s_exact")?;
+/// let session = Arc::new(
+///     Session::builder()
+///         .backend(Backend::CpuGemm)
+///         .multiplier(&mult)
+///         .compile(&graph)?,
+/// );
+/// let engine = ServeEngine::new(Arc::clone(&session), ServeConfig::new())?;
+///
+/// let input = axtensor::rng::uniform(axnn::resnet::cifar_input_shape(1), 7, -1.0, 1.0);
+/// let served = engine.infer(input.clone())?;
+/// assert_eq!(served, session.infer(&input)?); // bit-identical to solo
+/// # Ok(())
+/// # }
+/// ```
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    /// The shard workers live on a dedicated pool; `Drop` shuts the queue
+    /// down first, so the pool's own shutdown can join them.
+    pool: WorkerPool,
+}
+
+impl fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("config", &self.shared.config)
+            .field("shards", &self.pool.threads())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeEngine {
+    /// Start the engine: validate `config` and launch its shard workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for a zero batch budget, shard count, or
+    /// queue depth.
+    pub fn new(session: Arc<Session>, config: ServeConfig) -> Result<Self, Error> {
+        config.validate()?;
+        let shared = Arc::new(Shared {
+            session,
+            config,
+            queue: Mutex::new(ServeQueue {
+                requests: VecDeque::new(),
+                shutdown: false,
+            }),
+            arrival: Condvar::new(),
+            batches: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            images: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+        });
+        let pool = WorkerPool::new(config.shards);
+        for _ in 0..config.shards {
+            let shard = Arc::clone(&shared);
+            pool.submit(Box::new(move || shard.shard_loop()));
+        }
+        Ok(ServeEngine { shared, pool })
+    }
+
+    /// The configuration the engine runs with.
+    #[must_use]
+    pub fn config(&self) -> ServeConfig {
+        self.shared.config
+    }
+
+    /// The compiled session the engine serves.
+    #[must_use]
+    pub fn session(&self) -> &Arc<Session> {
+        &self.shared.session
+    }
+
+    /// Submit one request (a batch tensor of zero or more images) and get
+    /// a [`Ticket`] for its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Overloaded`] (wrapped in [`Error::Serve`])
+    /// if the bounded queue is full — explicit backpressure at submission
+    /// time — or [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, input: Tensor<f32>) -> Result<Ticket, Error> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut q = self.shared.queue.lock().expect("serve queue");
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown.into());
+            }
+            if q.requests.len() >= self.shared.config.queue_depth {
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    depth: self.shared.config.queue_depth,
+                }
+                .into());
+            }
+            q.requests.push_back(Request {
+                input,
+                responder: tx,
+            });
+        }
+        self.shared.arrival.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// Submit one request and block for its response — the synchronous
+    /// convenience over [`ServeEngine::submit`] + [`Ticket::wait`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::submit`] and [`Ticket::wait`].
+    pub fn infer(&self, input: Tensor<f32>) -> Result<Tensor<f32>, Error> {
+        self.submit(input)?.wait()
+    }
+
+    /// Snapshot the engine's counters.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        let batches = self.shared.batches.load(Ordering::Relaxed);
+        let requests = self.shared.requests.load(Ordering::Relaxed);
+        let images = self.shared.images.load(Ordering::Relaxed);
+        let busy_s = self.shared.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        ServeStats {
+            batches,
+            requests,
+            images,
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            mean_occupancy: if batches == 0 {
+                0.0
+            } else {
+                requests as f64 / batches as f64
+            },
+            images_per_second: if busy_s > 0.0 {
+                images as f64 / busy_s
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    /// Graceful shutdown: refuse new submissions, let the shard workers
+    /// drain and answer every pending request, then join them (via the
+    /// pool's own shutdown, which runs after this body).
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("serve queue");
+            q.shutdown = true;
+        }
+        self.shared.arrival.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, Session};
+    use axnn::layers::{Conv2D, ReLU};
+    use axnn::Graph;
+    use axtensor::{rng, ConvGeometry, FilterShape, Shape4};
+
+    /// A tiny two-conv graph: fast enough for debug-mode tests while
+    /// still exercising the transform (two AxConv2D + observers).
+    fn tiny_session() -> Arc<Session> {
+        let mut g = Graph::new();
+        let x = g.input();
+        let f1 = rng::uniform_filter(FilterShape::new(3, 3, 2, 3), 11, -0.5, 0.5);
+        let c1 = g
+            .add(
+                "conv1",
+                Arc::new(Conv2D::new(f1, ConvGeometry::default())),
+                &[x],
+            )
+            .unwrap();
+        let r1 = g.add("relu1", Arc::new(ReLU::new()), &[c1]).unwrap();
+        let f2 = rng::uniform_filter(FilterShape::new(3, 3, 3, 2), 12, -0.5, 0.5);
+        let c2 = g
+            .add(
+                "conv2",
+                Arc::new(Conv2D::new(f2, ConvGeometry::default())),
+                &[r1],
+            )
+            .unwrap();
+        g.set_output(c2).unwrap();
+        let mult = axmult::catalog::by_name("mul8s_exact").unwrap();
+        Arc::new(
+            Session::builder()
+                .backend(Backend::CpuGemm)
+                .chunk_size(4)
+                .threads(2)
+                .multiplier(&mult)
+                .compile(&g)
+                .unwrap(),
+        )
+    }
+
+    fn input(seed: u64, n: usize) -> Tensor<f32> {
+        rng::uniform(Shape4::new(n, 5, 5, 2), seed, -1.0, 1.0)
+    }
+
+    #[test]
+    fn config_validation_rejects_zeros() {
+        let session = tiny_session();
+        for cfg in [
+            ServeConfig::new().with_max_batch_images(0),
+            ServeConfig::new().with_shards(0),
+            ServeConfig::new().with_queue_depth(0),
+        ] {
+            let err = ServeEngine::new(Arc::clone(&session), cfg).unwrap_err();
+            assert!(matches!(err, Error::Config(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn served_response_is_bit_identical_to_solo_infer() {
+        let session = tiny_session();
+        let engine = ServeEngine::new(Arc::clone(&session), ServeConfig::new()).unwrap();
+        for seed in 0..4 {
+            let x = input(seed, 2);
+            let served = engine.infer(x.clone()).unwrap();
+            assert_eq!(served, session.infer(&x).unwrap(), "seed {seed}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.images, 8);
+        assert_eq!(stats.shed, 0);
+        assert!(stats.batches >= 1);
+        assert!(stats.images_per_second > 0.0);
+    }
+
+    #[test]
+    fn coalescing_batches_queued_requests() {
+        let session = tiny_session();
+        // One shard and a generous flush window: requests submitted
+        // before the first wait elapses coalesce into few batches.
+        let engine = ServeEngine::new(
+            Arc::clone(&session),
+            ServeConfig::new()
+                .with_max_batch_images(8)
+                .with_flush_ticks(50),
+        )
+        .unwrap();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|s| engine.submit(input(s, 1)).unwrap())
+            .collect();
+        for (s, t) in tickets.into_iter().enumerate() {
+            let out = t.wait().unwrap();
+            assert_eq!(out, session.infer(&input(s as u64, 1)).unwrap());
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 8);
+        assert!(
+            stats.batches < 8,
+            "expected coalescing, got {} batches for 8 requests",
+            stats.batches
+        );
+        assert!(stats.mean_occupancy > 1.0);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_explicit_error() {
+        let session = tiny_session();
+        let engine = ServeEngine::new(
+            Arc::clone(&session),
+            ServeConfig::new()
+                .with_queue_depth(2)
+                .with_max_batch_images(1)
+                .with_shards(1),
+        )
+        .unwrap();
+        // A large first request keeps the single shard busy while the
+        // queue fills behind it.
+        let busy = engine.submit(input(99, 32)).unwrap();
+        let mut held = Vec::new();
+        let mut shed = 0usize;
+        for s in 0..12 {
+            match engine.submit(input(s, 1)) {
+                Ok(t) => held.push((s, t)),
+                Err(Error::Serve(ServeError::Overloaded { depth })) => {
+                    assert_eq!(depth, 2);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(shed > 0, "queue depth 2 must shed under a burst of 12");
+        assert!(engine.stats().shed >= shed as u64);
+        // Every accepted request still resolves, bit-identically.
+        assert!(busy.wait().is_ok());
+        for (s, t) in held {
+            assert_eq!(t.wait().unwrap(), session.infer(&input(s, 1)).unwrap());
+        }
+    }
+
+    #[test]
+    fn drop_drains_pending_requests() {
+        let session = tiny_session();
+        let engine = ServeEngine::new(
+            Arc::clone(&session),
+            ServeConfig::new().with_max_batch_images(4),
+        )
+        .unwrap();
+        let tickets: Vec<(u64, Ticket)> = (0..6)
+            .map(|s| (s, engine.submit(input(s, 1)).unwrap()))
+            .collect();
+        drop(engine); // graceful: answers everything before joining
+        for (s, t) in tickets {
+            assert_eq!(t.wait().unwrap(), session.infer(&input(s, 1)).unwrap());
+        }
+    }
+
+    #[test]
+    fn zero_image_request_resolves_with_shaped_empty_output() {
+        let session = tiny_session();
+        let engine = ServeEngine::new(Arc::clone(&session), ServeConfig::new()).unwrap();
+        let out = engine.infer(input(1, 0)).unwrap();
+        assert_eq!(out.shape().n, 0);
+        assert_eq!(out, session.infer(&input(1, 0)).unwrap());
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.images, 0);
+    }
+
+    #[test]
+    fn oversized_request_still_runs_as_its_own_batch() {
+        let session = tiny_session();
+        let engine = ServeEngine::new(
+            Arc::clone(&session),
+            ServeConfig::new().with_max_batch_images(2),
+        )
+        .unwrap();
+        let x = input(5, 7); // far over the 2-image budget
+        assert_eq!(engine.infer(x.clone()).unwrap(), session.infer(&x).unwrap());
+    }
+
+    #[test]
+    fn failed_batch_answers_every_member_and_engine_survives() {
+        let session = tiny_session();
+        let engine = ServeEngine::new(
+            Arc::clone(&session),
+            ServeConfig::new()
+                .with_shards(1)
+                .with_max_batch_images(8)
+                .with_flush_ticks(20),
+        )
+        .unwrap();
+        // A request whose channel count mismatches the graph: the whole
+        // micro-batch it lands in fails, and every member must hear so.
+        let bad = Tensor::<f32>::zeros(Shape4::new(1, 5, 5, 7));
+        let t_bad = engine.submit(bad).unwrap();
+        let err = t_bad.wait().unwrap_err();
+        assert!(matches!(err, Error::Serve(ServeError::Failed(_))), "{err}");
+        // The single shard is still alive and serving correctly.
+        let x = input(21, 2);
+        assert_eq!(engine.infer(x.clone()).unwrap(), session.infer(&x).unwrap());
+    }
+
+    #[test]
+    fn panicking_batch_answers_failed_and_engine_survives() {
+        use axnn::layer::Layer;
+        use axnn::NnError;
+
+        /// A layer that panics when any forwarded tensor holds a negative
+        /// value — a stand-in for an internal invariant violation.
+        #[derive(Debug)]
+        struct PanicOnNegative;
+        impl Layer for PanicOnNegative {
+            fn op_name(&self) -> &str {
+                "PanicOnNegative"
+            }
+            fn output_shape(&self, inputs: &[Shape4]) -> Result<Shape4, NnError> {
+                Ok(inputs[0])
+            }
+            fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError> {
+                assert!(
+                    inputs[0].as_slice().iter().all(|&v| v >= 0.0),
+                    "negative activation"
+                );
+                Ok(inputs[0].clone())
+            }
+        }
+
+        let mut g = Graph::new();
+        let x = g.input();
+        let trap = g.add("trap", Arc::new(PanicOnNegative), &[x]).unwrap();
+        let f = rng::uniform_filter(FilterShape::new(3, 3, 2, 2), 5, -0.5, 0.5);
+        let c = g
+            .add(
+                "conv",
+                Arc::new(Conv2D::new(f, ConvGeometry::default())),
+                &[trap],
+            )
+            .unwrap();
+        g.set_output(c).unwrap();
+        let mult = axmult::catalog::by_name("mul8s_exact").unwrap();
+        let session = Arc::new(
+            Session::builder()
+                .backend(Backend::CpuGemm)
+                .multiplier(&mult)
+                .compile(&g)
+                .unwrap(),
+        );
+        let engine =
+            ServeEngine::new(Arc::clone(&session), ServeConfig::new().with_shards(1)).unwrap();
+
+        // A panicking batch must answer with an explicit Failed error…
+        let poison = Tensor::<f32>::full(Shape4::new(1, 5, 5, 2), -1.0);
+        let err = engine.infer(poison).unwrap_err();
+        match &err {
+            Error::Serve(ServeError::Failed(msg)) => {
+                assert!(msg.contains("panic"), "{msg}")
+            }
+            other => panic!("expected Failed, got {other}"),
+        }
+        // …and the single shard must keep serving afterwards.
+        let ok = Tensor::<f32>::full(Shape4::new(1, 5, 5, 2), 0.5);
+        assert_eq!(
+            engine.infer(ok.clone()).unwrap(),
+            session.infer(&ok).unwrap()
+        );
+    }
+
+    #[test]
+    fn serve_error_display_names_the_cause() {
+        assert!(ServeError::Overloaded { depth: 8 }
+            .to_string()
+            .contains("queue full (8"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+        let e: Error = ServeError::Failed("boom".into()).into();
+        assert!(e.to_string().contains("boom"), "{e}");
+    }
+}

@@ -3,7 +3,8 @@
 #![deny(missing_docs)]
 
 use crate::{
-    runtime, Assignment, AxConv2D, Backend, EmuContext, EmulationReport, Error, TileConfig,
+    runtime, Accumulator, Assignment, AxConv2D, Backend, EmuContext, EmulationReport, Error,
+    TileConfig,
 };
 use axmult::AxMultiplier;
 use axnn::Graph;
@@ -43,6 +44,7 @@ pub struct SessionBuilder {
     threads: Option<usize>,
     tiles: Option<TileConfig>,
     assignment: Option<Assignment>,
+    accumulator: Accumulator,
 }
 
 impl SessionBuilder {
@@ -57,6 +59,7 @@ impl SessionBuilder {
             threads: None,
             tiles: None,
             assignment: None,
+            accumulator: Accumulator::default(),
         }
     }
 
@@ -98,6 +101,16 @@ impl SessionBuilder {
     #[must_use]
     pub fn tile_config(mut self, tiles: TileConfig) -> Self {
         self.tiles = Some(tiles);
+        self
+    }
+
+    /// Set the MAC accumulator model of every emulated convolution (CPU
+    /// backends; the simulated GPU accumulates in 32-bit float like the
+    /// paper's kernel and ignores this knob). Default:
+    /// [`Accumulator::Exact`].
+    #[must_use]
+    pub fn accumulator(mut self, accumulator: Accumulator) -> Self {
+        self.accumulator = accumulator;
         self
     }
 
@@ -153,8 +166,11 @@ impl SessionBuilder {
         })?;
         let ctx = self.build_context()?;
         let mults = assignment.resolve(graph.conv_layer_count())?;
+        let accumulator = self.accumulator;
         let (transformed, layers, replaced) = rewrite_with_mults(graph, &mults, |conv, mult| {
-            Arc::new(AxConv2D::from_conv2d(conv, mult, Arc::clone(&ctx)))
+            Arc::new(
+                AxConv2D::from_conv2d(conv, mult, Arc::clone(&ctx)).with_accumulator(accumulator),
+            )
         })?;
         let session = Session {
             source: graph.clone(),
@@ -162,6 +178,7 @@ impl SessionBuilder {
             layers,
             mults,
             ctx,
+            accumulator,
             replaced,
         };
         session.prepare_all()?;
@@ -245,6 +262,8 @@ pub struct Session {
     /// The resolved multiplier of each layer, same order as `layers`.
     mults: Vec<AxMultiplier>,
     ctx: Arc<EmuContext>,
+    /// The MAC accumulator model every layer was compiled with.
+    accumulator: Accumulator,
     replaced: usize,
 }
 
@@ -276,6 +295,12 @@ impl Session {
     /// per-batch outputs and the `tinit + tcomp` [`EmulationReport`]
     /// (Table I's decomposition; the profile carries the Fig. 2 phase
     /// split).
+    ///
+    /// Exactly one output tensor is produced per input batch. Zero-image
+    /// runs are legal in both shapes — an empty `batches` list and
+    /// zero-image batch tensors (which yield shaped-empty outputs) — and
+    /// report identically: `images == 0`, an explicit 0.0 throughput,
+    /// `tinit` still charged.
     ///
     /// # Errors
     ///
@@ -316,7 +341,8 @@ impl Session {
                     // cached plan) is reusable as-is.
                     return Arc::clone(old_layer);
                 }
-                let fresh = AxConv2D::from_conv2d(conv, mult, Arc::clone(&self.ctx));
+                let fresh = AxConv2D::from_conv2d(conv, mult, Arc::clone(&self.ctx))
+                    .with_accumulator(self.accumulator);
                 if mult.signedness() == old_mult.signedness() {
                     if let Some(plan) = old_layer.cached_plan() {
                         fresh.seed_plan(plan);
@@ -330,6 +356,7 @@ impl Session {
             layers,
             mults,
             ctx: Arc::clone(&self.ctx),
+            accumulator: self.accumulator,
             replaced,
         };
         session.prepare_all()?;
@@ -340,6 +367,13 @@ impl Session {
     #[must_use]
     pub fn backend(&self) -> Backend {
         self.ctx.backend()
+    }
+
+    /// The MAC accumulator model every convolution layer was compiled
+    /// with.
+    #[must_use]
+    pub fn accumulator(&self) -> Accumulator {
+        self.accumulator
     }
 
     /// The shared emulation context (profiles, events, texture cache).
@@ -501,6 +535,58 @@ mod tests {
         assert_eq!(outputs.len(), 2);
         assert_eq!(report.images, 4);
         assert!(report.total() > 0.0);
+    }
+
+    #[test]
+    fn infer_batches_empty_shapes_agree() {
+        // Regression (PR 5): both zero-image shapes flow through the
+        // session API with one output per input batch and a zero-image,
+        // zero-throughput report.
+        let graph = ResNetConfig::with_depth(8).unwrap().build(4).unwrap();
+        let session = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&exact())
+            .compile(&graph)
+            .unwrap();
+        let (outputs, report) = session.infer_batches(&[]).unwrap();
+        assert!(outputs.is_empty());
+        assert_eq!(report.images, 0);
+        assert_eq!(report.images_per_second(), 0.0);
+
+        let zero = rng::uniform(cifar_input_shape(0), 1, -1.0, 1.0);
+        let (outputs, report) = session.infer_batches(std::slice::from_ref(&zero)).unwrap();
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(outputs[0].shape().n, 0);
+        assert_eq!(outputs[0].shape().c, 10, "shaped-empty, not just empty");
+        assert_eq!(report.images, 0);
+        assert_eq!(report.images_per_second(), 0.0);
+    }
+
+    #[test]
+    fn accumulator_knob_applies_to_every_layer() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(7).unwrap();
+        let input = rng::uniform(cifar_input_shape(2), 13, -1.0, 1.0);
+        let wide = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&exact())
+            .compile(&graph)
+            .unwrap();
+        assert_eq!(wide.accumulator(), Accumulator::Exact);
+        // A narrow saturating accumulator must change the network output
+        // (ResNet conv sums overflow 10 bits easily)…
+        let narrow = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&exact())
+            .accumulator(Accumulator::Saturating(10))
+            .compile(&graph)
+            .unwrap();
+        assert_eq!(narrow.accumulator(), Accumulator::Saturating(10));
+        let a = wide.infer(&input).unwrap();
+        let b = narrow.infer(&input).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() > 0.0, "10-bit sat must bite");
+        // …and survive a reassign: the new session keeps the model.
+        let renarrow = narrow.reassign(&Assignment::uniform(rough())).unwrap();
+        assert_eq!(renarrow.accumulator(), Accumulator::Saturating(10));
     }
 
     #[test]

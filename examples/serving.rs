@@ -1,0 +1,78 @@
+//! Serving quickstart: many concurrent callers sharing one compiled
+//! session through the batched `ServeEngine`.
+//!
+//! Compiles a ResNet-8 session once, wraps it in a `ServeEngine` with
+//! two shard workers and a 8-image micro-batch budget, then lets four
+//! client threads submit interleaved requests. Every response is
+//! bit-identical to what a solo `Session::infer` of the same input
+//! produces — batching and sharding change throughput, never bits.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use std::sync::Arc;
+use tfapprox::prelude::*;
+use tfapprox::serve::ServeEngine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Compile once: the engine serves this session for its whole life.
+    let graph = axnn::resnet::ResNetConfig::with_depth(8)?.build(42)?;
+    let mult = axmult::catalog::by_name("mul8s_bam_v8h0")?;
+    let session = Arc::new(
+        Session::builder()
+            .backend(Backend::CpuGemm)
+            .chunk_size(8)
+            .multiplier(&mult)
+            .compile(&graph)?,
+    );
+    println!(
+        "compiled ResNet-8 ({} approximate layers, {})",
+        session.replaced_layers(),
+        mult.name()
+    );
+
+    let engine = Arc::new(ServeEngine::new(
+        Arc::clone(&session),
+        ServeConfig::new()
+            .with_max_batch_images(8)
+            .with_flush_ticks(2)
+            .with_shards(2)
+            .with_queue_depth(256),
+    )?);
+
+    // Four clients, eight requests each, mixed batch sizes.
+    let clients = 4usize;
+    let per_client = 8usize;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let engine = Arc::clone(&engine);
+            let session = Arc::clone(&session);
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let images = 1 + (i % 2);
+                    let seed = (c * per_client + i) as u64;
+                    let input = axtensor::rng::uniform(
+                        axnn::resnet::cifar_input_shape(images),
+                        seed,
+                        -1.0,
+                        1.0,
+                    );
+                    let served = engine.infer(input.clone()).expect("served response");
+                    let solo = session.infer(&input).expect("solo inference");
+                    assert_eq!(served, solo, "served output must be bit-identical");
+                }
+            });
+        }
+    });
+
+    let stats = engine.stats();
+    println!(
+        "served {} requests ({} images) in {} micro-batches",
+        stats.requests, stats.images, stats.batches
+    );
+    println!(
+        "mean occupancy {:.2} requests/batch, {:.1} images/s sustained, {} shed",
+        stats.mean_occupancy, stats.images_per_second, stats.shed
+    );
+    println!("every response was bit-identical to solo Session::infer");
+    Ok(())
+}

@@ -1,0 +1,235 @@
+//! The cross-backend conformance matrix.
+//!
+//! One table-driven suite pinning **every** `Backend` × **every** catalog
+//! multiplier (signed and unsigned) × **every** accumulator model against
+//! a single golden model — `tfapprox::kernel::lut_gemm_reference` chained
+//! layer-by-layer over a fixed small graph. Each cell asserts **bit
+//! identity**; a failure names the exact (backend, multiplier,
+//! accumulator) cell.
+//!
+//! Two contracts are encoded:
+//!
+//! - CPU backends (`CpuDirect`, `CpuGemm`) implement the cell's
+//!   accumulator model exactly as the reference kernel folds it.
+//! - `GpuSim` accumulates in 32-bit float like the paper's kernel and
+//!   ignores the accumulator knob, so its golden is always the
+//!   `Accumulator::Exact` reference. The fixed graph is sized so every
+//!   partial sum is an integer below 2²⁴ — exactly representable in f32 —
+//!   which is what makes bit identity (not mere closeness) attainable.
+
+use axmult::{AxMultiplier, Signedness};
+use axnn::layers::Conv2D;
+use axnn::Graph;
+use axquant::{FilterQuantization, QuantParams, QuantRange, RoundMode};
+use axtensor::{ops, rng, ConvGeometry, Filter, FilterShape, Shape4, Tensor};
+use gpusim::kernels::im2col::{im2col_quant, PatchSumStrategy};
+use std::sync::Arc;
+use tfapprox::kernel::lut_gemm_reference;
+use tfapprox::{Accumulator, Backend, PreparedFilter, Session};
+
+const BACKENDS: [Backend; 3] = [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim];
+
+/// The accumulator models of the matrix: the exact reference, a
+/// saturating width narrow enough that single products clip, and a
+/// wrapping width that overflows on realistic sums.
+const ACCUMULATORS: [Accumulator; 3] = [
+    Accumulator::Exact,
+    Accumulator::Saturating(12),
+    Accumulator::Wrapping(16),
+];
+
+/// The fixed conformance workload: two stacked convolutions (same-padded
+/// then strided) with per-channel biases, over a 2-image input.
+struct Workload {
+    input: Tensor<f32>,
+    layers: [(Filter, Vec<f32>, ConvGeometry); 2],
+}
+
+fn workload() -> Workload {
+    let input = rng::uniform(Shape4::new(2, 5, 5, 2), 42, -1.0, 1.0);
+    let f1 = rng::uniform_filter(FilterShape::new(3, 3, 2, 3), 43, -0.5, 0.5);
+    let b1 = vec![0.25f32, -0.5, 0.125];
+    let f2 = rng::uniform_filter(FilterShape::new(3, 3, 3, 2), 44, -0.5, 0.5);
+    let b2 = vec![-0.125f32, 0.0625];
+    Workload {
+        input,
+        layers: [
+            (f1, b1, ConvGeometry::default()),
+            (f2, b2, ConvGeometry::default().with_stride(2)),
+        ],
+    }
+}
+
+fn graph_of(w: &Workload) -> Graph {
+    let mut g = Graph::new();
+    let x = g.input();
+    let mut node = x;
+    for (i, (filter, bias, geom)) in w.layers.iter().enumerate() {
+        let conv = Conv2D::new(filter.clone(), *geom).with_bias(bias.clone());
+        node = g.add(format!("conv{i}"), Arc::new(conv), &[node]).unwrap();
+    }
+    g.set_output(node).unwrap();
+    g
+}
+
+/// One golden layer: quantize with the input's own min/max (exactly what
+/// the transformed graph's `Min`/`Max` observers feed the layer), im2col,
+/// fold through `lut_gemm_reference` under `accumulator`, add the bias.
+fn golden_conv(
+    input: &Tensor<f32>,
+    filter: &Filter,
+    bias: &[f32],
+    geom: ConvGeometry,
+    mult: &AxMultiplier,
+    accumulator: Accumulator,
+) -> Tensor<f32> {
+    let range = match mult.signedness() {
+        Signedness::Signed => QuantRange::i8(),
+        Signedness::Unsigned => QuantRange::u8(),
+    };
+    let (lo, hi) = ops::min_max(input);
+    let input_q = QuantParams::from_range(lo, hi, range, RoundMode::NearestEven);
+    let (flo, fhi) = ops::min_max_slice(filter.as_slice());
+    let filter_q: FilterQuantization =
+        QuantParams::from_range(flo, fhi, range, RoundMode::NearestEven).into();
+    let plan = PreparedFilter::from_filter(filter, &filter_q);
+    let patches = im2col_quant(
+        input,
+        filter.shape(),
+        geom,
+        input_q,
+        PatchSumStrategy::PrefixScan,
+    )
+    .unwrap()
+    .output;
+    let buf = lut_gemm_reference(
+        &patches.matrix,
+        &patches.patch_sums,
+        &plan,
+        input_q,
+        mult.lut(),
+        accumulator,
+    );
+    let mut out = Tensor::from_vec(patches.out_shape, buf).unwrap();
+    let c = out.shape().c;
+    for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+        *v += bias[i % c];
+    }
+    out
+}
+
+/// The golden forward pass: the reference kernel chained over the fixed
+/// graph's layers.
+fn golden_forward(w: &Workload, mult: &AxMultiplier, accumulator: Accumulator) -> Tensor<f32> {
+    let mut t = w.input.clone();
+    for (filter, bias, geom) in &w.layers {
+        t = golden_conv(&t, filter, bias, *geom, mult, accumulator);
+    }
+    t
+}
+
+#[test]
+fn conformance_matrix_every_backend_multiplier_accumulator() {
+    let catalog = axmult::catalog().expect("catalog builds");
+    assert!(
+        catalog.iter().any(|m| m.name().starts_with("mul8s"))
+            && catalog.iter().any(|m| m.name().starts_with("mul8u")),
+        "matrix must cover both signednesses"
+    );
+    let w = workload();
+    let graph = graph_of(&w);
+    let mut cells = 0usize;
+    for mult in &catalog {
+        // GpuSim's golden is accumulator-independent (it always f32
+        // -accumulates exactly); compute it once per multiplier and reuse
+        // it as the CPU golden of the Exact row.
+        let golden_exact = golden_forward(&w, mult, Accumulator::Exact);
+        for &accumulator in &ACCUMULATORS {
+            let golden_cpu = if accumulator == Accumulator::Exact {
+                golden_exact.clone()
+            } else {
+                golden_forward(&w, mult, accumulator)
+            };
+            let golden_gpu = &golden_exact;
+            for &backend in &BACKENDS {
+                let session = Session::builder()
+                    .backend(backend)
+                    .chunk_size(64)
+                    .multiplier(mult)
+                    .accumulator(accumulator)
+                    .compile(&graph)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "conformance cell failed to compile: backend={backend:?} \
+                             multiplier={} accumulator={accumulator:?}: {e}",
+                            mult.name()
+                        )
+                    });
+                let out = session.infer(&w.input).unwrap_or_else(|e| {
+                    panic!(
+                        "conformance cell failed to run: backend={backend:?} \
+                         multiplier={} accumulator={accumulator:?}: {e}",
+                        mult.name()
+                    )
+                });
+                // GpuSim accumulates in f32 like the paper's kernel: its
+                // golden is always the exact-accumulator reference.
+                let expect = if backend == Backend::GpuSim {
+                    golden_gpu
+                } else {
+                    &golden_cpu
+                };
+                assert_eq!(
+                    &out,
+                    expect,
+                    "conformance cell mismatch: backend={backend:?} multiplier={} \
+                     accumulator={accumulator:?} (max |diff| = {})",
+                    mult.name(),
+                    out.max_abs_diff(expect).unwrap_or(f32::NAN)
+                );
+                cells += 1;
+            }
+        }
+    }
+    assert_eq!(
+        cells,
+        catalog.len() * ACCUMULATORS.len() * BACKENDS.len(),
+        "every cell of the matrix must have been asserted"
+    );
+}
+
+#[test]
+fn narrow_accumulators_actually_deviate_on_this_workload() {
+    // The matrix would be vacuous if the narrow models never bit: pin
+    // that on the fixed workload both narrow models differ from Exact
+    // for the exact multiplier (so the per-cell goldens are distinct).
+    let w = workload();
+    let mult = axmult::catalog::by_name("mul8s_exact").unwrap();
+    let exact = golden_forward(&w, &mult, Accumulator::Exact);
+    for accumulator in [Accumulator::Saturating(12), Accumulator::Wrapping(16)] {
+        let narrow = golden_forward(&w, &mult, accumulator);
+        assert!(
+            exact.max_abs_diff(&narrow).unwrap() > 0.0,
+            "{accumulator:?} never deviated — widen the matrix's coverage"
+        );
+    }
+}
+
+#[test]
+fn matrix_workload_stays_f32_exact_for_the_gpu_golden() {
+    // The GpuSim bit-identity argument requires every partial sum to be
+    // an integer below 2^24. Bound it from the workload's shape: products
+    // are at most 255² and the largest patch length is 3·3·3 taps.
+    let w = workload();
+    let max_k = w
+        .layers
+        .iter()
+        .map(|(f, _, _)| f.shape().patch_len())
+        .max()
+        .unwrap();
+    let bound = (max_k as i64) * 255 * 255;
+    assert!(
+        bound < (1i64 << 24),
+        "workload too large for exact f32 accumulation: bound {bound}"
+    );
+}

@@ -1,0 +1,291 @@
+//! Concurrency stress tests of the serving engine.
+//!
+//! N client threads hammer one `ServeEngine` with interleaved single- and
+//! multi-image requests. Every test asserts the engine's three hard
+//! contracts:
+//!
+//! 1. **No deadlock** — each test body runs under a watchdog thread and
+//!    fails fast (instead of hanging the runner) if it exceeds its
+//!    timeout.
+//! 2. **Exactly one response per request** — every submitted request
+//!    resolves exactly once; nothing is lost or duplicated.
+//! 3. **Bit identity** — a served response equals serial
+//!    `Session::infer` of the same input, regardless of batch
+//!    composition, arrival order, flush window, or shard count.
+
+use axnn::layers::{Conv2D, ReLU};
+use axnn::Graph;
+use axtensor::{rng, ConvGeometry, FilterShape, Shape4, Tensor};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::Duration;
+use tfapprox::serve::{ServeConfig, ServeEngine};
+use tfapprox::{Backend, Session};
+
+/// Hard watchdog: run `body` on its own thread and panic if it does not
+/// finish within `timeout` — a deadlocked engine fails the suite instead
+/// of hanging it.
+fn with_watchdog<F: FnOnce() + Send + 'static>(timeout: Duration, body: F) {
+    let (tx, rx) = mpsc::channel();
+    let worker = thread::spawn(move || {
+        body();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(()) => worker.join().expect("stress body panicked"),
+        Err(_) => panic!("watchdog: stress body exceeded {timeout:?} — deadlock?"),
+    }
+}
+
+/// A small two-conv + ReLU graph: fast enough to hammer in debug mode,
+/// deep enough to exercise the transform and the chunked backends.
+fn tiny_graph() -> Graph {
+    let mut g = Graph::new();
+    let x = g.input();
+    let f1 = rng::uniform_filter(FilterShape::new(3, 3, 2, 3), 7, -0.5, 0.5);
+    let c1 = g
+        .add(
+            "conv1",
+            Arc::new(Conv2D::new(f1, ConvGeometry::default())),
+            &[x],
+        )
+        .unwrap();
+    let r1 = g.add("relu1", Arc::new(ReLU::new()), &[c1]).unwrap();
+    let f2 = rng::uniform_filter(FilterShape::new(3, 3, 3, 2), 8, -0.5, 0.5);
+    let c2 = g
+        .add(
+            "conv2",
+            Arc::new(Conv2D::new(f2, ConvGeometry::default())),
+            &[r1],
+        )
+        .unwrap();
+    g.set_output(c2).unwrap();
+    g
+}
+
+/// One shared session for the whole suite (compilation is not what these
+/// tests measure).
+fn shared_session() -> Arc<Session> {
+    static SESSION: OnceLock<Arc<Session>> = OnceLock::new();
+    Arc::clone(SESSION.get_or_init(|| {
+        let mult = axmult::catalog::by_name("mul8s_bam_v8h0").unwrap();
+        Arc::new(
+            Session::builder()
+                .backend(Backend::CpuGemm)
+                .chunk_size(4)
+                .threads(2)
+                .multiplier(&mult)
+                .compile(&tiny_graph())
+                .unwrap(),
+        )
+    }))
+}
+
+/// Deterministic request input: `seed` fixes the data, `images` the batch
+/// size (0 is legal and exercises the shaped-empty path).
+fn request(seed: u64, images: usize) -> Tensor<f32> {
+    rng::uniform(Shape4::new(images, 5, 5, 2), seed, -1.0, 1.0)
+}
+
+/// Serial golden outputs for seeds `0..seeds`, one per (seed, size) used
+/// by the stress clients.
+fn serial_golden(session: &Session, seeds: u64) -> HashMap<(u64, usize), Tensor<f32>> {
+    let mut golden = HashMap::new();
+    for seed in 0..seeds {
+        for images in 0..4 {
+            golden.insert(
+                (seed, images),
+                session.infer(&request(seed, images)).unwrap(),
+            );
+        }
+    }
+    golden
+}
+
+/// The core stress body: `clients` threads × `per_client` requests of
+/// interleaved sizes against one engine; every response checked for bit
+/// identity and counted exactly once.
+fn hammer(shards: usize, clients: usize, per_client: usize, config: ServeConfig) {
+    let session = shared_session();
+    let golden = serial_golden(&session, clients as u64);
+    let engine = ServeEngine::new(Arc::clone(&session), config).unwrap();
+    let responses: Vec<usize> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let engine = &engine;
+                let golden = &golden;
+                scope.spawn(move || {
+                    let mut answered = 0usize;
+                    for i in 0..per_client {
+                        // Interleave single-image, multi-image, and the
+                        // occasional zero-image request.
+                        let images = [1, 2, 3, 1, 0][i % 5];
+                        let seed = c as u64;
+                        let out = engine
+                            .infer(request(seed, images))
+                            .unwrap_or_else(|e| panic!("client {c} request {i}: {e}"));
+                        assert_eq!(
+                            &out,
+                            &golden[&(seed, images)],
+                            "client {c} request {i} (images {images}) differs from serial \
+                             Session::infer on {shards} shard(s)"
+                        );
+                        answered += 1;
+                    }
+                    answered
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let total: usize = responses.iter().sum();
+    assert_eq!(
+        total,
+        clients * per_client,
+        "every request must get exactly one response"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.requests, (clients * per_client) as u64);
+    assert_eq!(stats.shed, 0, "queue was deep enough — nothing may shed");
+    assert!(stats.batches >= 1 && stats.batches <= stats.requests);
+}
+
+#[test]
+fn stress_one_shard() {
+    with_watchdog(Duration::from_secs(120), || {
+        hammer(
+            1,
+            6,
+            15,
+            ServeConfig::new()
+                .with_shards(1)
+                .with_max_batch_images(4)
+                .with_flush_ticks(1)
+                .with_queue_depth(1024),
+        );
+    });
+}
+
+#[test]
+fn stress_two_shards() {
+    with_watchdog(Duration::from_secs(120), || {
+        hammer(
+            2,
+            6,
+            15,
+            ServeConfig::new()
+                .with_shards(2)
+                .with_max_batch_images(4)
+                .with_flush_ticks(1)
+                .with_queue_depth(1024),
+        );
+    });
+}
+
+#[test]
+fn stress_four_shards() {
+    with_watchdog(Duration::from_secs(120), || {
+        hammer(
+            4,
+            8,
+            15,
+            ServeConfig::new()
+                .with_shards(4)
+                .with_max_batch_images(6)
+                .with_flush_ticks(2)
+                .with_queue_depth(1024),
+        );
+    });
+}
+
+#[test]
+fn async_submission_resolves_out_of_order_waits() {
+    // Submit everything first, wait in reverse order: tickets are
+    // independent oneshots, so wait order must not matter.
+    with_watchdog(Duration::from_secs(120), || {
+        let session = shared_session();
+        let engine = ServeEngine::new(
+            Arc::clone(&session),
+            ServeConfig::new().with_shards(2).with_max_batch_images(4),
+        )
+        .unwrap();
+        let tickets: Vec<_> = (0..20)
+            .map(|i| {
+                let images = (i % 3) + 1;
+                (
+                    i as u64,
+                    images,
+                    engine.submit(request(i as u64, images)).unwrap(),
+                )
+            })
+            .collect();
+        for (seed, images, ticket) in tickets.into_iter().rev() {
+            let out = ticket.wait().unwrap();
+            assert_eq!(out, session.infer(&request(seed, images)).unwrap());
+        }
+    });
+}
+
+#[test]
+fn zero_image_request_through_engine_matches_serial() {
+    with_watchdog(Duration::from_secs(60), || {
+        let session = shared_session();
+        let engine = ServeEngine::new(Arc::clone(&session), ServeConfig::new()).unwrap();
+        let out = engine.infer(request(3, 0)).unwrap();
+        let serial = session.infer(&request(3, 0)).unwrap();
+        assert_eq!(out, serial);
+        assert_eq!(out.shape().n, 0);
+        assert_eq!(out.shape().c, 2, "shaped-empty output, not just empty");
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized arrival orders, request sizes, batch budgets, flush
+    /// windows, and shard counts: every response stays bit-identical to
+    /// serial inference and every ticket resolves exactly once.
+    #[test]
+    fn proptest_random_arrivals_stay_bit_identical(
+        sizes in proptest::collection::vec(0usize..4, 1..24),
+        budget in 1usize..9,
+        flush in 0usize..3,
+        shards in 1usize..4,
+    ) {
+        let sizes_for_watchdog = sizes.clone();
+        with_watchdog(Duration::from_secs(120), move || {
+            let session = shared_session();
+            let engine = ServeEngine::new(
+                Arc::clone(&session),
+                ServeConfig::new()
+                    .with_shards(shards)
+                    .with_max_batch_images(budget)
+                    .with_flush_ticks(flush)
+                    .with_queue_depth(4096),
+            )
+            .unwrap();
+            // Arrival order is the vector order; submissions are
+            // immediate so coalescing composition varies per case.
+            let tickets: Vec<_> = sizes_for_watchdog
+                .iter()
+                .enumerate()
+                .map(|(i, &images)| (i as u64, images, engine.submit(request(i as u64, images)).unwrap()))
+                .collect();
+            let mut resolved = 0usize;
+            for (seed, images, ticket) in tickets {
+                let out = ticket.wait().unwrap();
+                let serial = session.infer(&request(seed, images)).unwrap();
+                assert_eq!(
+                    out, serial,
+                    "request (seed {seed}, images {images}) differs under budget \
+                     {budget}, flush {flush}, shards {shards}"
+                );
+                resolved += 1;
+            }
+            assert_eq!(resolved, sizes_for_watchdog.len());
+        });
+    }
+}
