@@ -1,8 +1,10 @@
 //! `serve_bench` — the serving-throughput sweep behind `BENCH_serve.json`.
 //!
 //! Sweeps offered load (client threads) × batch budget against one
-//! `ServeEngine`, next to a serial `Session::infer` baseline, and writes
-//! the `tfapprox-bench-serve/1` report. Pass `--quick` (or set
+//! `ServeEngine`, plus tenants × offered load against a multi-tenant
+//! registry-backed engine, next to a serial `Session::infer` baseline,
+//! and writes the `tfapprox-bench-serve/2` report (with p50/p95/p99
+//! latency per sweep point). Pass `--quick` (or set
 //! `BENCH_SERVE_QUICK=1`) for the CI smoke sweep; `BENCH_SERVE_OUT`
 //! overrides the output path.
 
@@ -31,6 +33,23 @@ fn main() {
             s.images_per_second,
             serve_bench::speedup_vs_single_request(&report, s),
             s.batches,
+        );
+    }
+
+    println!(
+        "{:>7} {:>7} {:>9} {:>10} {:>9} {:>9} {:>9}",
+        "tenants", "clients", "occupancy", "images/s", "p50 ms", "p95 ms", "p99 ms"
+    );
+    for t in &report.tenant_samples {
+        println!(
+            "{:>7} {:>7} {:>9.2} {:>10.1} {:>9.2} {:>9.2} {:>9.2}",
+            t.tenants,
+            t.clients,
+            t.mean_occupancy,
+            t.images_per_second,
+            t.p50_s * 1e3,
+            t.p95_s * 1e3,
+            t.p99_s * 1e3,
         );
     }
 

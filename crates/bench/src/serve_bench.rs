@@ -11,10 +11,16 @@
 //!   the single-request serving point the batched points are compared to.
 //!
 //! Every case records end-to-end wall-clock throughput (first submission
-//! to last response), the engine's own occupancy/batch counters, and the
-//! speedup against the budget-1 case at the same offered load. The
-//! `serve_bench` binary drives [`run_suite`] and writes the report with
-//! [`write_report`]; the bench-smoke integration test validates the
+//! to last response), the engine's own occupancy/batch counters, the
+//! p50/p95/p99 submit-to-response latency from the engine's streaming
+//! histogram, and the speedup against the budget-1 case at the same
+//! offered load. A second sweep — **tenants × offered load** — drives a
+//! multi-tenant engine over a [`SessionRegistry`] (one multiplier
+//! variant per tenant, admitted through the `reassign` plan-transplant
+//! path) and records the same latency tail per point, plus the
+//! registry's hit/miss/eviction counters. The `serve_bench` binary
+//! drives [`run_suite`] and writes the `tfapprox-bench-serve/2` report
+//! with [`write_report`]; the bench-smoke integration test validates the
 //! emitted JSON. Pass `--quick` (or set `BENCH_SERVE_QUICK=1`) for a
 //! smaller sweep, `BENCH_SERVE_OUT` to override the output path
 //! (default: `BENCH_serve.json` at the workspace root).
@@ -26,8 +32,8 @@ use axtensor::{rng, ConvGeometry, FilterShape, Shape4, Tensor};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
-use tfapprox::serve::{ServeConfig, ServeEngine};
-use tfapprox::{Backend, Session};
+use tfapprox::serve::{ServeConfig, ServeEngine, SessionKey, SessionRegistry};
+use tfapprox::{Assignment, Backend, Session};
 
 /// Images per request (every request in the sweep is the same size, so
 /// occupancy in requests and in images tell the same story).
@@ -39,6 +45,20 @@ pub const BUDGET_SWEEP: [usize; 3] = [1, 4, 16];
 
 /// The offered-load sweep: client threads bursting requests.
 pub const CLIENT_SWEEP: [usize; 2] = [1, 4];
+
+/// The tenant-count sweep of the multi-tenant cases: 1 is the
+/// single-tenant shim, the larger points key-partition the same offered
+/// load across that many multiplier variants.
+pub const TENANT_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// The multiplier each tenant serves: index 0 is the anchor (installed),
+/// the rest are variants admitted through `reassign` plan transplant.
+pub const TENANT_MULTIPLIERS: [&str; 4] = [
+    "mul8s_bam_v8h0",
+    "mul8s_exact",
+    "mul8s_drum4",
+    "mul8s_mitchell",
+];
 
 /// One swept serving measurement.
 #[derive(Debug, Clone)]
@@ -68,6 +88,52 @@ pub struct ServeSample {
     pub images_per_second: f64,
     /// The engine's own busy-time throughput ([`tfapprox::ServeStats`]).
     pub engine_images_per_second: f64,
+    /// Median submit-to-response latency, in seconds.
+    pub p50_s: f64,
+    /// 95th-percentile submit-to-response latency, in seconds.
+    pub p95_s: f64,
+    /// 99th-percentile submit-to-response latency, in seconds.
+    pub p99_s: f64,
+}
+
+/// One swept multi-tenant measurement: `tenants` sessions behind one
+/// registry, `clients` threads round-robining keyed requests.
+#[derive(Debug, Clone)]
+pub struct TenantSample {
+    /// Tenant sessions behind the registry (1 = the single-tenant shim).
+    pub tenants: usize,
+    /// Client threads submitting concurrently.
+    pub clients: usize,
+    /// Shard workers in the engine.
+    pub shards: usize,
+    /// Micro-batch image budget.
+    pub max_batch_images: usize,
+    /// Requests completed.
+    pub requests: u64,
+    /// Images served.
+    pub images: u64,
+    /// Micro-batches the engine formed (never mixing tenants).
+    pub batches: u64,
+    /// Mean requests per micro-batch.
+    pub mean_occupancy: f64,
+    /// Requests shed (must be 0 in this sweep).
+    pub requests_shed: u64,
+    /// Wall-clock seconds from first submission to last response.
+    pub wall_s: f64,
+    /// End-to-end throughput: `images / wall_s`.
+    pub images_per_second: f64,
+    /// Median submit-to-response latency, in seconds.
+    pub p50_s: f64,
+    /// 95th-percentile submit-to-response latency, in seconds.
+    pub p95_s: f64,
+    /// 99th-percentile submit-to-response latency, in seconds.
+    pub p99_s: f64,
+    /// Registry lookups answered from a resident session.
+    pub registry_hits: u64,
+    /// Registry lookups that compiled (admissions + revivals).
+    pub registry_misses: u64,
+    /// Registry LRU evictions during the case.
+    pub registry_evictions: u64,
 }
 
 /// The serial baseline: the same requests through `Session::infer`, one
@@ -91,6 +157,8 @@ pub struct SuiteReport {
     pub serial: SerialBaseline,
     /// One sample per (clients, budget) point.
     pub samples: Vec<ServeSample>,
+    /// One sample per (tenants, clients) point of the multi-tenant sweep.
+    pub tenant_samples: Vec<TenantSample>,
     /// Replaced conv layers of the benched session's graph.
     pub conv_layers: usize,
 }
@@ -219,6 +287,90 @@ fn run_case(
             0.0
         },
         engine_images_per_second: stats.images_per_second,
+        p50_s: stats.p50_latency_s,
+        p95_s: stats.p95_latency_s,
+        p99_s: stats.p99_latency_s,
+    }
+}
+
+/// One multi-tenant measurement: a fresh registry with `tenants`
+/// sessions (anchor + `reassign`-admitted variants), `clients` threads
+/// round-robining keyed requests across the tenants.
+fn run_tenant_case(
+    session: &Arc<Session>,
+    tenants: usize,
+    clients: usize,
+    shards: usize,
+    requests_per_client: usize,
+) -> TenantSample {
+    assert!(tenants >= 1 && tenants <= TENANT_MULTIPLIERS.len());
+    let registry = Arc::new(SessionRegistry::new(TENANT_MULTIPLIERS.len()).expect("capacity"));
+    let anchor_key = registry
+        .install("bench", Arc::clone(session))
+        .expect("install anchor");
+    let mut keys: Vec<SessionKey> = vec![anchor_key.clone()];
+    for name in TENANT_MULTIPLIERS.iter().take(tenants).skip(1) {
+        let mult = axmult::catalog::by_name(name).expect("catalog");
+        keys.push(
+            registry
+                .admit("bench", &Assignment::uniform(mult))
+                .expect("admit variant"),
+        );
+    }
+    let budget = 8;
+    let config = ServeConfig::new()
+        .with_max_batch_images(budget)
+        .with_flush_ticks(2)
+        .with_shards(shards)
+        .with_queue_depth(clients * requests_per_client + 1);
+    let engine =
+        ServeEngine::with_registry(Arc::clone(&registry), anchor_key, config).expect("engine");
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let engine = &engine;
+            let keys = &keys;
+            scope.spawn(move || {
+                let tickets: Vec<_> = (0..requests_per_client)
+                    .map(|i| {
+                        let seed = (c * requests_per_client + i) as u64;
+                        let key = &keys[(c + i) % keys.len()];
+                        engine
+                            .submit_to(key, request(seed))
+                            .expect("queue sized to fit")
+                    })
+                    .collect();
+                for t in tickets {
+                    let _ = t.wait().expect("response");
+                }
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    let rstats = registry.stats();
+    TenantSample {
+        tenants,
+        clients,
+        shards,
+        max_batch_images: budget,
+        requests: stats.requests,
+        images: stats.images,
+        batches: stats.batches,
+        mean_occupancy: stats.mean_occupancy,
+        requests_shed: stats.shed,
+        wall_s,
+        images_per_second: if wall_s > 0.0 {
+            stats.images as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_s: stats.p50_latency_s,
+        p95_s: stats.p95_latency_s,
+        p99_s: stats.p99_latency_s,
+        registry_hits: rstats.hits,
+        registry_misses: rstats.misses,
+        registry_evictions: rstats.evictions,
     }
 }
 
@@ -241,9 +393,22 @@ pub fn run_suite(quick: bool) -> SuiteReport {
             ));
         }
     }
+    let mut tenant_samples = Vec::new();
+    for &tenants in &TENANT_SWEEP {
+        for &clients in &CLIENT_SWEEP {
+            tenant_samples.push(run_tenant_case(
+                &session,
+                tenants,
+                clients,
+                shards,
+                requests_per_client,
+            ));
+        }
+    }
     SuiteReport {
         serial,
         samples,
+        tenant_samples,
         conv_layers: session.replaced_layers(),
     }
 }
@@ -265,7 +430,7 @@ pub fn speedup_vs_single_request(report: &SuiteReport, sample: &ServeSample) -> 
         })
 }
 
-/// Render the whole report as the `tfapprox-bench-serve/1` JSON document.
+/// Render the whole report as the `tfapprox-bench-serve/2` JSON document.
 #[must_use]
 pub fn report_json(report: &SuiteReport, quick: bool) -> String {
     let serial = json::object(&[
@@ -297,6 +462,9 @@ pub fn report_json(report: &SuiteReport, quick: bool) -> String {
                     "engine_images_per_second",
                     json::number(s.engine_images_per_second),
                 ),
+                ("p50_s", json::number(s.p50_s)),
+                ("p95_s", json::number(s.p95_s)),
+                ("p99_s", json::number(s.p99_s)),
                 (
                     "speedup_vs_single_request",
                     json::number(speedup_vs_single_request(report, s)),
@@ -304,8 +472,33 @@ pub fn report_json(report: &SuiteReport, quick: bool) -> String {
             ])
         })
         .collect();
+    let tenant_cases: Vec<String> = report
+        .tenant_samples
+        .iter()
+        .map(|s| {
+            json::object(&[
+                ("tenants", json::integer(s.tenants as u64)),
+                ("clients", json::integer(s.clients as u64)),
+                ("shards", json::integer(s.shards as u64)),
+                ("max_batch_images", json::integer(s.max_batch_images as u64)),
+                ("requests", json::integer(s.requests)),
+                ("images", json::integer(s.images)),
+                ("batches", json::integer(s.batches)),
+                ("mean_occupancy", json::number(s.mean_occupancy)),
+                ("requests_shed", json::integer(s.requests_shed)),
+                ("wall_s", json::number(s.wall_s)),
+                ("images_per_second", json::number(s.images_per_second)),
+                ("p50_s", json::number(s.p50_s)),
+                ("p95_s", json::number(s.p95_s)),
+                ("p99_s", json::number(s.p99_s)),
+                ("registry_hits", json::integer(s.registry_hits)),
+                ("registry_misses", json::integer(s.registry_misses)),
+                ("registry_evictions", json::integer(s.registry_evictions)),
+            ])
+        })
+        .collect();
     json::object(&[
-        ("schema", json::string("tfapprox-bench-serve/1")),
+        ("schema", json::string("tfapprox-bench-serve/2")),
         ("mode", json::string(if quick { "quick" } else { "full" })),
         (
             "threads",
@@ -324,6 +517,7 @@ pub fn report_json(report: &SuiteReport, quick: bool) -> String {
         ),
         ("serial", serial),
         ("cases", json::array(&cases)),
+        ("tenant_cases", json::array(&tenant_cases)),
     ])
 }
 

@@ -97,17 +97,47 @@ fn quick_serve_suite_emits_well_formed_json() {
         "no point in the sweep ever coalesced"
     );
 
+    // The multi-tenant sweep: one sample per (tenants, clients) point,
+    // with a populated latency tail and zero shed everywhere.
+    assert_eq!(
+        report.tenant_samples.len(),
+        serve_bench::TENANT_SWEEP.len() * serve_bench::CLIENT_SWEEP.len(),
+        "one sample per (tenants, clients) point"
+    );
+    for t in &report.tenant_samples {
+        assert!(serve_bench::TENANT_SWEEP.contains(&t.tenants));
+        assert_eq!(t.requests_shed, 0, "sweep queue must be deep enough");
+        assert!(t.requests > 0 && t.images == t.requests * serve_bench::IMAGES_PER_REQUEST as u64);
+        assert!(t.batches >= 1 && t.batches <= t.requests);
+        assert!(t.images_per_second > 0.0);
+        assert!(t.p50_s > 0.0, "latency histogram must populate");
+        assert!(t.p50_s <= t.p95_s && t.p95_s <= t.p99_s);
+        // Tenants beyond the anchor were admitted -> compile-on-miss.
+        assert!(t.registry_misses >= (t.tenants - 1) as u64);
+        assert_eq!(t.registry_evictions, 0, "capacity covers every tenant");
+    }
+    assert!(
+        report.tenant_samples.iter().any(|t| t.tenants >= 2),
+        "the sweep must include a multi-tenant case"
+    );
+
     let doc = serve_bench::report_json(&report, true);
     json::validate(&doc).expect("BENCH_serve.json must be well-formed JSON");
     for needle in [
-        "\"schema\": \"tfapprox-bench-serve/1\"",
+        "\"schema\": \"tfapprox-bench-serve/2\"",
         "\"mode\": \"quick\"",
         "\"serial\"",
         "\"cases\"",
+        "\"tenant_cases\"",
+        "\"tenants\"",
         "\"max_batch_images\"",
         "\"mean_occupancy\"",
         "\"requests_shed\"",
         "\"images_per_second\"",
+        "\"p50_s\"",
+        "\"p95_s\"",
+        "\"p99_s\"",
+        "\"registry_misses\"",
         "\"speedup_vs_single_request\"",
     ] {
         assert!(doc.contains(needle), "missing {needle} in report");

@@ -23,9 +23,12 @@
 //!   [`Session::reassign`] — the design-space hot path that recompiles
 //!   while reusing the cached plans of unchanged layers,
 //! - [`Error`]: the one error type every session operation returns,
-//! - [`serve`]: the serving layer — [`ServeEngine`] wraps an
-//!   `Arc<Session>` behind a bounded submission queue with dynamic
-//!   micro-batching, per-shard workers, explicit backpressure, and
+//! - [`serve`]: the multi-tenant serving tier — a [`SessionRegistry`]
+//!   holds many compiled sessions behind an LRU (compile-on-miss via
+//!   [`Session::reassign`] plan transplant), and a [`ServeEngine`]
+//!   coalesces keyed submissions into per-tenant micro-batches with
+//!   event-driven shard wakeup, SLO deadline shedding, explicit
+//!   backpressure, p50/p95/p99 latency stats, and
 //!   bit-identical-to-solo responses,
 //! - [`prelude`]: one `use tfapprox::prelude::*` for all of the above.
 //!
@@ -110,7 +113,10 @@ pub use kernel::TileConfig;
 pub use pool::WorkerPool;
 pub use prepared::PreparedFilter;
 pub use runtime::{run_accurate_cpu, EmulationReport};
-pub use serve::{ServeConfig, ServeEngine, ServeError, ServeStats, Ticket};
+pub use serve::{
+    LatencyHistogram, RegistryStats, ServeConfig, ServeEngine, ServeError, ServeStats, SessionKey,
+    SessionRegistry, Ticket,
+};
 pub use session::{Session, SessionBuilder};
 
 /// Everything a session-driven caller needs, in one import.
@@ -126,7 +132,9 @@ pub mod prelude {
     pub use crate::error::Error;
     pub use crate::kernel::TileConfig;
     pub use crate::runtime::EmulationReport;
-    pub use crate::serve::{ServeConfig, ServeEngine, ServeStats};
+    pub use crate::serve::{
+        ServeConfig, ServeEngine, ServeError, ServeStats, SessionKey, SessionRegistry, Ticket,
+    };
     pub use crate::session::{Session, SessionBuilder};
     pub use axmult::AxMultiplier;
 }

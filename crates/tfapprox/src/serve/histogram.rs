@@ -1,0 +1,244 @@
+//! A streaming latency histogram for tail-latency observability.
+//!
+//! Tail latency — not mean throughput — is what governs how much load a
+//! serving tier can admit while meeting its SLOs, so the engine records
+//! every answered request's submit-to-response latency here and surfaces
+//! p50/p95/p99 through [`crate::serve::ServeStats`]. The histogram is
+//! lock-free on the record path (one relaxed atomic increment), constant
+//! in memory, and mergeable-by-construction: values land in power-of-two
+//! nanosecond buckets, so a quantile estimate is never more than one
+//! bucket (a factor of two) away from the true order statistic, and
+//! within a bucket the estimate interpolates linearly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets: bucket `i` (for `i >= 1`) holds
+/// durations whose nanosecond count has bit-length `i`, i.e. the range
+/// `[2^(i-1), 2^i)`; bucket 0 holds exactly zero. 64 buckets cover the
+/// whole `u64` nanosecond range (up to ~584 years).
+const BUCKETS: usize = 64;
+
+/// A fixed-size, lock-free histogram of durations with quantile
+/// estimation.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use tfapprox::serve::LatencyHistogram;
+///
+/// let h = LatencyHistogram::new();
+/// for ms in [1u64, 2, 3, 4, 100] {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 5);
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!(p50 >= Duration::from_millis(1) && p50 < Duration::from_millis(8));
+/// // The tail sees the outlier the mean would hide.
+/// assert!(h.quantile(0.99).unwrap() >= Duration::from_millis(64));
+/// ```
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index of a nanosecond count: its bit length.
+    fn bucket_of(nanos: u64) -> usize {
+        (u64::BITS - nanos.leading_zeros()) as usize
+    }
+
+    /// The half-open nanosecond range `[lo, hi)` of bucket `i`.
+    fn bounds_of(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 1)
+        } else {
+            (1u64 << (i - 1), (1u64 << (i - 1)).saturating_mul(2))
+        }
+    }
+
+    /// Record one duration (lock-free; one relaxed increment).
+    pub fn record(&self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        let i = Self::bucket_of(nanos).min(BUCKETS - 1);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Durations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`q` is clamped into `[0, 1]`): the
+    /// smallest latency at least `q` of the recorded durations fall at or
+    /// below. Linear interpolation inside the owning power-of-two bucket
+    /// keeps the estimate within a factor of two of the true order
+    /// statistic.
+    ///
+    /// Returns `None` while the histogram is empty. Concurrent recording
+    /// makes the snapshot approximate, never torn per bucket.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The 1-based rank of the order statistic we estimate: the first
+        // one with strictly more than `q` of the data at or below it, so
+        // p99 of a 1%-outlier distribution lands ON the outlier.
+        let rank = (((q * total as f64).floor() as u64).saturating_add(1)).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &n) in counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = Self::bounds_of(i);
+                // Midpoint interpolation: rank k of n sits at (k-0.5)/n
+                // through the bucket, strictly inside [lo, hi).
+                let into = ((rank - seen) as f64 - 0.5) / n as f64;
+                let nanos = lo as f64 + into * (hi - lo) as f64;
+                return Some(Duration::from_nanos(nanos as u64));
+            }
+            seen += n;
+        }
+        // Unreachable: rank <= total and the loop covers every count.
+        None
+    }
+
+    /// `quantile` as fractional seconds, with `0.0` for an empty
+    /// histogram — the shape [`crate::serve::ServeStats`] reports.
+    #[must_use]
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        self.quantile(q).map_or(0.0, |d| d.as_secs_f64())
+    }
+
+    /// Reset every bucket (e.g. between benchmark sweep points). Not
+    /// atomic with respect to concurrent `record` calls: counts recorded
+    /// during the reset may be partially kept.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile_seconds(0.99), 0.0);
+    }
+
+    #[test]
+    fn single_value_is_every_quantile() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(300));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            // Within the owning power-of-two bucket [262144, 524288) ns.
+            assert!(
+                est.as_nanos() >= 262_144 && est.as_nanos() < 524_288,
+                "q={q} estimated {est:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5).unwrap(), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_the_data() {
+        let h = LatencyHistogram::new();
+        // 90 fast requests, 9 slow, 1 very slow: the classic tail.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..9 {
+            h.record(Duration::from_millis(10));
+        }
+        h.record(Duration::from_secs(1));
+        let p50 = h.quantile(0.50).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
+        // p50 sits in the fast bucket, p95 in the slow one, p99 at the
+        // outlier — each within its factor-of-two bucket.
+        assert!(p50 < Duration::from_micros(200), "{p50:?}");
+        assert!(
+            p95 >= Duration::from_millis(8) && p95 < Duration::from_millis(20),
+            "{p95:?}"
+        );
+        assert!(p99 >= Duration::from_millis(512), "{p99:?}");
+    }
+
+    #[test]
+    fn out_of_range_q_clamps() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(5));
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert!(h.quantile(f64::NAN).is_some()); // NaN clamps too
+    }
+
+    #[test]
+    fn reset_clears() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(5));
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(Duration::from_nanos(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,65 @@
+//! The serving tier: many compiled [`Session`]s behind one admission
+//! queue, with micro-batching, event-driven shards, and SLO shedding.
+//!
+//! PRs 2–4 made one `Session::infer` call fast; PR 5 let many concurrent
+//! callers share one session's speed. This module generalises that to
+//! the paper's real shape — *many* approximate-multiplier configurations
+//! served at once (the ALWANN design-space story of
+//! conf_date_VaverkaMVS20) — by splitting the tier into three parts:
+//!
+//! - [`registry`] — a [`SessionRegistry`] holding compiled sessions
+//!   keyed by `(model, resolved per-layer multipliers)` behind an LRU of
+//!   compiled plans. Admission of a new multiplier variant compiles
+//!   on-miss through [`Session::reassign`], so the plan-transplant path
+//!   makes a cold tenant pay input-side work only.
+//! - [`engine`] — the [`ServeEngine`]: keyed submission
+//!   ([`ServeEngine::submit_to`]) over one shared worker pool, per-key
+//!   micro-batch coalescing, **event-driven** shard wakeup (a shard
+//!   sleeps on the arrival condvar until its flush *deadline*; there is
+//!   no poll tick), per-request SLO deadlines with
+//!   [`ServeError::DeadlineExceeded`] shedding, and bounded-queue
+//!   backpressure with [`ServeError::Overloaded`].
+//! - [`histogram`] — a lock-free streaming [`LatencyHistogram`] that
+//!   gives [`ServeStats`] its p50/p95/p99 submit-to-response latencies:
+//!   the tail numbers that govern how much load the tier can admit.
+//!
+//! # Request lifecycle
+//!
+//! **Admission** (resolve the [`SessionKey`] through the registry,
+//! compile-on-miss, bounded-queue check) → **keyed coalesce** (a shard
+//! pops the first live request and coalesces only same-key arrivals) →
+//! **wakeup** (the shard sleeps until its flush deadline — or the
+//! tightest member SLO deadline — and is woken by arrivals) → **shed or
+//! execute** (expired requests answer `DeadlineExceeded`; the batch runs
+//! one [`Session::infer_batches`] call and answers every member).
+//!
+//! # Determinism
+//!
+//! A request's output is **bit-identical** whether it ran solo, in any
+//! batch composition, on any shard, under any tenant mix, before or
+//! after an LRU eviction of its session. This is by construction: a
+//! micro-batch holds one tenant's requests only, keeps one tensor per
+//! request, and `infer_batches` runs the graph once per tensor — so each
+//! request sees exactly the forward pass `Session::infer` would have
+//! given it on that tenant's session. Requests are deliberately *not*
+//! fused into one batch tensor: the transformed graph's `Min`/`Max`
+//! observers reduce over the whole input tensor ("determined once per a
+//! batch"), so fusing two callers' data would cross-contaminate their
+//! quantization ranges and change their bits.
+//!
+//! [`Session`]: crate::Session
+//! [`Session::reassign`]: crate::Session::reassign
+//! [`Session::infer_batches`]: crate::Session::infer_batches
+//! [`Session::infer`]: crate::Session::infer
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod histogram;
+pub mod registry;
+
+pub use engine::{
+    ServeConfig, ServeEngine, ServeError, ServeStats, Ticket, DEFAULT_MODEL, FLUSH_TICK,
+};
+pub use histogram::LatencyHistogram;
+pub use registry::{RegistryStats, SessionKey, SessionRegistry};

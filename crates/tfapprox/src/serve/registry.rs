@@ -1,0 +1,539 @@
+//! The multi-tenant session registry: many compiled [`Session`]s, one
+//! serving tier.
+//!
+//! The ALWANN design-space story is "many multiplier assignments of the
+//! same model"; the production story is "many models × many assignments
+//! × many callers". Both need the same structure: a registry that keys
+//! compiled sessions by **(model, resolved multiplier assignment)**,
+//! keeps the hot ones resident behind an LRU of compiled plans, and
+//! compiles misses through [`Session::reassign`] — the plan-transplant
+//! path that makes admitting a new multiplier variant pay input-side
+//! work only (the anchor session's prepared filter plans are reused or
+//! transplanted, never rebuilt for same-signedness changes).
+//!
+//! Every model is **installed** once with its anchor session (pinned,
+//! never evicted — it is the reassign donor for all of the model's
+//! variants); variants are **admitted** on demand and evicted
+//! least-recently-used when the configured capacity is exceeded.
+//! Eviction only drops the registry's reference: in-flight requests hold
+//! their own `Arc<Session>`, so a session serving a micro-batch is never
+//! invalidated mid-flight.
+
+use crate::{Assignment, Error, Session};
+use axmult::AxMultiplier;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of one compiled tenant: a model (graph) name plus the
+/// resolved per-layer multiplier assignment.
+///
+/// Two keys are equal iff they name the same installed model and resolve
+/// to the same multiplier **names** layer by layer (catalog names are
+/// unique per truth table, so names identify the emulated hardware).
+/// Keys are cheap to clone (one `Arc` bump) and carry enough information
+/// — the resolved multipliers themselves — for the registry to recompile
+/// the session after an eviction without the caller resupplying the
+/// [`Assignment`].
+#[derive(Clone)]
+pub struct SessionKey {
+    inner: Arc<KeyInner>,
+}
+
+struct KeyInner {
+    model: String,
+    mults: Vec<AxMultiplier>,
+}
+
+impl SessionKey {
+    fn new(model: &str, mults: Vec<AxMultiplier>) -> Self {
+        SessionKey {
+            inner: Arc::new(KeyInner {
+                model: model.to_owned(),
+                mults,
+            }),
+        }
+    }
+
+    /// The installed model name this key addresses.
+    #[must_use]
+    pub fn model(&self) -> &str {
+        &self.inner.model
+    }
+
+    /// The resolved multiplier name of each convolution layer, in
+    /// topological order.
+    #[must_use]
+    pub fn multiplier_names(&self) -> Vec<&str> {
+        self.inner.mults.iter().map(AxMultiplier::name).collect()
+    }
+
+    fn mults(&self) -> &[AxMultiplier] {
+        &self.inner.mults
+    }
+}
+
+impl PartialEq for SessionKey {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+            || (self.inner.model == other.inner.model
+                && self.inner.mults.len() == other.inner.mults.len()
+                && self
+                    .inner
+                    .mults
+                    .iter()
+                    .zip(&other.inner.mults)
+                    .all(|(a, b)| a.name() == b.name()))
+    }
+}
+
+impl Eq for SessionKey {}
+
+impl Hash for SessionKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.model.hash(state);
+        for m in &self.inner.mults {
+            m.name().hash(state);
+        }
+    }
+}
+
+impl fmt::Debug for SessionKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionKey")
+            .field("model", &self.inner.model)
+            .field("multipliers", &self.multiplier_names())
+            .finish()
+    }
+}
+
+impl fmt::Display for SessionKey {
+    /// `model@mult` when the assignment is uniform, `model@[m0,m1,…]`
+    /// otherwise.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = self.multiplier_names();
+        match names.split_first() {
+            Some((first, rest)) if rest.iter().all(|n| n == first) => {
+                write!(f, "{}@{first}", self.inner.model)
+            }
+            _ => write!(f, "{}@[{}]", self.inner.model, names.join(",")),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the registry's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Installed models (each with its pinned anchor session).
+    pub models: usize,
+    /// Variant sessions currently resident, beyond the pinned anchors.
+    pub resident: usize,
+    /// The configured variant capacity.
+    pub capacity: usize,
+    /// Lookups answered from a resident session.
+    pub hits: u64,
+    /// Lookups that compiled a session (admission of a new variant, or
+    /// recompilation of an evicted one).
+    pub misses: u64,
+    /// Variant sessions dropped by the LRU.
+    pub evictions: u64,
+}
+
+struct RegistryInner {
+    /// Pinned anchors: the reassign donors, one per installed model.
+    anchors: HashMap<String, (SessionKey, Arc<Session>)>,
+    /// Resident variants in LRU order: front = coldest, back = hottest.
+    variants: Vec<(SessionKey, Arc<Session>)>,
+}
+
+/// Many compiled sessions behind one LRU of compiled plans.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use tfapprox::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = axnn::resnet::ResNetConfig::with_depth(8)?.build(42)?;
+/// let exact = axmult::catalog::by_name("mul8s_exact")?;
+/// let anchor = Arc::new(
+///     Session::builder()
+///         .backend(Backend::CpuGemm)
+///         .multiplier(&exact)
+///         .compile(&graph)?,
+/// );
+///
+/// let registry = SessionRegistry::new(8)?;
+/// registry.install("resnet8", anchor)?;
+///
+/// // Admitting a new multiplier variant compiles on miss — through the
+/// // reassign plan-transplant path, so it is cheap — and is a hit after.
+/// let rough = axmult::catalog::by_name("mul8s_bam_v8h0")?;
+/// let key = registry.admit("resnet8", &Assignment::uniform(rough))?;
+/// assert_eq!(registry.stats().misses, 1);
+/// let _again = registry.admit("resnet8", &Assignment::uniform(
+///     axmult::catalog::by_name("mul8s_bam_v8h0")?,
+/// ))?;
+/// assert_eq!(registry.stats().hits, 1);
+/// assert_eq!(key.to_string(), "resnet8@mul8s_bam_v8h0");
+/// # Ok(())
+/// # }
+/// ```
+pub struct SessionRegistry {
+    capacity: usize,
+    inner: Mutex<RegistryInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl fmt::Debug for SessionRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SessionRegistry")
+            .field("capacity", &self.capacity)
+            .field("models", &stats.models)
+            .field("resident", &stats.resident)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionRegistry {
+    /// A registry keeping at most `capacity` variant sessions resident
+    /// (anchors are pinned and do not count against it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for a zero capacity — a registry that
+    /// could hold no variant would thrash on every admission.
+    pub fn new(capacity: usize) -> Result<Self, Error> {
+        if capacity == 0 {
+            return Err(Error::Config(
+                "registry capacity must be positive (got 0)".to_owned(),
+            ));
+        }
+        Ok(SessionRegistry {
+            capacity,
+            inner: Mutex::new(RegistryInner {
+                anchors: HashMap::new(),
+                variants: Vec::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// Install a model under `model`, with `anchor` as its pinned anchor
+    /// session — the [`Session::reassign`] donor every later variant of
+    /// this model compiles from. Returns the anchor's own key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if `model` is already installed
+    /// (replacing an anchor out from under its variants would silently
+    /// change what existing keys mean).
+    pub fn install(&self, model: &str, anchor: Arc<Session>) -> Result<SessionKey, Error> {
+        let key = SessionKey::new(model, anchor.multipliers().to_vec());
+        let mut inner = self.inner.lock().expect("registry lock");
+        if inner.anchors.contains_key(model) {
+            return Err(Error::Config(format!(
+                "model '{model}' is already installed in the registry"
+            )));
+        }
+        inner
+            .anchors
+            .insert(model.to_owned(), (key.clone(), anchor));
+        Ok(key)
+    }
+
+    /// Admit a tenant: resolve `assignment` against the installed
+    /// `model`, compile the session if it is not resident (via the
+    /// anchor's `reassign` — plan transplant, not a cold compile), and
+    /// return the key to submit against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for an unknown model or an assignment
+    /// that does not resolve against the model's convolution-layer
+    /// count; propagates compile failures.
+    pub fn admit(&self, model: &str, assignment: &Assignment) -> Result<SessionKey, Error> {
+        let conv_layers = {
+            let inner = self.inner.lock().expect("registry lock");
+            let (_, anchor) = inner.anchors.get(model).ok_or_else(|| {
+                Error::Config(format!("model '{model}' is not installed in the registry"))
+            })?;
+            anchor.multipliers().len()
+        };
+        let key = SessionKey::new(model, assignment.resolve(conv_layers)?);
+        self.session_for(&key)?;
+        Ok(key)
+    }
+
+    /// The resident session for `key`, compiling on miss (admission of a
+    /// new variant, or an evicted one resubmitted — the key carries the
+    /// resolved multipliers, so no `Assignment` is needed). A hit
+    /// touches the LRU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the key's model was never installed;
+    /// propagates compile failures.
+    pub fn session_for(&self, key: &SessionKey) -> Result<Arc<Session>, Error> {
+        let anchor = {
+            let mut inner = self.inner.lock().expect("registry lock");
+            if let Some((anchor_key, anchor)) = inner.anchors.get(key.model()) {
+                if anchor_key == key {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(anchor));
+                }
+                let anchor = Arc::clone(anchor);
+                if let Some(i) = inner.variants.iter().position(|(k, _)| k == key) {
+                    // LRU touch: move to the hot end.
+                    let entry = inner.variants.remove(i);
+                    let session = Arc::clone(&entry.1);
+                    inner.variants.push(entry);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(session);
+                }
+                anchor
+            } else {
+                return Err(Error::Config(format!(
+                    "model '{}' is not installed in the registry",
+                    key.model()
+                )));
+            }
+        };
+        // Compile outside the lock: admission of one slow tenant must not
+        // stall every other tenant's lookups. The reassign path reuses or
+        // transplants the anchor's prepared plans, so the remaining cost
+        // is small.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(anchor.reassign(&Assignment::per_layer(key.mults().to_vec()))?);
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(i) = inner.variants.iter().position(|(k, _)| k == key) {
+            // Another thread admitted the same key while we compiled:
+            // first one in wins, ours is dropped.
+            let entry = inner.variants.remove(i);
+            let session = Arc::clone(&entry.1);
+            inner.variants.push(entry);
+            return Ok(session);
+        }
+        inner.variants.push((key.clone(), Arc::clone(&fresh)));
+        while inner.variants.len() > self.capacity {
+            inner.variants.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(fresh)
+    }
+
+    /// Whether `key`'s session is currently resident (anchor or
+    /// variant). Does not touch the LRU — a probe, not a use.
+    #[must_use]
+    pub fn is_resident(&self, key: &SessionKey) -> bool {
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .anchors
+            .get(key.model())
+            .is_some_and(|(k, _)| k == key)
+            || inner.variants.iter().any(|(k, _)| k == key)
+    }
+
+    /// The resident variant keys in LRU order (coldest first). Anchors
+    /// are pinned and not listed.
+    #[must_use]
+    pub fn resident_keys(&self) -> Vec<SessionKey> {
+        let inner = self.inner.lock().expect("registry lock");
+        inner.variants.iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// Snapshot the registry's counters.
+    #[must_use]
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().expect("registry lock");
+        RegistryStats {
+            models: inner.anchors.len(),
+            resident: inner.variants.len(),
+            capacity: self.capacity,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Backend;
+    use axnn::layers::Conv2D;
+    use axnn::Graph;
+    use axtensor::{rng, ConvGeometry, FilterShape};
+
+    fn tiny_anchor(backend: Backend) -> Arc<Session> {
+        let mut g = Graph::new();
+        let x = g.input();
+        let f1 = rng::uniform_filter(FilterShape::new(3, 3, 2, 3), 11, -0.5, 0.5);
+        let c1 = g
+            .add(
+                "conv1",
+                Arc::new(Conv2D::new(f1, ConvGeometry::default())),
+                &[x],
+            )
+            .unwrap();
+        let f2 = rng::uniform_filter(FilterShape::new(3, 3, 3, 2), 12, -0.5, 0.5);
+        let c2 = g
+            .add(
+                "conv2",
+                Arc::new(Conv2D::new(f2, ConvGeometry::default())),
+                &[c1],
+            )
+            .unwrap();
+        g.set_output(c2).unwrap();
+        let exact = axmult::catalog::by_name("mul8s_exact").unwrap();
+        Arc::new(
+            Session::builder()
+                .backend(backend)
+                .chunk_size(4)
+                .threads(2)
+                .multiplier(&exact)
+                .compile(&g)
+                .unwrap(),
+        )
+    }
+
+    fn uniform(name: &str) -> Assignment {
+        Assignment::uniform(axmult::catalog::by_name(name).unwrap())
+    }
+
+    #[test]
+    fn zero_capacity_is_a_config_error() {
+        let err = SessionRegistry::new(0).unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+        assert!(err.to_string().contains("capacity"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_install_is_rejected() {
+        let registry = SessionRegistry::new(4).unwrap();
+        let anchor = tiny_anchor(Backend::CpuGemm);
+        registry.install("m", Arc::clone(&anchor)).unwrap();
+        let err = registry.install("m", anchor).unwrap_err();
+        assert!(err.to_string().contains("already installed"), "{err}");
+    }
+
+    #[test]
+    fn unknown_model_is_a_config_error() {
+        let registry = SessionRegistry::new(4).unwrap();
+        let err = registry
+            .admit("ghost", &uniform("mul8s_exact"))
+            .unwrap_err();
+        assert!(err.to_string().contains("not installed"), "{err}");
+    }
+
+    #[test]
+    fn anchor_assignment_is_a_pinned_hit() {
+        let registry = SessionRegistry::new(1).unwrap();
+        let anchor = tiny_anchor(Backend::CpuGemm);
+        let key = registry.install("m", Arc::clone(&anchor)).unwrap();
+        let got = registry.session_for(&key).unwrap();
+        assert!(Arc::ptr_eq(&got, &anchor));
+        let stats = registry.stats();
+        assert_eq!((stats.hits, stats.misses, stats.resident), (1, 0, 0));
+        // Admitting the anchor's own assignment resolves to the anchor.
+        let same = registry.admit("m", &uniform("mul8s_exact")).unwrap();
+        assert_eq!(same, key);
+        assert_eq!(registry.stats().resident, 0, "anchor is not a variant");
+    }
+
+    #[test]
+    fn miss_compiles_then_hits() {
+        let registry = SessionRegistry::new(4).unwrap();
+        registry
+            .install("m", tiny_anchor(Backend::CpuGemm))
+            .unwrap();
+        let key = registry.admit("m", &uniform("mul8s_bam_v8h0")).unwrap();
+        assert_eq!(registry.stats().misses, 1);
+        let first = registry.session_for(&key).unwrap();
+        let second = registry.session_for(&key).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = registry.stats();
+        assert_eq!(stats.misses, 1, "resident session must not recompile");
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_and_touch_reorders() {
+        let registry = SessionRegistry::new(2).unwrap();
+        registry
+            .install("m", tiny_anchor(Backend::CpuGemm))
+            .unwrap();
+        let a = registry.admit("m", &uniform("mul8s_bam_v8h0")).unwrap();
+        let b = registry.admit("m", &uniform("mul8s_drum4")).unwrap();
+        // Touch `a`: `b` becomes the coldest.
+        registry.session_for(&a).unwrap();
+        let c = registry.admit("m", &uniform("mul8s_mitchell")).unwrap();
+        assert!(registry.is_resident(&a), "touched entry must survive");
+        assert!(!registry.is_resident(&b), "coldest entry must evict");
+        assert!(registry.is_resident(&c));
+        let stats = registry.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.resident, 2);
+        assert_eq!(registry.resident_keys(), vec![a.clone(), c]);
+        // The evicted key still resolves — recompiled from the anchor.
+        let revived = registry.session_for(&b).unwrap();
+        assert_eq!(revived.multipliers()[0].name(), "mul8s_drum4");
+        assert_eq!(registry.stats().evictions, 2, "a evicted in turn");
+    }
+
+    #[test]
+    fn mismatched_assignment_errors() {
+        let registry = SessionRegistry::new(2).unwrap();
+        registry
+            .install("m", tiny_anchor(Backend::CpuGemm))
+            .unwrap();
+        let exact = axmult::catalog::by_name("mul8s_exact").unwrap();
+        let err = registry
+            .admit("m", &Assignment::per_layer(vec![exact]))
+            .unwrap_err();
+        assert!(err.to_string().contains("2 convolution layers"), "{err}");
+    }
+
+    #[test]
+    fn key_identity_is_model_plus_multiplier_names() {
+        let registry = SessionRegistry::new(4).unwrap();
+        registry
+            .install("m", tiny_anchor(Backend::CpuGemm))
+            .unwrap();
+        let a = registry.admit("m", &uniform("mul8s_bam_v8h0")).unwrap();
+        // The same assignment expressed differently resolves to an equal
+        // key — and hits, not recompiles.
+        let rough = axmult::catalog::by_name("mul8s_bam_v8h0").unwrap();
+        let b = registry
+            .admit(
+                "m",
+                &Assignment::per_layer(vec![rough.clone(), rough.clone()]),
+            )
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(registry.stats().misses, 1);
+        assert_eq!(a.to_string(), "m@mul8s_bam_v8h0");
+        let mixed = registry
+            .admit(
+                "m",
+                &Assignment::uniform(rough)
+                    .with_layer(0, axmult::catalog::by_name("mul8s_exact").unwrap()),
+            )
+            .unwrap();
+        assert_ne!(a, mixed);
+        assert_eq!(mixed.to_string(), "m@[mul8s_exact,mul8s_bam_v8h0]");
+        assert_eq!(
+            mixed.multiplier_names(),
+            vec!["mul8s_exact", "mul8s_bam_v8h0"]
+        );
+        assert_eq!(mixed.model(), "m");
+    }
+}

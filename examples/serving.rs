@@ -1,37 +1,53 @@
-//! Serving quickstart: many concurrent callers sharing one compiled
-//! session through the batched `ServeEngine`.
+//! Serving quickstart: many tenants — one per approximate-multiplier
+//! configuration — sharing one multi-tenant `ServeEngine`.
 //!
-//! Compiles a ResNet-8 session once, wraps it in a `ServeEngine` with
-//! two shard workers and a 8-image micro-batch budget, then lets four
-//! client threads submit interleaved requests. Every response is
-//! bit-identical to what a solo `Session::infer` of the same input
-//! produces — batching and sharding change throughput, never bits.
+//! Compiles a ResNet-8 anchor session once, installs it in a
+//! `SessionRegistry`, then admits two more multiplier variants through
+//! the `reassign` plan-transplant path (input-side work only). Four
+//! client threads submit keyed requests against all three tenants; every
+//! response is bit-identical to what a solo `Session::infer` on that
+//! tenant's session produces — batching, sharding, and tenant mix change
+//! throughput, never bits. The engine's streaming histogram reports the
+//! p50/p95/p99 tail at the end.
 //!
 //! Run with: `cargo run --release --example serving`
 
 use std::sync::Arc;
 use tfapprox::prelude::*;
-use tfapprox::serve::ServeEngine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Compile once: the engine serves this session for its whole life.
+    // Compile the anchor once: every other tenant derives from it by
+    // plan transplant, never a full recompile.
     let graph = axnn::resnet::ResNetConfig::with_depth(8)?.build(42)?;
-    let mult = axmult::catalog::by_name("mul8s_bam_v8h0")?;
-    let session = Arc::new(
+    let anchor_mult = axmult::catalog::by_name("mul8s_exact")?;
+    let anchor = Arc::new(
         Session::builder()
             .backend(Backend::CpuGemm)
             .chunk_size(8)
-            .multiplier(&mult)
+            .multiplier(&anchor_mult)
             .compile(&graph)?,
     );
     println!(
-        "compiled ResNet-8 ({} approximate layers, {})",
-        session.replaced_layers(),
-        mult.name()
+        "compiled ResNet-8 anchor ({} approximate layers, {})",
+        anchor.replaced_layers(),
+        anchor_mult.name()
     );
 
-    let engine = Arc::new(ServeEngine::new(
-        Arc::clone(&session),
+    // The registry holds up to 2 derived variants in its LRU; the anchor
+    // is pinned and does not count.
+    let registry = Arc::new(SessionRegistry::new(2)?);
+    let key_exact = registry.install("resnet8", Arc::clone(&anchor))?;
+    let mut keys = vec![key_exact.clone()];
+    for name in ["mul8s_bam_v8h0", "mul8s_drum4"] {
+        let mult = axmult::catalog::by_name(name)?;
+        let key = registry.admit("resnet8", &Assignment::uniform(mult))?;
+        println!("admitted tenant {key}");
+        keys.push(key);
+    }
+
+    let engine = Arc::new(ServeEngine::with_registry(
+        Arc::clone(&registry),
+        key_exact,
         ServeConfig::new()
             .with_max_batch_images(8)
             .with_flush_ticks(2)
@@ -39,15 +55,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_queue_depth(256),
     )?);
 
-    // Four clients, eight requests each, mixed batch sizes.
+    // Solo golden sessions, resolved through the registry itself.
+    let solos: Vec<Arc<Session>> = keys
+        .iter()
+        .map(|k| registry.session_for(k))
+        .collect::<Result<_, _>>()?;
+
+    // Four clients, eight requests each, round-robining the tenants.
     let clients = 4usize;
     let per_client = 8usize;
     std::thread::scope(|scope| {
         for c in 0..clients {
             let engine = Arc::clone(&engine);
-            let session = Arc::clone(&session);
+            let keys = &keys;
+            let solos = &solos;
             scope.spawn(move || {
                 for i in 0..per_client {
+                    let tenant = (c + i) % keys.len();
                     let images = 1 + (i % 2);
                     let seed = (c * per_client + i) as u64;
                     let input = axtensor::rng::uniform(
@@ -56,9 +80,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         -1.0,
                         1.0,
                     );
-                    let served = engine.infer(input.clone()).expect("served response");
-                    let solo = session.infer(&input).expect("solo inference");
-                    assert_eq!(served, solo, "served output must be bit-identical");
+                    let served = engine
+                        .infer_to(&keys[tenant], input.clone())
+                        .expect("served response");
+                    let solo = solos[tenant].infer(&input).expect("solo inference");
+                    assert_eq!(
+                        served, solo,
+                        "served output must be bit-identical per tenant"
+                    );
                 }
             });
         }
@@ -66,13 +95,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stats = engine.stats();
     println!(
-        "served {} requests ({} images) in {} micro-batches",
-        stats.requests, stats.images, stats.batches
+        "served {} requests ({} images) in {} micro-batches across {} tenants",
+        stats.requests,
+        stats.images,
+        stats.batches,
+        keys.len()
     );
     println!(
-        "mean occupancy {:.2} requests/batch, {:.1} images/s sustained, {} shed",
-        stats.mean_occupancy, stats.images_per_second, stats.shed
+        "mean occupancy {:.2} requests/batch, {:.1} images/s sustained, {} shed, {} deadline-shed",
+        stats.mean_occupancy, stats.images_per_second, stats.shed, stats.deadline_shed
     );
-    println!("every response was bit-identical to solo Session::infer");
+    println!(
+        "latency p50 {:.1} ms · p95 {:.1} ms · p99 {:.1} ms",
+        stats.p50_latency_s * 1e3,
+        stats.p95_latency_s * 1e3,
+        stats.p99_latency_s * 1e3
+    );
+    let rstats = registry.stats();
+    println!(
+        "registry: {} resident / capacity {} ({} hits, {} misses, {} evictions)",
+        rstats.resident, rstats.capacity, rstats.hits, rstats.misses, rstats.evictions
+    );
+    println!("every response was bit-identical to its tenant's solo Session::infer");
     Ok(())
 }

@@ -1,0 +1,281 @@
+//! Integration tests of the multi-tenant session registry: the
+//! plan-transplant witness behind compile-on-miss, eviction safety under
+//! live traffic, and the `ServeConfig` validation contract.
+
+use axnn::layers::{Conv2D, ReLU};
+use axnn::Graph;
+use axtensor::{rng, ConvGeometry, FilterShape, Shape4, Tensor};
+use proptest::prelude::*;
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::Duration;
+use tfapprox::prelude::*;
+
+/// Hard watchdog: run `body` on its own thread and panic if it does not
+/// finish within `timeout`.
+fn with_watchdog<F: FnOnce() + Send + 'static>(timeout: Duration, body: F) {
+    let (tx, rx) = mpsc::channel();
+    let worker = thread::spawn(move || {
+        body();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(()) => worker.join().expect("test body panicked"),
+        Err(_) => panic!("watchdog: test body exceeded {timeout:?} — deadlock?"),
+    }
+}
+
+/// A small two-conv + ReLU graph, shared with the stress suite's shape.
+fn tiny_graph() -> Graph {
+    let mut g = Graph::new();
+    let x = g.input();
+    let f1 = rng::uniform_filter(FilterShape::new(3, 3, 2, 3), 7, -0.5, 0.5);
+    let c1 = g
+        .add(
+            "conv1",
+            Arc::new(Conv2D::new(f1, ConvGeometry::default())),
+            &[x],
+        )
+        .unwrap();
+    let r1 = g.add("relu1", Arc::new(ReLU::new()), &[c1]).unwrap();
+    let f2 = rng::uniform_filter(FilterShape::new(3, 3, 3, 2), 8, -0.5, 0.5);
+    let c2 = g
+        .add(
+            "conv2",
+            Arc::new(Conv2D::new(f2, ConvGeometry::default())),
+            &[r1],
+        )
+        .unwrap();
+    g.set_output(c2).unwrap();
+    g
+}
+
+fn compile(backend: Backend, mult_name: &str) -> Arc<Session> {
+    let mult = axmult::catalog::by_name(mult_name).unwrap();
+    Arc::new(
+        Session::builder()
+            .backend(backend)
+            .chunk_size(4)
+            .threads(2)
+            .multiplier(&mult)
+            .compile(&tiny_graph())
+            .unwrap(),
+    )
+}
+
+fn request(seed: u64, images: usize) -> Tensor<f32> {
+    rng::uniform(Shape4::new(images, 5, 5, 2), seed, -1.0, 1.0)
+}
+
+/// Compile-on-miss must route through the `reassign` plan-transplant
+/// path, not a cold compile. On the modeled GPU backend every filter
+/// plan build records deterministic quantization events, so the shared
+/// context's `quant_ops` counter is an exact witness: admitting a
+/// same-signedness variant charges **zero** new plan builds (both
+/// layers' plans transplant from the anchor), while a changed-signedness
+/// variant must rebuild and charges more.
+#[test]
+fn compile_on_miss_transplants_anchor_plans() {
+    let anchor = compile(Backend::GpuSim, "mul8s_exact");
+    let after_compile = anchor.context().events().quant_ops;
+    assert!(after_compile > 0, "eager compile must build plans");
+
+    let registry = SessionRegistry::new(4).unwrap();
+    registry.install("tiny", Arc::clone(&anchor)).unwrap();
+
+    // Same signedness, different LUT: the registry's reassign-based
+    // admission transplants both cached plans — no new quantization
+    // events on the shared context.
+    let rough = axmult::catalog::by_name("mul8s_bam_v8h0").unwrap();
+    let key = registry.admit("tiny", &Assignment::uniform(rough)).unwrap();
+    assert_eq!(
+        anchor.context().events().quant_ops,
+        after_compile,
+        "same-signedness admission must pay zero plan rebuilds"
+    );
+    assert_eq!(registry.stats().misses, 1, "it was still a compile-on-miss");
+    let variant = registry.session_for(&key).unwrap();
+    assert_eq!(variant.multipliers()[0].name(), "mul8s_bam_v8h0");
+
+    // Different signedness: the plans cannot transplant and must
+    // rebuild, which the event counter sees.
+    let unsigned = axmult::catalog::by_name("mul8u_drum4").unwrap();
+    registry
+        .admit("tiny", &Assignment::uniform(unsigned))
+        .unwrap();
+    assert!(
+        anchor.context().events().quant_ops > after_compile,
+        "changed-signedness admission must rebuild its plans"
+    );
+}
+
+/// Eviction under live traffic must never drop or corrupt an in-flight
+/// request. Capacity 1 with two variant tenants means every admission
+/// evicts the other tenant, so the registry churns constantly while
+/// clients hammer both; every response must stay bit-identical to its
+/// tenant's solo session, and the churn must actually have happened.
+#[test]
+fn eviction_under_load_never_drops_in_flight_requests() {
+    with_watchdog(Duration::from_secs(120), || {
+        let anchor = compile(Backend::CpuGemm, "mul8s_exact");
+        let registry = Arc::new(SessionRegistry::new(1).unwrap());
+        let key_anchor = registry.install("tiny", Arc::clone(&anchor)).unwrap();
+        let key_a = registry
+            .admit(
+                "tiny",
+                &Assignment::uniform(axmult::catalog::by_name("mul8s_bam_v8h0").unwrap()),
+            )
+            .unwrap();
+        let key_b = registry
+            .admit(
+                "tiny",
+                &Assignment::uniform(axmult::catalog::by_name("mul8s_drum4").unwrap()),
+            )
+            .unwrap();
+        let solo_a = compile(Backend::CpuGemm, "mul8s_bam_v8h0");
+        let solo_b = compile(Backend::CpuGemm, "mul8s_drum4");
+
+        let engine = ServeEngine::with_registry(
+            Arc::clone(&registry),
+            key_anchor.clone(),
+            ServeConfig::new()
+                .with_shards(2)
+                .with_max_batch_images(4)
+                .with_flush_ticks(1)
+                .with_queue_depth(1024),
+        )
+        .unwrap();
+
+        let keys = [&key_anchor, &key_a, &key_b];
+        let solos = [&anchor, &solo_a, &solo_b];
+        let clients = 6usize;
+        let per_client = 12usize;
+        thread::scope(|scope| {
+            for c in 0..clients {
+                let engine = &engine;
+                scope.spawn(move || {
+                    for i in 0..per_client {
+                        // Alternating variant keys through a capacity-1
+                        // LRU: each submit_to of a non-resident variant
+                        // recompiles it and evicts the other — while the
+                        // evicted tenant still has requests in flight.
+                        let tenant = (c + i) % keys.len();
+                        let images = 1 + (i % 3);
+                        let seed = (c * per_client + i) as u64;
+                        let x = request(seed, images);
+                        let out = engine
+                            .infer_to(keys[tenant], x.clone())
+                            .unwrap_or_else(|e| panic!("client {c} request {i}: {e}"));
+                        assert_eq!(
+                            out,
+                            solos[tenant].infer(&x).unwrap(),
+                            "client {c} request {i} (tenant {tenant}) diverged from solo"
+                        );
+                    }
+                });
+            }
+        });
+
+        let stats = engine.stats();
+        assert_eq!(stats.requests, (clients * per_client) as u64);
+        assert_eq!(stats.shed, 0);
+        let rstats = registry.stats();
+        assert!(
+            rstats.evictions > 0,
+            "capacity 1 with two variants must have churned (got {rstats:?})"
+        );
+        assert_eq!(rstats.resident, 1);
+    });
+}
+
+/// An evicted tenant's ticket remains valid mid-flight: submit against a
+/// variant, force its eviction before waiting, then wait — the response
+/// must still arrive bit-identical (the request holds its own session
+/// reference).
+#[test]
+fn ticket_survives_eviction_of_its_session() {
+    with_watchdog(Duration::from_secs(60), || {
+        let anchor = compile(Backend::CpuGemm, "mul8s_exact");
+        let registry = Arc::new(SessionRegistry::new(1).unwrap());
+        let key_anchor = registry.install("tiny", Arc::clone(&anchor)).unwrap();
+        let key_a = registry
+            .admit(
+                "tiny",
+                &Assignment::uniform(axmult::catalog::by_name("mul8s_bam_v8h0").unwrap()),
+            )
+            .unwrap();
+        let solo_a = compile(Backend::CpuGemm, "mul8s_bam_v8h0");
+        let engine = ServeEngine::with_registry(
+            Arc::clone(&registry),
+            key_anchor,
+            // One shard, single-image batches: the big head request keeps
+            // the shard busy while we evict behind it.
+            ServeConfig::new().with_shards(1).with_max_batch_images(1),
+        )
+        .unwrap();
+
+        let busy = engine.submit(request(50, 16)).unwrap();
+        let x = request(51, 2);
+        let pending = engine.submit_to(&key_a, x.clone()).unwrap();
+        // Evict key_a by admitting another variant into the size-1 LRU.
+        registry
+            .admit(
+                "tiny",
+                &Assignment::uniform(axmult::catalog::by_name("mul8s_drum4").unwrap()),
+            )
+            .unwrap();
+        assert!(!registry.is_resident(&key_a), "eviction must have happened");
+
+        assert!(busy.wait().is_ok());
+        assert_eq!(
+            pending.wait().unwrap(),
+            solo_a.infer(&x).unwrap(),
+            "an in-flight request must survive eviction bit-identically"
+        );
+    });
+}
+
+fn validation_session() -> Arc<Session> {
+    static SESSION: OnceLock<Arc<Session>> = OnceLock::new();
+    Arc::clone(SESSION.get_or_init(|| compile(Backend::CpuGemm, "mul8s_exact")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The `SessionBuilder` convention, proptested on `ServeConfig`: any
+    /// zero among `max_batch_images`/`shards`/`queue_depth` surfaces as a
+    /// typed `Error::Config` at the `ServeEngine::new` boundary — never a
+    /// panic, never a silent clamp — and any all-positive configuration
+    /// constructs (and tears down) an engine cleanly.
+    #[test]
+    fn proptest_config_zeros_are_typed_errors(
+        max_batch_images in 0usize..4,
+        shards in 0usize..3,
+        queue_depth in 0usize..4,
+        flush_ticks in 0usize..4,
+    ) {
+        let cfg = ServeConfig::new()
+            .with_max_batch_images(max_batch_images)
+            .with_flush_ticks(flush_ticks)
+            .with_shards(shards)
+            .with_queue_depth(queue_depth);
+        let result = ServeEngine::new(validation_session(), cfg);
+        if max_batch_images == 0 || shards == 0 || queue_depth == 0 {
+            let err = result.map(drop).expect_err("zero field must be rejected");
+            prop_assert!(matches!(err, Error::Config(_)), "unexpected error {err}");
+            // The message names the offending field.
+            let msg = err.to_string();
+            prop_assert!(
+                msg.contains("max_batch_images") || msg.contains("shards") || msg.contains("queue_depth"),
+                "unhelpful message: {msg}"
+            );
+        } else {
+            // flush_ticks 0 is legal: it means "flush when the queue
+            // runs dry", not "never flush".
+            let engine = result.expect("all-positive config must construct");
+            drop(engine);
+        }
+    }
+}

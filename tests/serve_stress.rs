@@ -22,8 +22,8 @@ use std::sync::mpsc;
 use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Duration;
-use tfapprox::serve::{ServeConfig, ServeEngine};
-use tfapprox::{Backend, Session};
+use tfapprox::serve::{ServeConfig, ServeEngine, SessionKey, SessionRegistry};
+use tfapprox::{Assignment, Backend, Session};
 
 /// Hard watchdog: run `body` on its own thread and panic if it does not
 /// finish within `timeout` — a deadlocked engine fails the suite instead
@@ -151,6 +151,112 @@ fn hammer(shards: usize, clients: usize, per_client: usize, config: ServeConfig)
     assert_eq!(stats.requests, (clients * per_client) as u64);
     assert_eq!(stats.shed, 0, "queue was deep enough — nothing may shed");
     assert!(stats.batches >= 1 && stats.batches <= stats.requests);
+}
+
+/// The multi-tenant stress body: a registry with three tenants (the
+/// anchor plus two multiplier variants), `clients` threads round-robining
+/// keyed requests of interleaved sizes. Every response must be
+/// bit-identical to a solo `Session::infer` on **its own** tenant's
+/// session — micro-batches never mix tenants, so neither do bits.
+fn hammer_multi_tenant(shards: usize, clients: usize, per_client: usize, capacity: usize) {
+    let anchor = shared_session(); // mul8s_bam_v8h0
+    let registry = Arc::new(SessionRegistry::new(capacity).unwrap());
+    let key_anchor = registry.install("tiny", Arc::clone(&anchor)).unwrap();
+    let variant = |name: &str| {
+        registry
+            .admit(
+                "tiny",
+                &Assignment::uniform(axmult::catalog::by_name(name).unwrap()),
+            )
+            .unwrap()
+    };
+    let keys: Vec<SessionKey> = vec![
+        key_anchor.clone(),
+        variant("mul8s_exact"),
+        variant("mul8s_drum4"),
+    ];
+    // Independent solo sessions as goldens (not resolved through the
+    // registry, so a registry bug cannot hide behind shared state).
+    let solo = |name: &str| {
+        let mult = axmult::catalog::by_name(name).unwrap();
+        Arc::new(
+            Session::builder()
+                .backend(Backend::CpuGemm)
+                .chunk_size(4)
+                .threads(2)
+                .multiplier(&mult)
+                .compile(&tiny_graph())
+                .unwrap(),
+        )
+    };
+    let solos: Vec<Arc<Session>> = vec![
+        Arc::clone(&anchor),
+        solo("mul8s_exact"),
+        solo("mul8s_drum4"),
+    ];
+    let mut golden: HashMap<(usize, u64, usize), Tensor<f32>> = HashMap::new();
+    for (t, s) in solos.iter().enumerate() {
+        for seed in 0..clients as u64 {
+            for images in 0..4 {
+                golden.insert((t, seed, images), s.infer(&request(seed, images)).unwrap());
+            }
+        }
+    }
+
+    let engine = ServeEngine::with_registry(
+        Arc::clone(&registry),
+        key_anchor,
+        ServeConfig::new()
+            .with_shards(shards)
+            .with_max_batch_images(4)
+            .with_flush_ticks(1)
+            .with_queue_depth(4096),
+    )
+    .unwrap();
+    thread::scope(|scope| {
+        for c in 0..clients {
+            let engine = &engine;
+            let keys = &keys;
+            let golden = &golden;
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let tenant = (c + i) % keys.len();
+                    let images = [1, 2, 3, 1, 0][i % 5];
+                    let seed = c as u64;
+                    let out = engine
+                        .infer_to(&keys[tenant], request(seed, images))
+                        .unwrap_or_else(|e| panic!("client {c} request {i}: {e}"));
+                    assert_eq!(
+                        &out,
+                        &golden[&(tenant, seed, images)],
+                        "client {c} request {i} (tenant {tenant}, images {images}) differs \
+                         from its tenant's serial Session::infer on {shards} shard(s)"
+                    );
+                }
+            });
+        }
+    });
+    let stats = engine.stats();
+    assert_eq!(stats.requests, (clients * per_client) as u64);
+    assert_eq!(stats.shed, 0, "queue was deep enough — nothing may shed");
+    assert_eq!(stats.deadline_shed, 0, "no deadlines were set");
+    assert!(stats.p50_latency_s > 0.0 && stats.p50_latency_s <= stats.p99_latency_s);
+}
+
+#[test]
+fn stress_multi_tenant_two_shards() {
+    with_watchdog(Duration::from_secs(120), || {
+        hammer_multi_tenant(2, 6, 15, 4);
+    });
+}
+
+#[test]
+fn stress_multi_tenant_four_shards_with_eviction_churn() {
+    // Capacity 1 forces the two non-anchor tenants to evict each other
+    // continuously while four shards serve all three.
+    with_watchdog(Duration::from_secs(120), || {
+        hammer_multi_tenant(4, 6, 12, 1);
+    });
 }
 
 #[test]
