@@ -28,6 +28,14 @@ pub enum NnError {
         /// Description of the violation.
         message: String,
     },
+    /// A segmented forward pass was given a segment table that does not
+    /// partition the input's batch axis.
+    SegmentMismatch {
+        /// Images in the fused input batch.
+        images: usize,
+        /// Images the segment table covers.
+        covered: usize,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -45,6 +53,10 @@ impl fmt::Display for NnError {
                 write!(f, "CIFAR ResNet depth must be 6n+2, got {d}")
             }
             NnError::Layer { layer, message } => write!(f, "layer '{layer}': {message}"),
+            NnError::SegmentMismatch { images, covered } => write!(
+                f,
+                "segment table covers {covered} images but the fused batch holds {images}"
+            ),
         }
     }
 }

@@ -3,7 +3,7 @@
 use crate::layer::Layer;
 use crate::layers::{Conv2D, MaxOf, MinOf};
 use crate::NnError;
-use axtensor::{Shape4, Tensor};
+use axtensor::{SegmentTable, Shape4, Tensor};
 use std::sync::Arc;
 
 /// Identifier of a graph node.
@@ -200,6 +200,52 @@ impl Graph {
             values[i] = Some(value);
             // Free tensors no longer needed? Kept simple: graphs here are
             // small; peak memory is not the bottleneck of the emulation.
+        }
+        Ok(values[out.0].take().expect("executed above"))
+    }
+
+    /// Execute the graph on one *fused* input batch whose batch axis is
+    /// partitioned into per-request `segments`.
+    ///
+    /// Identical to [`Graph::forward`] except that every node runs
+    /// through [`Layer::forward_segmented`], so segment-aware operators
+    /// (the `Min`/`Max` observers, quantizing layers) treat each segment
+    /// exactly as a solo [`Graph::forward`] of that segment would —
+    /// which makes the fused output bit-identical to the concatenation
+    /// of per-segment solo outputs.
+    ///
+    /// # Errors
+    ///
+    /// - [`NnError::NoOutput`] if no output node was declared.
+    /// - [`NnError::SegmentMismatch`] if the table's total differs from
+    ///   the input's batch count.
+    /// - Propagates layer execution errors.
+    pub fn forward_segmented(
+        &self,
+        input: &Tensor<f32>,
+        segments: &SegmentTable,
+    ) -> Result<Tensor<f32>, NnError> {
+        let out = self.output.ok_or(NnError::NoOutput)?;
+        if segments.total() != input.shape().n {
+            return Err(NnError::SegmentMismatch {
+                images: input.shape().n,
+                covered: segments.total(),
+            });
+        }
+        let mut values: Vec<Option<Tensor<f32>>> = vec![None; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let value = match &node.kind {
+                NodeKind::Input => input.clone(),
+                NodeKind::Op(layer) => {
+                    let ins: Vec<&Tensor<f32>> = node
+                        .inputs
+                        .iter()
+                        .map(|id| values[id.0].as_ref().expect("topological order"))
+                        .collect();
+                    layer.forward_segmented(&ins, segments)?
+                }
+            };
+            values[i] = Some(value);
         }
         Ok(values[out.0].take().expect("executed above"))
     }

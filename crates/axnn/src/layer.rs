@@ -2,7 +2,7 @@
 
 use crate::layers::Conv2D;
 use crate::NnError;
-use axtensor::{Shape4, Tensor};
+use axtensor::{SegmentTable, Shape4, Tensor};
 use std::fmt;
 
 /// A neural-network operator.
@@ -33,6 +33,32 @@ pub trait Layer: fmt::Debug + Send + Sync {
     ///
     /// Implementations return an error when arity or shapes are invalid.
     fn forward(&self, inputs: &[&Tensor<f32>]) -> Result<Tensor<f32>, NnError>;
+
+    /// Execute the operator on a *fused* batch in which `segments` marks
+    /// contiguous per-request spans along the batch axis.
+    ///
+    /// The contract: the output must be **bit-identical** to running
+    /// `forward` on each segment alone and concatenating the results
+    /// along the batch axis. The default delegates to [`Layer::forward`],
+    /// which is correct for every operator whose per-image output depends
+    /// only on that image's data (element-wise ops, pooling, folded
+    /// batch-norm, softmax, residual adds, plain convolutions). Operators
+    /// that reduce or calibrate *across* the batch — the `Min`/`Max`
+    /// range observers, and any layer resolving quantization coefficients
+    /// from its input — must override this to keep each segment's view
+    /// exactly what it would have seen solo.
+    ///
+    /// # Errors
+    ///
+    /// As [`Layer::forward`].
+    fn forward_segmented(
+        &self,
+        inputs: &[&Tensor<f32>],
+        segments: &SegmentTable,
+    ) -> Result<Tensor<f32>, NnError> {
+        let _ = segments;
+        self.forward(inputs)
+    }
 
     /// Multiply-accumulate operations performed for the given input
     /// shapes; 0 for non-arithmetic layers.

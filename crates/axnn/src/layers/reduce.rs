@@ -2,7 +2,39 @@
 
 use crate::layer::{check_arity, Layer};
 use crate::NnError;
-use axtensor::{ops, Shape4, Tensor};
+use axtensor::{ops, SegmentTable, Shape4, Tensor};
+
+/// Reduce each segment of a fused batch with `pick` over the solo
+/// `(min, max)` semantics of [`ops::min_max_slice`], producing one
+/// scalar per segment as an `[S, 1, 1, 1]` tensor.
+///
+/// An NHWC batch is contiguous per image, so a segment's elements are
+/// one contiguous slice — each segment sees exactly the values (and the
+/// empty-tensor / NaN semantics) a solo observer over that request
+/// would see, which is the bit-identity anchor of batch fusion.
+fn observe_segments(
+    input: &Tensor<f32>,
+    segments: &SegmentTable,
+    pick: impl Fn((f32, f32)) -> f32,
+) -> Result<Tensor<f32>, NnError> {
+    let shape = input.shape();
+    if segments.total() != shape.n {
+        return Err(NnError::SegmentMismatch {
+            images: shape.n,
+            covered: segments.total(),
+        });
+    }
+    let per = shape.h * shape.w * shape.c;
+    let data = input.as_slice();
+    let values: Vec<f32> = segments
+        .iter()
+        .map(|(start, end)| pick(ops::min_max_slice(&data[start * per..end * per])))
+        .collect();
+    Ok(Tensor::from_vec(
+        Shape4::new(segments.len(), 1, 1, 1),
+        values,
+    )?)
+}
 
 /// Element-wise residual addition of two tensors.
 #[derive(Debug, Clone, Copy, Default)]
@@ -71,6 +103,17 @@ impl Layer for MinOf {
         let (lo, _) = ops::min_max(inputs[0]);
         Ok(Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![lo])?)
     }
+
+    /// One minimum per segment, as an `[S, 1, 1, 1]` tensor — each
+    /// segment observed exactly as a solo batch would be.
+    fn forward_segmented(
+        &self,
+        inputs: &[&Tensor<f32>],
+        segments: &SegmentTable,
+    ) -> Result<Tensor<f32>, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        observe_segments(inputs[0], segments, |(lo, _)| lo)
+    }
 }
 
 /// The `Max` observer, the counterpart of [`MinOf`].
@@ -99,6 +142,16 @@ impl Layer for MaxOf {
         check_arity(self.op_name(), inputs, 1)?;
         let (_, hi) = ops::min_max(inputs[0]);
         Ok(Tensor::from_vec(Shape4::new(1, 1, 1, 1), vec![hi])?)
+    }
+
+    /// One maximum per segment, as an `[S, 1, 1, 1]` tensor.
+    fn forward_segmented(
+        &self,
+        inputs: &[&Tensor<f32>],
+        segments: &SegmentTable,
+    ) -> Result<Tensor<f32>, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        observe_segments(inputs[0], segments, |(_, hi)| hi)
     }
 }
 
@@ -129,5 +182,56 @@ mod tests {
         assert_eq!(lo.shape(), Shape4::new(1, 1, 1, 1));
         assert_eq!(lo.as_slice(), &[-4.0]);
         assert_eq!(hi.as_slice(), &[9.0]);
+    }
+
+    #[test]
+    fn segmented_observers_match_solo_per_segment() {
+        // 4 images of 1×2×1; segments 2/0/2 — each segment's scalar must
+        // equal a solo observation of that segment, including (0, 0) for
+        // the empty one.
+        let t = Tensor::from_vec(
+            Shape4::new(4, 1, 2, 1),
+            vec![1.0, -3.0, 2.5, 0.5, -7.0, 4.0, 0.0, 6.0],
+        )
+        .unwrap();
+        let segs = SegmentTable::from_counts(&[2, 0, 2]);
+        let lo = MinOf::new().forward_segmented(&[&t], &segs).unwrap();
+        let hi = MaxOf::new().forward_segmented(&[&t], &segs).unwrap();
+        assert_eq!(lo.shape(), Shape4::new(3, 1, 1, 1));
+        assert_eq!(lo.as_slice(), &[-3.0, 0.0, -7.0]);
+        assert_eq!(hi.as_slice(), &[2.5, 0.0, 6.0]);
+        // Cross-check against solo forward over each segment slice.
+        for (i, (start, end)) in segs.iter().enumerate() {
+            if start == end {
+                continue;
+            }
+            let part = t.batch_slice(start, end - start);
+            assert_eq!(
+                MinOf::new().forward(&[&part]).unwrap().as_slice()[0],
+                lo.as_slice()[i]
+            );
+            assert_eq!(
+                MaxOf::new().forward(&[&part]).unwrap().as_slice()[0],
+                hi.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn segmented_observers_propagate_nan_only_within_the_segment() {
+        let t = Tensor::from_vec(Shape4::new(2, 1, 1, 1), vec![f32::NAN, 5.0]).unwrap();
+        let segs = SegmentTable::from_counts(&[1, 1]);
+        let lo = MinOf::new().forward_segmented(&[&t], &segs).unwrap();
+        assert!(lo.as_slice()[0].is_nan());
+        assert_eq!(lo.as_slice()[1], 5.0);
+    }
+
+    #[test]
+    fn segmented_observer_rejects_mismatched_table() {
+        let t = Tensor::<f32>::zeros(Shape4::new(3, 1, 1, 1));
+        let err = MinOf::new()
+            .forward_segmented(&[&t], &SegmentTable::from_counts(&[2]))
+            .unwrap_err();
+        assert!(matches!(err, NnError::SegmentMismatch { .. }));
     }
 }

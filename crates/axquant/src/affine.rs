@@ -172,6 +172,27 @@ impl QuantParams {
         self.scale * (i - self.zero_point) as f32
     }
 
+    /// Resolve one `(α, β)` pair per segment from per-segment bounds —
+    /// the segmented form of `ComputeCoeffs`, paired with
+    /// [`crate::range::segment_bounds`]. Each pair is exactly
+    /// [`QuantParams::from_range`] of that segment's bounds, so a fused
+    /// batch quantizes every segment precisely as a solo run would.
+    ///
+    /// Bounds must be finite (an all-empty segment's `(0.0, 0.0)` is
+    /// fine); callers validate NaN ranges *before* resolving params, as
+    /// the solo path does.
+    #[must_use]
+    pub fn for_segments(
+        bounds: &[(f32, f32)],
+        range: QuantRange,
+        round: RoundMode,
+    ) -> Vec<QuantParams> {
+        bounds
+            .iter()
+            .map(|&(lo, hi)| QuantParams::from_range(lo, hi, range, round))
+            .collect()
+    }
+
     /// Quantize a slice into logical integer values.
     #[must_use]
     pub fn quantize_slice(&self, xs: &[f32]) -> Vec<i32> {
@@ -285,5 +306,18 @@ mod tests {
     fn custom_range_steps() {
         let r = QuantRange::custom(-8, 7);
         assert_eq!(r.steps(), 15);
+    }
+
+    #[test]
+    fn for_segments_is_from_range_per_segment() {
+        let bounds = [(-1.0f32, 3.0f32), (0.0, 0.0), (-5.0, -0.2)];
+        let ps = QuantParams::for_segments(&bounds, QuantRange::i8(), RoundMode::NearestEven);
+        assert_eq!(ps.len(), bounds.len());
+        for (p, &(lo, hi)) in ps.iter().zip(&bounds) {
+            assert_eq!(
+                *p,
+                QuantParams::from_range(lo, hi, QuantRange::i8(), RoundMode::NearestEven)
+            );
+        }
     }
 }

@@ -42,5 +42,7 @@ pub mod round;
 
 pub use affine::{QuantParams, QuantRange};
 pub use perchannel::FilterQuantization;
-pub use range::{EmaRangeTracker, RangeTracker};
+#[allow(deprecated)]
+pub use range::EmaRangeTracker;
+pub use range::{segment_bounds, RangeTracker};
 pub use round::RoundMode;

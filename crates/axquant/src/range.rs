@@ -71,6 +71,63 @@ impl Default for RangeTracker {
     }
 }
 
+/// Per-segment `(min, max)` bounds over a fused activation buffer, in one
+/// pass — the segmented form of the Fig. 1 observers.
+///
+/// `counts` gives each segment's length in *units* (batch images), and
+/// `elems_per_unit` the number of consecutive `f32` elements one unit
+/// occupies (`H × W × C` for an NHWC batch; pass 1 to segment a flat
+/// slice). Segments are consecutive: segment `i` covers the
+/// `counts[i] × elems_per_unit` elements following segment `i − 1`.
+///
+/// The per-segment semantics are **exactly** those of a solo observer
+/// (`axtensor::ops::min_max`): an empty segment reports `(0.0, 0.0)` and
+/// a segment containing any NaN reports `(NaN, NaN)` — NaN propagates so
+/// the quantization layer can reject it instead of deriving garbage
+/// coefficients, which plain `f32::min`/`f32::max` (and
+/// [`RangeTracker`]) would silently swallow. This is what makes a fused
+/// forward pass bit-identical to solo inference: each segment resolves
+/// the same `(α, β)` it would have resolved alone.
+///
+/// # Panics
+///
+/// Panics if `data` is shorter than the segments require.
+#[must_use]
+pub fn segment_bounds(data: &[f32], counts: &[usize], elems_per_unit: usize) -> Vec<(f32, f32)> {
+    let total: usize = counts.iter().map(|c| c * elems_per_unit).sum();
+    assert!(
+        data.len() >= total,
+        "segment_bounds: {} elements for segments spanning {total}",
+        data.len()
+    );
+    let mut out = Vec::with_capacity(counts.len());
+    let mut cursor = 0usize;
+    for &count in counts {
+        let len = count * elems_per_unit;
+        let seg = &data[cursor..cursor + len];
+        cursor += len;
+        out.push(match seg.split_first() {
+            None => (0.0, 0.0),
+            Some((&first, rest)) => {
+                let mut lo = first;
+                let mut hi = first;
+                let mut saw_nan = first.is_nan();
+                for &v in rest {
+                    saw_nan |= v.is_nan();
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                if saw_nan {
+                    (f32::NAN, f32::NAN)
+                } else {
+                    (lo, hi)
+                }
+            }
+        });
+    }
+    out
+}
+
 /// Exponential-moving-average range tracker for *training-time*
 /// calibration.
 ///
@@ -79,6 +136,19 @@ impl Default for RangeTracker {
 /// are determined once per a batch". During training, frameworks smooth
 /// those per-batch observations with an EMA so the deployed quantization
 /// range is stable; this tracker implements that smoothing.
+///
+/// Deprecated: nothing on the inference/serving path consumes EMA-smoothed
+/// ranges — per-batch (now per-segment) observation is what keeps served
+/// outputs bit-identical to solo inference, and no training loop exists in
+/// this repository to feed the smoothing. The type is kept (hidden) so
+/// downstream calibration experiments don't break, with its behavior
+/// pinned by tests, but it is not part of the documented API.
+#[deprecated(
+    since = "0.7.0",
+    note = "unused on the inference path; per-segment observation (see \
+            `segment_bounds`) is the supported range resolution"
+)]
+#[doc(hidden)]
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EmaRangeTracker {
     momentum: f32,
@@ -86,6 +156,7 @@ pub struct EmaRangeTracker {
     max: Option<f32>,
 }
 
+#[allow(deprecated)]
 impl EmaRangeTracker {
     /// Create with the given momentum (the weight of the *old* estimate;
     /// TensorFlow's default is 0.99).
@@ -123,7 +194,10 @@ impl EmaRangeTracker {
     }
 }
 
+/// Behavior pin for the deprecated [`EmaRangeTracker`]: deprecation hides
+/// it from the documented API but must not change what it computes.
 #[cfg(test)]
+#[allow(deprecated)]
 mod ema_tests {
     use super::*;
 
@@ -158,6 +232,18 @@ mod ema_tests {
     #[should_panic(expected = "momentum")]
     fn momentum_validated() {
         let _ = EmaRangeTracker::new(1.0);
+    }
+
+    #[test]
+    fn deprecated_type_arithmetic_is_pinned_exactly() {
+        // The deprecation must not change a single bit of the smoothing:
+        // m·old + (1−m)·new in f32, min and max independently.
+        let mut t = EmaRangeTracker::new(0.75);
+        t.observe_batch(-2.0, 2.0);
+        t.observe_batch(-4.0, 6.0);
+        let (lo, hi) = t.bounds();
+        assert_eq!(lo, 0.75f32 * -2.0 + 0.25f32 * -4.0);
+        assert_eq!(hi, 0.75f32 * 2.0 + 0.25f32 * 6.0);
     }
 }
 
@@ -196,5 +282,40 @@ mod tests {
         let before = a.bounds();
         a.merge(&RangeTracker::new());
         assert_eq!(a.bounds(), before);
+    }
+
+    #[test]
+    fn segment_bounds_matches_solo_observation_per_segment() {
+        // 3 segments of 2/0/1 units, 2 elements per unit.
+        let data = [1.0f32, -3.0, 2.5, 0.5, -7.0, 4.0];
+        let bounds = segment_bounds(&data, &[2, 0, 1], 2);
+        assert_eq!(bounds, vec![(-3.0, 2.5), (0.0, 0.0), (-7.0, 4.0)]);
+    }
+
+    #[test]
+    fn segment_bounds_single_segment_covers_everything() {
+        let data = [0.25f32, -1.5, 9.0];
+        assert_eq!(segment_bounds(&data, &[3], 1), vec![(-1.5, 9.0)]);
+        assert_eq!(segment_bounds(&data, &[1], 3), vec![(-1.5, 9.0)]);
+    }
+
+    #[test]
+    fn segment_bounds_propagates_nan_per_segment_only() {
+        let data = [1.0f32, f32::NAN, 2.0, 3.0];
+        let bounds = segment_bounds(&data, &[2, 2], 1);
+        assert!(bounds[0].0.is_nan() && bounds[0].1.is_nan());
+        assert_eq!(bounds[1], (2.0, 3.0));
+    }
+
+    #[test]
+    fn segment_bounds_empty_everything() {
+        assert!(segment_bounds(&[], &[], 4).is_empty());
+        assert_eq!(segment_bounds(&[], &[0, 0], 4), vec![(0.0, 0.0); 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment_bounds")]
+    fn segment_bounds_rejects_short_data() {
+        let _ = segment_bounds(&[1.0], &[2], 1);
     }
 }

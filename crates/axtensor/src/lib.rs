@@ -34,6 +34,7 @@
 pub mod im2col;
 pub mod ops;
 pub mod rng;
+pub mod segment;
 pub mod shape;
 pub mod tensor;
 
@@ -42,5 +43,6 @@ mod error;
 pub use error::TensorError;
 pub use im2col::{im2col, im2col_panels, PatchMatrix, PatchPanels};
 pub use ops::{Filter, Matrix};
+pub use segment::SegmentTable;
 pub use shape::{ConvGeometry, FilterShape, Padding, Shape4};
 pub use tensor::Tensor;

@@ -1,0 +1,224 @@
+//! Request segments along the batch axis.
+//!
+//! The serving tier coalesces several requests into one fused batch
+//! tensor. Each request occupies a contiguous *segment* of the batch
+//! dimension, and every segment must be quantized with exactly the
+//! `(α, β)` pair it would have received alone — that is what keeps a
+//! fused forward pass bit-identical to solo inference. [`SegmentTable`]
+//! is the boundary record that travels with the fused tensor: it maps a
+//! batch (or, after [`SegmentTable::scaled`], an im2col row) index back
+//! to the request it belongs to.
+
+use serde::{Deserialize, Serialize};
+
+/// Contiguous request boundaries along the batch/row axis of a fused
+/// tensor.
+///
+/// A table of `S` segments partitions `[0, total)` into `S` consecutive
+/// half-open spans, one per request, in submission order. Zero-length
+/// segments are legal (a zero-image request still gets an answer) and
+/// simply span nothing.
+///
+/// # Example
+///
+/// ```
+/// use axtensor::SegmentTable;
+///
+/// let t = SegmentTable::from_counts(&[2, 0, 3]);
+/// assert_eq!(t.len(), 3);
+/// assert_eq!(t.total(), 5);
+/// assert_eq!(t.bounds(1), (2, 2)); // empty segment
+/// assert_eq!(t.bounds(2), (2, 5));
+/// // Images -> im2col rows: 4 patch rows per image.
+/// assert_eq!(t.scaled(4).bounds(2), (8, 20));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentTable {
+    /// `offsets[i]..offsets[i + 1]` is segment `i`; `offsets[0] == 0`.
+    offsets: Vec<usize>,
+}
+
+impl SegmentTable {
+    /// Build a table from per-segment element counts.
+    #[must_use]
+    pub fn from_counts(counts: &[usize]) -> Self {
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &c in counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        SegmentTable { offsets }
+    }
+
+    /// The trivial table: one segment spanning `[0, total)` — what a solo
+    /// request is. Segment-aware code fed this table behaves exactly like
+    /// its unsegmented predecessor.
+    #[must_use]
+    pub fn single(total: usize) -> Self {
+        SegmentTable {
+            offsets: vec![0, total],
+        }
+    }
+
+    /// Number of segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the table holds no segments at all (distinct from holding
+    /// only empty segments).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total element count across all segments.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        *self.offsets.last().expect("offsets never empty")
+    }
+
+    /// Element count of segment `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn count(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Per-segment element counts.
+    #[must_use]
+    pub fn counts(&self) -> Vec<usize> {
+        self.offsets.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Half-open span `(start, end)` of segment `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn bounds(&self, i: usize) -> (usize, usize) {
+        (self.offsets[i], self.offsets[i + 1])
+    }
+
+    /// Iterate over `(start, end)` spans in order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.offsets.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Rescale every boundary by a constant factor — the image→row map:
+    /// an image contributes `out_h × out_w` im2col patch rows, so the
+    /// row-space table of a fused patch matrix is the image-space table
+    /// scaled by that factor.
+    #[must_use]
+    pub fn scaled(&self, factor: usize) -> SegmentTable {
+        SegmentTable {
+            offsets: self.offsets.iter().map(|&o| o * factor).collect(),
+        }
+    }
+
+    /// The segment a flat index belongs to (empty segments can never own
+    /// an index). `None` if `index >= total()`.
+    #[must_use]
+    pub fn segment_of(&self, index: usize) -> Option<usize> {
+        if index >= self.total() {
+            return None;
+        }
+        // partition_point: first offset strictly greater than index, minus
+        // one, skipping any run of empty segments sharing that offset.
+        let p = self.offsets.partition_point(|&o| o <= index);
+        Some(p - 1)
+    }
+
+    /// Flatten to a per-element segment-index vector (`total()` entries)
+    /// — the O(1) row→segment lookup the GEMM epilogue wants.
+    #[must_use]
+    pub fn element_segments(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.total());
+        for (i, (start, end)) in self.iter().enumerate() {
+            let tag = u32::try_from(i).expect("segment count fits u32");
+            out.extend(std::iter::repeat_n(tag, end - start));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_builds_spans() {
+        let t = SegmentTable::from_counts(&[2, 0, 3, 1]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.total(), 6);
+        assert_eq!(t.counts(), vec![2, 0, 3, 1]);
+        assert_eq!(t.bounds(0), (0, 2));
+        assert_eq!(t.bounds(1), (2, 2));
+        assert_eq!(t.bounds(2), (2, 5));
+        assert_eq!(t.bounds(3), (5, 6));
+        assert_eq!(t.count(2), 3);
+    }
+
+    #[test]
+    fn single_is_one_full_span() {
+        let t = SegmentTable::single(7);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.total(), 7);
+        assert_eq!(t.bounds(0), (0, 7));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_tables() {
+        let none = SegmentTable::from_counts(&[]);
+        assert!(none.is_empty());
+        assert_eq!(none.total(), 0);
+        let hollow = SegmentTable::from_counts(&[0, 0]);
+        assert!(!hollow.is_empty());
+        assert_eq!(hollow.len(), 2);
+        assert_eq!(hollow.total(), 0);
+        assert_eq!(hollow.element_segments(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn scaled_multiplies_boundaries() {
+        let t = SegmentTable::from_counts(&[1, 0, 2]).scaled(9);
+        assert_eq!(t.counts(), vec![9, 0, 18]);
+        assert_eq!(t.total(), 27);
+    }
+
+    #[test]
+    fn segment_of_skips_empty_segments() {
+        let t = SegmentTable::from_counts(&[2, 0, 0, 3]);
+        assert_eq!(t.segment_of(0), Some(0));
+        assert_eq!(t.segment_of(1), Some(0));
+        assert_eq!(t.segment_of(2), Some(3));
+        assert_eq!(t.segment_of(4), Some(3));
+        assert_eq!(t.segment_of(5), None);
+    }
+
+    #[test]
+    fn element_segments_matches_segment_of() {
+        let t = SegmentTable::from_counts(&[1, 0, 3, 0, 2]);
+        let flat = t.element_segments();
+        assert_eq!(flat.len(), t.total());
+        for (i, &s) in flat.iter().enumerate() {
+            assert_eq!(t.segment_of(i), Some(s as usize));
+        }
+        assert_eq!(flat, vec![0, 2, 2, 2, 4, 4]);
+    }
+
+    #[test]
+    fn iter_yields_every_span() {
+        let t = SegmentTable::from_counts(&[2, 1]);
+        let spans: Vec<_> = t.iter().collect();
+        assert_eq!(spans, vec![(0, 2), (2, 3)]);
+    }
+}

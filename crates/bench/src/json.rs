@@ -54,6 +54,12 @@ pub fn integer(v: u64) -> String {
     format!("{v}")
 }
 
+/// Format a boolean as a JSON literal.
+#[must_use]
+pub fn boolean(v: bool) -> String {
+    if v { "true" } else { "false" }.to_owned()
+}
+
 /// Render `key: value` pairs as a JSON object.
 #[must_use]
 pub fn object(fields: &[(&str, String)]) -> String {
@@ -256,6 +262,8 @@ mod tests {
             ("mean_s", number(1.25e-3)),
             ("nan_guard", number(f64::NAN)),
             ("count", number(3.0)),
+            ("flag", boolean(true)),
+            ("off", boolean(false)),
             ("items", array(&[number(1.0), number(-0.5), string("x")])),
             ("empty", array(&[])),
             ("nested", object(&[("k", string("v"))])),
@@ -263,6 +271,8 @@ mod tests {
         validate(&doc).unwrap();
         assert!(doc.contains("\"nan_guard\": null"));
         assert!(doc.contains("\"count\": 3.0"));
+        assert!(doc.contains("\"flag\": true"));
+        assert!(doc.contains("\"off\": false"));
     }
 
     #[test]

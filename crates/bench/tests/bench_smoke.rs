@@ -70,8 +70,8 @@ fn quick_serve_suite_emits_well_formed_json() {
     let report = serve_bench::run_suite(true);
     assert_eq!(
         report.samples.len(),
-        serve_bench::CLIENT_SWEEP.len() * serve_bench::BUDGET_SWEEP.len(),
-        "one sample per (clients, budget) point"
+        serve_bench::CLIENT_SWEEP.len() * serve_bench::BUDGET_SWEEP.len() * 2,
+        "one fused + one unfused sample per (clients, budget) point"
     );
     assert!(report.serial.images_per_second > 0.0);
     for s in &report.samples {
@@ -82,9 +82,28 @@ fn quick_serve_suite_emits_well_formed_json() {
         assert!(s.mean_occupancy >= 1.0);
         if s.max_batch_images == 1 {
             // Budget 1 forces one batch per request (the single-request
-            // serving baseline the batched points are compared to).
+            // serving baseline the batched points are compared to) — so
+            // nothing can fuse there either.
             assert_eq!(s.batches, s.requests);
             assert!((s.mean_occupancy - 1.0).abs() < 1e-9);
+            assert_eq!(s.fused_batches, 0);
+        }
+        if !s.fused {
+            assert_eq!(s.fused_batches, 0, "fusion off must never fuse");
+        }
+        assert!(s.fused_batches <= s.batches);
+    }
+    // Every sweep point must appear as an A/B pair: fused and unfused.
+    for &clients in &serve_bench::CLIENT_SWEEP {
+        for &budget in &serve_bench::BUDGET_SWEEP {
+            for fused in [true, false] {
+                assert!(
+                    report.samples.iter().any(|s| s.clients == clients
+                        && s.max_batch_images == budget
+                        && s.fused == fused),
+                    "missing (clients {clients}, budget {budget}, fused {fused}) sample"
+                );
+            }
         }
     }
     // Coalescing must actually happen somewhere in the sweep: at least
@@ -96,6 +115,18 @@ fn quick_serve_suite_emits_well_formed_json() {
             .any(|s| s.max_batch_images > 1 && s.mean_occupancy > 1.0),
         "no point in the sweep ever coalesced"
     );
+    // A coalesced fused point must actually have fused: every
+    // multi-request micro-batch of this single-shape sweep is eligible.
+    for s in &report.samples {
+        if s.fused && s.batches < s.requests {
+            assert!(
+                s.fused_batches >= 1,
+                "point (clients {}, budget {}) coalesced but never fused",
+                s.clients,
+                s.max_batch_images
+            );
+        }
+    }
 
     // The multi-tenant sweep: one sample per (tenants, clients) point,
     // with a populated latency tail and zero shed everywhere.
@@ -124,13 +155,16 @@ fn quick_serve_suite_emits_well_formed_json() {
     let doc = serve_bench::report_json(&report, true);
     json::validate(&doc).expect("BENCH_serve.json must be well-formed JSON");
     for needle in [
-        "\"schema\": \"tfapprox-bench-serve/2\"",
+        "\"schema\": \"tfapprox-bench-serve/3\"",
         "\"mode\": \"quick\"",
         "\"serial\"",
         "\"cases\"",
         "\"tenant_cases\"",
         "\"tenants\"",
         "\"max_batch_images\"",
+        "\"fused\": true",
+        "\"fused\": false",
+        "\"fused_batches\"",
         "\"mean_occupancy\"",
         "\"requests_shed\"",
         "\"images_per_second\"",

@@ -9,7 +9,7 @@ use axnn::layer::{check_arity, Layer};
 use axnn::layers::Conv2D;
 use axnn::NnError;
 use axquant::{FilterQuantization, QuantParams, QuantRange, RoundMode};
-use axtensor::{ops, ConvGeometry, Filter, Shape4, Tensor};
+use axtensor::{ops, ConvGeometry, Filter, SegmentTable, Shape4, Tensor};
 use gpusim::{Phase, PhaseProfile};
 use std::borrow::Cow;
 use std::sync::{Arc, OnceLock};
@@ -315,6 +315,102 @@ impl AxConv2D {
         let (lo, hi) = ops::min_max(input);
         self.convolve_with_range(input, lo, hi)
     }
+
+    /// Convolve a *fused* multi-request batch, with one input range per
+    /// segment (the segmented Fig. 1 observers' outputs).
+    ///
+    /// Bit-identical to calling [`Self::convolve_with_range`] on each
+    /// segment alone with its own range and concatenating. On the
+    /// host-GEMM backend the whole batch runs as one segmented GEMM per
+    /// chunk ([`backend::run_cpu_gemm_fused_prepared`]); the other
+    /// backends run per segment and concatenate, which is the identity by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::Config`] if any segment's range is non-finite
+    /// or inverted, if the segment table does not cover exactly the
+    /// batch, or if `bounds` does not cover exactly the segments;
+    /// propagates shape errors.
+    pub fn convolve_segmented(
+        &self,
+        input: &Tensor<f32>,
+        bounds: &[(f32, f32)],
+        segments: &SegmentTable,
+    ) -> Result<Tensor<f32>, EmuError> {
+        let n = input.shape().n;
+        if segments.total() != n || bounds.len() != segments.len() {
+            return Err(EmuError::Config(format!(
+                "fused batch of {n} images: segment table covers {} images with {} \
+                 segments but {} ranges were supplied",
+                segments.total(),
+                segments.len(),
+                bounds.len()
+            )));
+        }
+        for &(lo, hi) in bounds {
+            backend::validate_range(lo, hi)?;
+        }
+        self.validate_filter_weights()?;
+        let out_shape = self
+            .geometry
+            .output_shape(input.shape(), self.filter.shape())?;
+        if n == 0 {
+            // All segments empty: nothing to compute, and — exactly like
+            // the solo zero-image path — no plan is built or charged.
+            return Ok(Tensor::zeros(out_shape));
+        }
+        let (plan, built) = self.plan();
+        let range = self.quant_range();
+        let (out, mut profile) = match self.ctx.backend() {
+            Backend::CpuGemm => {
+                let seg_q: Vec<QuantParams> = bounds
+                    .iter()
+                    .map(|&(lo, hi)| QuantParams::from_range(lo, hi, range, self.round))
+                    .collect();
+                // The spec's own input_q is unused by the fused runner;
+                // seed it with segment 0's range for coherence.
+                let spec = self.spec_with_plan(&plan, bounds[0].0, bounds[0].1);
+                backend::run_cpu_gemm_fused_prepared(
+                    input, &spec, &seg_q, segments, &plan, &self.ctx,
+                )?
+            }
+            // The nested-loop and simulated-device backends gain nothing
+            // from fusion (no shared GEMM to amortize); run the segments
+            // back-to-back — the bit-identity baseline itself.
+            Backend::CpuDirect | Backend::GpuSim => {
+                let mut parts: Vec<Tensor<f32>> = Vec::new();
+                let mut profile = PhaseProfile::new();
+                for (s, (start, end)) in segments.iter().enumerate() {
+                    if start == end {
+                        parts.push(Tensor::zeros(Shape4::new(
+                            0,
+                            out_shape.h,
+                            out_shape.w,
+                            out_shape.c,
+                        )));
+                        continue;
+                    }
+                    let piece = input.batch_slice(start, end - start);
+                    let spec = self.spec_with_plan(&plan, bounds[s].0, bounds[s].1);
+                    let (part, part_profile) = match self.ctx.backend() {
+                        Backend::CpuDirect => {
+                            backend::run_cpu_direct_prepared(&piece, &spec, &plan, true)?
+                        }
+                        _ => backend::run_gpusim_prepared(&piece, &spec, &plan, &self.ctx)?,
+                    };
+                    parts.push(part);
+                    profile.merge(&part_profile);
+                }
+                (Tensor::concat_batch(&parts)?, profile)
+            }
+        };
+        if let Some(build_profile) = built {
+            profile.merge(&build_profile);
+        }
+        self.ctx.record(&profile);
+        Ok(out)
+    }
 }
 
 impl Layer for AxConv2D {
@@ -342,6 +438,35 @@ impl Layer for AxConv2D {
         let lo = scalar(inputs[1], "Min")?;
         let hi = scalar(inputs[2], "Max")?;
         self.convolve_with_range(inputs[0], lo, hi)
+            .map_err(|e| NnError::Layer {
+                layer: "AxConv2D".to_owned(),
+                message: e.to_string(),
+            })
+    }
+
+    /// The fused-batch forward: `inputs[1]`/`inputs[2]` are the segmented
+    /// observers' `[S, 1, 1, 1]` per-segment range tensors.
+    fn forward_segmented(
+        &self,
+        inputs: &[&Tensor<f32>],
+        segments: &SegmentTable,
+    ) -> Result<Tensor<f32>, NnError> {
+        check_arity(self.op_name(), inputs, 3)?;
+        let los = inputs[1].as_slice();
+        let his = inputs[2].as_slice();
+        if los.len() != segments.len() || his.len() != segments.len() {
+            return Err(NnError::Layer {
+                layer: "AxConv2D".to_owned(),
+                message: format!(
+                    "range tensors hold {} min / {} max entries for {} segments",
+                    los.len(),
+                    his.len(),
+                    segments.len()
+                ),
+            });
+        }
+        let bounds: Vec<(f32, f32)> = los.iter().zip(his).map(|(&lo, &hi)| (lo, hi)).collect();
+        self.convolve_segmented(inputs[0], &bounds, segments)
             .map_err(|e| NnError::Layer {
                 layer: "AxConv2D".to_owned(),
                 message: e.to_string(),
@@ -645,6 +770,80 @@ mod tests {
         let a = run(Backend::CpuDirect);
         let b = run(Backend::CpuGemm);
         assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn segmented_convolve_matches_solo_chained_on_every_backend() {
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 3), 61, -0.5, 0.5);
+        let input = rng::uniform(Shape4::new(6, 5, 5, 2), 62, -1.0, 1.0);
+        let segments = SegmentTable::from_counts(&[1, 3, 0, 2]);
+        let bounds: Vec<(f32, f32)> = segments
+            .iter()
+            .map(|(a, b)| ops::min_max(&input.batch_slice(a, b - a)))
+            .collect();
+        for backend in [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim] {
+            let ctx = Arc::new(EmuContext::new(backend).with_chunk_size(4).unwrap());
+            let layer = AxConv2D::new(
+                filter.clone(),
+                ConvGeometry::default(),
+                MulLut::exact(Signedness::Signed),
+                ctx,
+            )
+            .with_bias(vec![0.25, -0.5, 0.125]);
+            let fused = layer
+                .convolve_segmented(&input, &bounds, &segments)
+                .unwrap();
+            let mut parts = Vec::new();
+            for (s, (a, b)) in segments.iter().enumerate() {
+                let piece = input.batch_slice(a, b - a);
+                parts.push(
+                    layer
+                        .convolve_with_range(&piece, bounds[s].0, bounds[s].1)
+                        .unwrap(),
+                );
+            }
+            let chained = Tensor::concat_batch(&parts).unwrap();
+            assert_eq!(fused, chained, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn segmented_convolve_rejects_bad_tables_and_ranges() {
+        let (layer, input) = make(Backend::CpuGemm, MulLut::exact(Signedness::Signed));
+        // Table covering the wrong image count.
+        let err = layer
+            .convolve_segmented(&input, &[(-1.0, 1.0)], &SegmentTable::from_counts(&[1]))
+            .unwrap_err();
+        assert!(matches!(err, EmuError::Config(_)), "{err}");
+        // One range missing.
+        let err = layer
+            .convolve_segmented(&input, &[(-1.0, 1.0)], &SegmentTable::from_counts(&[1, 1]))
+            .unwrap_err();
+        assert!(matches!(err, EmuError::Config(_)), "{err}");
+        // A NaN range in any segment is rejected, as solo would.
+        let err = layer
+            .convolve_segmented(
+                &input,
+                &[(-1.0, 1.0), (f32::NAN, 1.0)],
+                &SegmentTable::from_counts(&[1, 1]),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("invalid input range"), "{err}");
+    }
+
+    #[test]
+    fn segmented_all_empty_builds_no_plan() {
+        let (layer, _) = make(Backend::CpuGemm, MulLut::exact(Signedness::Signed));
+        let empty = Tensor::<f32>::zeros(Shape4::new(0, 6, 6, 3));
+        let out = layer
+            .convolve_segmented(
+                &empty,
+                &[(0.0, 0.0), (0.0, 0.0)],
+                &SegmentTable::from_counts(&[0, 0]),
+            )
+            .unwrap();
+        assert_eq!(out.shape(), Shape4::new(0, 6, 6, 4));
+        assert!(!layer.is_prepared());
     }
 
     #[test]

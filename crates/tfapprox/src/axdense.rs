@@ -12,8 +12,8 @@ use crate::{backend, EmuContext, EmuError};
 use axmult::{MulLut, Signedness};
 use axnn::layer::{check_arity, Layer};
 use axnn::NnError;
-use axquant::{QuantParams, QuantRange, RoundMode};
-use axtensor::{ops, Matrix, Shape4, Tensor};
+use axquant::{segment_bounds, QuantParams, QuantRange, RoundMode};
+use axtensor::{ops, Matrix, SegmentTable, Shape4, Tensor};
 use gpusim::{Phase, PhaseProfile};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -223,6 +223,106 @@ impl AxDense {
         self.ctx.record(&profile);
         Ok(out)
     }
+
+    /// Run the approximate dense computation over a *fused* multi-request
+    /// batch, resolving one input range per segment (a dense row is one
+    /// image, so [`segment_bounds`] observes each request's rows exactly
+    /// as a solo [`Self::compute`] would).
+    ///
+    /// Bit-identical to computing each segment alone and concatenating:
+    /// every output row depends only on its own features and its
+    /// segment's `(α₁, β₁)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::compute`], applied per segment; additionally rejects a
+    /// segment table that does not cover exactly the batch.
+    pub fn compute_segmented(
+        &self,
+        input: &Tensor<f32>,
+        segments: &SegmentTable,
+    ) -> Result<Tensor<f32>, EmuError> {
+        let s = input.shape();
+        if s.h * s.w * s.c != self.in_features {
+            return Err(EmuError::Config(format!(
+                "input features {} != {}",
+                s.h * s.w * s.c,
+                self.in_features
+            )));
+        }
+        if !self.weight_range.0.is_finite() || !self.weight_range.1.is_finite() {
+            return Err(EmuError::Config(
+                "dense weights contain non-finite values".to_owned(),
+            ));
+        }
+        if segments.total() != s.n {
+            return Err(EmuError::Config(format!(
+                "segment table covers {} images but the fused batch holds {}",
+                segments.total(),
+                s.n
+            )));
+        }
+        let bounds = segment_bounds(input.as_slice(), &segments.counts(), self.in_features);
+        for &(lo, hi) in &bounds {
+            backend::validate_range(lo, hi)?;
+        }
+        if s.n == 0 {
+            return Ok(Tensor::zeros(Shape4::new(0, 1, 1, self.out_features)));
+        }
+        let seg_q = QuantParams::for_segments(&bounds, self.quant_range(), self.round);
+        let weight_q = self.weight_quant();
+        let (plan, built) = self.plan();
+
+        let mut profile = PhaseProfile::new();
+        if let Some(build_profile) = built {
+            profile.merge(&build_profile);
+        }
+        // Per-row quantization under the owning segment's params.
+        let t0 = Instant::now();
+        let data = input.as_slice();
+        let mut q_in = vec![0i32; data.len()];
+        for (seg, (start, end)) in segments.iter().enumerate() {
+            let q = seg_q[seg];
+            let span = start * self.in_features..end * self.in_features;
+            for (dst, &v) in q_in[span.clone()].iter_mut().zip(&data[span]) {
+                *dst = q.quantize(v);
+            }
+        }
+        profile.add(Phase::Quantization, t0.elapsed().as_secs_f64());
+        let q_w = plan.q_logical();
+        let sf = plan.sf();
+
+        let t1 = Instant::now();
+        let b2 = i64::from(weight_q.zero_point());
+        let k = self.in_features as i64;
+        let row_seg = segments.element_segments();
+        // Per-segment epilogue constants, in the exact expression shape of
+        // the solo path (`a1 * a2` as one f64 product).
+        let b1s: Vec<i64> = seg_q.iter().map(|q| i64::from(q.zero_point())).collect();
+        let a1a2s: Vec<f64> = seg_q
+            .iter()
+            .map(|q| f64::from(q.scale()) * f64::from(weight_q.scale()))
+            .collect();
+        let n = s.n;
+        let mut out = Tensor::<f32>::zeros(Shape4::new(n, 1, 1, self.out_features));
+        for b in 0..n {
+            let seg = row_seg[b] as usize;
+            let (b1, a1a2) = (b1s[seg], a1a2s[seg]);
+            let row = &q_in[b * self.in_features..(b + 1) * self.in_features];
+            let sp: i64 = row.iter().map(|&q| i64::from(q)).sum();
+            for o in 0..self.out_features {
+                let mut acc = 0i64;
+                for (i, &iv) in row.iter().enumerate() {
+                    acc += i64::from(self.lut.product(iv, q_w[i * self.out_features + o]));
+                }
+                let corrected = acc - b2 * sp - b1 * sf[o] + k * b1 * b2;
+                *out.at_mut(b, 0, 0, o) = (a1a2 * corrected as f64) as f32 + self.bias[o];
+            }
+        }
+        profile.add(Phase::LutLookup, t1.elapsed().as_secs_f64());
+        self.ctx.record(&profile);
+        Ok(out)
+    }
 }
 
 impl Layer for AxDense {
@@ -252,6 +352,21 @@ impl Layer for AxDense {
             layer: "AxDense".to_owned(),
             message: e.to_string(),
         })
+    }
+
+    /// The fused-batch forward: per-segment range resolution via
+    /// [`Self::compute_segmented`].
+    fn forward_segmented(
+        &self,
+        inputs: &[&Tensor<f32>],
+        segments: &SegmentTable,
+    ) -> Result<Tensor<f32>, NnError> {
+        check_arity(self.op_name(), inputs, 1)?;
+        self.compute_segmented(inputs[0], segments)
+            .map_err(|e| NnError::Layer {
+                layer: "AxDense".to_owned(),
+                message: e.to_string(),
+            })
     }
 
     fn mac_count(&self, inputs: &[Shape4]) -> Result<u64, NnError> {
@@ -464,6 +579,55 @@ mod tests {
         let out = ax.compute(&empty).unwrap();
         assert_eq!(out.shape(), Shape4::new(0, 1, 1, 10));
         assert!(out.as_slice().is_empty());
+    }
+
+    #[test]
+    fn segmented_compute_matches_solo_chained() {
+        let (weights, bias, _) = random_parts(12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let input = Tensor::from_fn(Shape4::new(5, 1, 1, 64), |_, _, _, _| {
+            rng.gen_range(-1.0..1.0)
+        });
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let ax = AxDense::new(
+            64,
+            10,
+            weights,
+            bias,
+            MulLut::exact(Signedness::Signed),
+            ctx,
+        );
+        let segments = SegmentTable::from_counts(&[2, 0, 1, 2]);
+        let fused = ax.compute_segmented(&input, &segments).unwrap();
+        let mut parts = Vec::new();
+        for (start, end) in segments.iter() {
+            parts.push(ax.compute(&input.batch_slice(start, end - start)).unwrap());
+        }
+        let chained = Tensor::concat_batch(&parts).unwrap();
+        assert_eq!(fused, chained);
+    }
+
+    #[test]
+    fn segmented_compute_rejects_nan_and_bad_tables() {
+        let (weights, bias, _) = random_parts(14);
+        let ctx = Arc::new(EmuContext::new(Backend::CpuDirect));
+        let ax = AxDense::new(
+            64,
+            10,
+            weights,
+            bias,
+            MulLut::exact(Signedness::Signed),
+            ctx,
+        );
+        let mut input = Tensor::<f32>::zeros(Shape4::new(2, 1, 1, 64));
+        assert!(ax
+            .compute_segmented(&input, &SegmentTable::from_counts(&[1]))
+            .is_err());
+        input.as_mut_slice()[70] = f32::NAN; // poison image 1 only
+        let err = ax
+            .compute_segmented(&input, &SegmentTable::from_counts(&[1, 1]))
+            .unwrap_err();
+        assert!(err.to_string().contains("invalid input range"), "{err}");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::prepared::PreparedFilter;
 use crate::{EmuContext, EmuError};
 use axmult::MulLut;
 use axquant::{FilterQuantization, QuantParams};
-use axtensor::{ops::Filter, ConvGeometry, Shape4, Tensor};
+use axtensor::{ops::Filter, ConvGeometry, Matrix, SegmentTable, Shape4, Tensor};
 use gpusim::kernels::gemm::approx_gemm_prepared;
 use gpusim::kernels::im2col::{im2col_quant, PatchSumStrategy};
 use gpusim::kernels::minmax::reduction_events;
@@ -326,6 +326,123 @@ pub fn run_cpu_gemm_prepared(
     Ok((apply_bias(out, spec.bias), profile))
 }
 
+/// [`run_cpu_gemm_prepared`] over a *fused* multi-request batch: one
+/// segmented LUT GEMM per chunk instead of one whole pipeline per
+/// request.
+///
+/// `segments` partitions the batch axis into request spans and `seg_q`
+/// gives each span its own input quantization (from its own observers);
+/// `spec.input_q` is ignored. Each chunk is intersected with the segment
+/// spans, every resulting piece is im2col-quantized under its segment's
+/// params — byte-identical to the patches a solo run of that request
+/// produces — and the concatenated pieces run as **one** tiled GEMM whose
+/// epilogue picks the owning segment's Eq. 4 constants per row. Since
+/// every output row depends only on its own patch bytes, its segment's
+/// params, and the fixed ascending-`k` fold order, the result is
+/// bit-identical to running each request alone and concatenating, for any
+/// chunk size, tile shape, thread count, and accumulator model.
+///
+/// # Errors
+///
+/// Returns [`EmuError::Config`] if the segment table does not cover
+/// exactly the batch or `seg_q` does not cover exactly the segments;
+/// propagates shape errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cpu_gemm_fused_prepared(
+    input: &Tensor<f32>,
+    spec: &ConvSpec<'_>,
+    seg_q: &[QuantParams],
+    segments: &SegmentTable,
+    plan: &PreparedFilter,
+    ctx: &EmuContext,
+) -> Result<(Tensor<f32>, PhaseProfile), EmuError> {
+    let fs = spec.filter.shape();
+    let mut profile = PhaseProfile::new();
+    let out_shape = spec.geometry.output_shape(input.shape(), fs)?;
+    let n = input.shape().n;
+    if segments.total() != n || seg_q.len() != segments.len() {
+        return Err(EmuError::Config(format!(
+            "fused batch of {n} images: segment table covers {} images with {} \
+             segments but {} input-quantization sets were supplied",
+            segments.total(),
+            segments.len(),
+            seg_q.len()
+        )));
+    }
+    if n == 0 {
+        return Ok((apply_bias(Tensor::zeros(out_shape), spec.bias), profile));
+    }
+
+    let lut = spec.lut;
+    let accumulator = spec.accumulator;
+    let pool = ctx.pool();
+    let tiles = ctx.tile_config();
+    let chunk_size = ctx.chunk_size();
+    let k = fs.patch_len();
+
+    let mut parts: Vec<Tensor<f32>> = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let count = chunk_size.min(n - start);
+
+        // Intersect the chunk with the request spans: each piece is
+        // im2col-quantized under its own segment's params, then all
+        // pieces run as one segmented GEMM.
+        let t1 = Instant::now();
+        let mut bytes: Vec<u8> = Vec::new();
+        let mut sums: Vec<i64> = Vec::new();
+        let mut piece_q: Vec<QuantParams> = Vec::new();
+        let mut piece_rows: Vec<usize> = Vec::new();
+        for (s, (seg_start, seg_end)) in segments.iter().enumerate() {
+            let lo = seg_start.max(start);
+            let hi = seg_end.min(start + count);
+            if lo >= hi {
+                continue;
+            }
+            let piece = input.batch_slice(lo, hi - lo);
+            let patches = im2col_quant(
+                &piece,
+                fs,
+                spec.geometry,
+                seg_q[s],
+                PatchSumStrategy::PrefixScan,
+            )?
+            .output;
+            bytes.extend_from_slice(patches.matrix.as_slice());
+            sums.extend_from_slice(&patches.patch_sums);
+            piece_q.push(seg_q[s]);
+            piece_rows.push(patches.matrix.rows());
+        }
+        let rows = sums.len();
+        let matrix = Matrix::from_vec(rows, k, bytes)?;
+        let row_table = SegmentTable::from_counts(&piece_rows);
+        profile.add(Phase::Other, t1.elapsed().as_secs_f64());
+
+        // One fused, tiled LUT GEMM for the whole chunk.
+        let t2 = Instant::now();
+        let out_buf = kernel::lut_gemm_tiled_seg(
+            &matrix,
+            &sums,
+            plan,
+            &piece_q,
+            &row_table,
+            lut,
+            accumulator,
+            tiles,
+            pool,
+        );
+        profile.add(Phase::LutLookup, t2.elapsed().as_secs_f64());
+
+        parts.push(Tensor::from_vec(
+            Shape4::new(count, out_shape.h, out_shape.w, out_shape.c),
+            out_buf,
+        )?);
+        start += count;
+    }
+    let out = Tensor::concat_batch(&parts)?;
+    Ok((apply_bias(out, spec.bias), profile))
+}
+
 /// Algorithm 1 on the simulated GPU: the paper's proposal.
 ///
 /// Functional results come from the [`gpusim`] kernels; the profile holds
@@ -605,6 +722,69 @@ mod tests {
         let (gpu, _) = run_gpusim(&input, &s, &gctx).unwrap();
         assert_eq!(gpu.shape(), expect);
         assert!(gpu.as_slice().is_empty());
+    }
+
+    #[test]
+    fn fused_gemm_is_per_request_runs_chained() {
+        // The fused runner must be bit-identical to running each segment
+        // alone (with its own params) and concatenating — across chunk
+        // sizes that split requests and accumulator models, with an empty
+        // segment in the mix.
+        let input = rng::uniform(Shape4::new(7, 6, 6, 2), 51, -1.0, 1.0);
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 3), 52, -0.5, 0.5);
+        let lut = MulLut::exact(Signedness::Signed);
+        let segments = SegmentTable::from_counts(&[2, 0, 4, 1]);
+        let seg_q: Vec<QuantParams> = segments
+            .iter()
+            .map(|(a, b)| {
+                let (lo, hi) = axtensor::ops::min_max(&input.batch_slice(a, b - a));
+                QuantParams::from_range(lo, hi, QuantRange::i8(), RoundMode::NearestEven)
+            })
+            .collect();
+        let bias = [0.25f32, -0.5, 0.125];
+        for accumulator in [Accumulator::Exact, Accumulator::Saturating(12)] {
+            for chunk in [1, 3, 16] {
+                let ctx = EmuContext::new(Backend::CpuGemm)
+                    .with_chunk_size(chunk)
+                    .unwrap();
+                let mut s = spec(&filter, &lut, ConvGeometry::default());
+                s.bias = Some(&bias);
+                s.accumulator = accumulator;
+                let plan = PreparedFilter::from_filter(s.filter, &s.filter_q);
+                let (fused, _) =
+                    run_cpu_gemm_fused_prepared(&input, &s, &seg_q, &segments, &plan, &ctx)
+                        .unwrap();
+                let mut parts = Vec::new();
+                for (i, (a, b)) in segments.iter().enumerate() {
+                    let piece = input.batch_slice(a, b - a);
+                    let mut ss = s.clone();
+                    ss.input_q = seg_q[i];
+                    parts.push(run_cpu_gemm_prepared(&piece, &ss, &plan, &ctx).unwrap().0);
+                }
+                let chained = Tensor::concat_batch(&parts).unwrap();
+                assert_eq!(fused, chained, "{accumulator:?} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_gemm_rejects_mismatched_segments() {
+        let input = rng::uniform(Shape4::new(3, 6, 6, 2), 53, -1.0, 1.0);
+        let filter = rng::uniform_filter(FilterShape::new(3, 3, 2, 3), 54, -0.5, 0.5);
+        let lut = MulLut::exact(Signedness::Signed);
+        let s = spec(&filter, &lut, ConvGeometry::default());
+        let plan = PreparedFilter::from_filter(s.filter, &s.filter_q);
+        let ctx = EmuContext::new(Backend::CpuGemm);
+        let err = run_cpu_gemm_fused_prepared(
+            &input,
+            &s,
+            &[s.input_q],
+            &SegmentTable::from_counts(&[2]),
+            &plan,
+            &ctx,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EmuError::Config(_)), "{err}");
     }
 
     #[test]

@@ -34,14 +34,23 @@
 //! [`lut_gemm_reference`] keeps the untiled per-row loop as the golden
 //! model; the equivalence proptests pin [`lut_gemm_tiled`] against it
 //! bit-for-bit on every multiplier in the catalog.
+//!
+//! Both entry points come in a *segmented* flavour
+//! ([`lut_gemm_reference_seg`], [`lut_gemm_tiled_seg`]) that threads a
+//! [`SegmentTable`] over the output rows: each row dequantizes under its
+//! own segment's input parameters via a precomputed
+//! [`SegmentEpilogue`], so a fused
+//! multi-request batch runs as **one** blocked GEMM while staying
+//! bit-identical to per-request solo runs. The unsegmented names are thin
+//! single-segment wrappers.
 
 use crate::accumulator::Accumulator;
 use crate::pool::WorkerPool;
-use crate::prepared::PreparedFilter;
+use crate::prepared::{PreparedFilter, SegmentEpilogue};
 use crate::EmuError;
 use axmult::{MulLut, Signedness};
 use axquant::QuantParams;
-use axtensor::Matrix;
+use axtensor::{Matrix, SegmentTable};
 use serde::{Deserialize, Serialize};
 
 /// Output positions per register micro-tile: the microkernel streams this
@@ -133,19 +142,34 @@ pub(crate) fn lut_dot(
     }
 }
 
-/// Apply the Eq. 4 correction and dequantize one raw accumulator value.
-#[inline]
-fn dequantize(acc: i64, sp: i64, c: usize, plan: &PreparedFilter, b1: i64, a1: f64) -> f32 {
-    let q = plan.col_q()[c];
-    let b2 = i64::from(q.zero_point());
-    let a1a2 = a1 * f64::from(q.scale());
-    let corrected = acc - b2 * sp - b1 * plan.sf()[c] + (plan.k() as i64) * b1 * b2;
-    (a1a2 * corrected as f64) as f32
+/// Check the shared operand invariants of the segmented GEMM entry
+/// points.
+fn check_seg_operands(
+    patches: &Matrix<u8>,
+    patch_sums: &[i64],
+    plan: &PreparedFilter,
+    seg_q: &[QuantParams],
+    segments: &SegmentTable,
+) {
+    assert_eq!(patches.cols(), plan.k(), "patch length != plan K");
+    assert_eq!(patch_sums.len(), patches.rows(), "patch-sum count");
+    assert_eq!(
+        segments.total(),
+        patches.rows(),
+        "segment table must cover every patch row"
+    );
+    assert_eq!(
+        seg_q.len(),
+        segments.len(),
+        "one input-quantization param set per segment"
+    );
 }
 
 /// The untiled LUT GEMM — one per-tap `lut_dot` fold per output element,
 /// walking the row-major patch matrix. Single-threaded; this is the
 /// golden model the tiled path is pinned against.
+///
+/// A single-segment wrapper over [`lut_gemm_reference_seg`].
 ///
 /// Returns the `rows × c_out` output, row-major (channel-contiguous).
 ///
@@ -162,20 +186,54 @@ pub fn lut_gemm_reference(
     lut: &MulLut,
     accumulator: Accumulator,
 ) -> Vec<f32> {
-    assert_eq!(patches.cols(), plan.k(), "patch length != plan K");
-    assert_eq!(patch_sums.len(), patches.rows(), "patch-sum count");
-    let rows = patches.rows();
+    lut_gemm_reference_seg(
+        patches,
+        patch_sums,
+        plan,
+        std::slice::from_ref(&input_q),
+        &SegmentTable::single(patches.rows()),
+        lut,
+        accumulator,
+    )
+}
+
+/// The untiled *segmented* LUT GEMM: row `r` dequantizes under the input
+/// parameters of the segment `segments` assigns it to. The fold over `K`
+/// is unchanged — segmentation only selects the Eq. 4 epilogue constants
+/// — so each row's bits equal a solo [`lut_gemm_reference`] run over its
+/// segment with `seg_q[s]`.
+///
+/// Returns the `rows × c_out` output, row-major (channel-contiguous).
+///
+/// # Panics
+///
+/// Panics if `patches.cols() != plan.k()`,
+/// `patch_sums.len() != patches.rows()`,
+/// `segments.total() != patches.rows()`, or
+/// `seg_q.len() != segments.len()`.
+#[must_use]
+pub fn lut_gemm_reference_seg(
+    patches: &Matrix<u8>,
+    patch_sums: &[i64],
+    plan: &PreparedFilter,
+    seg_q: &[QuantParams],
+    segments: &SegmentTable,
+    lut: &MulLut,
+    accumulator: Accumulator,
+) -> Vec<f32> {
+    check_seg_operands(patches, patch_sums, plan, seg_q, segments);
     let c_out = plan.c_out();
     let signedness = lut.signedness();
-    let b1 = i64::from(input_q.zero_point());
-    let a1 = f64::from(input_q.scale());
-    let mut out = vec![0f32; rows * c_out];
+    let epi = plan.segment_epilogue(seg_q);
+    let row_seg = segments.element_segments();
+    let mut out = vec![0f32; patches.rows() * c_out];
     for (r, out_row) in out.chunks_mut(c_out.max(1)).enumerate() {
         let patch = patches.row(r);
         let sp = patch_sums[r];
+        let s = row_seg[r] as usize;
         for (c, out_v) in out_row.iter_mut().enumerate() {
             let acc = lut_dot(patch, plan.channel_bytes(c), lut, signedness, accumulator);
-            *out_v = dequantize(acc, sp, c, plan, b1, a1);
+            *out_v = epi.dequantize(s, c, acc, sp);
         }
     }
     out
@@ -183,6 +241,8 @@ pub fn lut_gemm_reference(
 
 /// The tiled, thread-sharded LUT GEMM over the row-major patch matrix
 /// (the same operand [`lut_gemm_reference`] consumes).
+///
+/// A single-segment wrapper over [`lut_gemm_tiled_seg`].
 ///
 /// Output rows are sharded across `pool`; each span is walked in
 /// [`TileConfig`] blocks by the register micro-tile kernel with the
@@ -209,16 +269,59 @@ pub fn lut_gemm_tiled(
     tiles: TileConfig,
     pool: &WorkerPool,
 ) -> Vec<f32> {
-    assert_eq!(patches.cols(), plan.k(), "patch length != plan K");
-    assert_eq!(patch_sums.len(), patches.rows(), "patch-sum count");
+    lut_gemm_tiled_seg(
+        patches,
+        patch_sums,
+        plan,
+        std::slice::from_ref(&input_q),
+        &SegmentTable::single(patches.rows()),
+        lut,
+        accumulator,
+        tiles,
+        pool,
+    )
+}
+
+/// The tiled, thread-sharded *segmented* LUT GEMM — one fused blocked
+/// sweep over a multi-request patch matrix, with each output row
+/// dequantized under its own segment's input parameters.
+///
+/// The fold over `K` and the contiguous-row-span sharding are exactly
+/// those of [`lut_gemm_tiled`]; the segment table only drives the Eq. 4
+/// epilogue, via a [`SegmentEpilogue`]
+/// lookup. The result is bit-identical to [`lut_gemm_reference_seg`] for
+/// any accumulator model, tile shape, and thread count — and therefore to
+/// running each segment alone and concatenating.
+///
+/// Returns the `rows × c_out` output, row-major (channel-contiguous).
+///
+/// # Panics
+///
+/// As [`lut_gemm_reference_seg`].
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn lut_gemm_tiled_seg(
+    patches: &Matrix<u8>,
+    patch_sums: &[i64],
+    plan: &PreparedFilter,
+    seg_q: &[QuantParams],
+    segments: &SegmentTable,
+    lut: &MulLut,
+    accumulator: Accumulator,
+    tiles: TileConfig,
+    pool: &WorkerPool,
+) -> Vec<f32> {
+    check_seg_operands(patches, patch_sums, plan, seg_q, segments);
     let rows = patches.rows();
     let c_out = plan.c_out();
     let mut out = vec![0f32; rows * c_out];
     if rows == 0 || c_out == 0 {
         return out;
     }
-    let b1 = i64::from(input_q.zero_point());
-    let a1 = f64::from(input_q.scale());
+    let epi = plan.segment_epilogue(seg_q);
+    let row_seg = segments.element_segments();
+    let epi_ref = &epi;
+    let row_seg_ref: &[u32] = &row_seg;
 
     // Contiguous row spans, one job each. The per-row fold order does not
     // depend on the partition, so any `threads` gives identical bits.
@@ -233,8 +336,8 @@ pub fn lut_gemm_tiled(
                 patches,
                 patch_sums,
                 plan,
-                b1,
-                a1,
+                row_seg_ref,
+                epi_ref,
                 lut,
                 accumulator,
                 tiles,
@@ -253,8 +356,8 @@ fn tile_span(
     patches: &Matrix<u8>,
     patch_sums: &[i64],
     plan: &PreparedFilter,
-    b1: i64,
-    a1: f64,
+    row_seg: &[u32],
+    epi: &SegmentEpilogue,
     lut: &MulLut,
     accumulator: Accumulator,
     tiles: TileConfig,
@@ -317,13 +420,15 @@ fn tile_span(
                     }
                 }
             }
-            // Epilogue: Eq. 4 correction + dequantization, written to the
+            // Epilogue: Eq. 4 correction + dequantization under the
+            // owning segment's constants, written to the
             // channel-contiguous output tile.
             for (co, acc_col) in acc[..nw * mw].chunks(mw).enumerate() {
                 let c = nb + co;
                 for (i, &a) in acc_col.iter().enumerate() {
-                    let sp = patch_sums[r0 + mb + i];
-                    out_span[(mb + i) * c_out + c] = dequantize(a, sp, c, plan, b1, a1);
+                    let r = r0 + mb + i;
+                    let sp = patch_sums[r];
+                    out_span[(mb + i) * c_out + c] = epi.dequantize(row_seg[r] as usize, c, a, sp);
                 }
             }
         }
@@ -492,6 +597,115 @@ mod tests {
         let one = run(1);
         assert_eq!(one, run(2));
         assert_eq!(one, run(4));
+    }
+
+    /// Distinct per-segment input params so a wrong epilogue pick is
+    /// guaranteed to change bits.
+    fn seg_params() -> Vec<QuantParams> {
+        [(-1.0, 1.0), (-2.0, 0.5), (0.0, 3.0), (-0.25, 0.25)]
+            .iter()
+            .map(|&(lo, hi)| {
+                QuantParams::from_range(lo, hi, QuantRange::i8(), RoundMode::NearestEven)
+            })
+            .collect()
+    }
+
+    fn sub_matrix(patches: &Matrix<u8>, start: usize, end: usize, k: usize) -> Matrix<u8> {
+        let bytes: Vec<u8> = (start..end).flat_map(|r| patches.row(r).to_vec()).collect();
+        Matrix::from_vec(end - start, k, bytes).unwrap()
+    }
+
+    #[test]
+    fn segmented_reference_is_per_segment_reference_chained() {
+        // The fused golden must equal solo goldens over each segment's
+        // rows with that segment's params, concatenated — including an
+        // empty segment in the middle.
+        let fs = FilterShape::new(3, 3, 4, 5);
+        let (patches, sums, plan, _) = setup(14, fs, 17);
+        let segments = SegmentTable::from_counts(&[5, 0, 8, 1]);
+        let seg_q = seg_params();
+        let lut = MulLut::exact(Signedness::Signed);
+        for accumulator in [Accumulator::Exact, Accumulator::Saturating(12)] {
+            let fused = lut_gemm_reference_seg(
+                &patches,
+                &sums,
+                &plan,
+                &seg_q,
+                &segments,
+                &lut,
+                accumulator,
+            );
+            let mut chained = Vec::new();
+            for (s, (start, end)) in segments.iter().enumerate() {
+                let sub = sub_matrix(&patches, start, end, fs.patch_len());
+                chained.extend(lut_gemm_reference(
+                    &sub,
+                    &sums[start..end],
+                    &plan,
+                    seg_q[s],
+                    &lut,
+                    accumulator,
+                ));
+            }
+            assert_eq!(fused, chained, "{accumulator:?}");
+        }
+    }
+
+    #[test]
+    fn segmented_tiled_matches_segmented_reference() {
+        let fs = FilterShape::new(3, 3, 5, 7);
+        let (patches, sums, plan, input_q) = setup(23, fs, 9);
+        let mut seg_q = seg_params();
+        seg_q.push(input_q);
+        let segments = SegmentTable::from_counts(&[4, 0, 9, 2, 8]);
+        let lut = MulLut::exact(Signedness::Signed);
+        for accumulator in [
+            Accumulator::Exact,
+            Accumulator::Saturating(12),
+            Accumulator::Wrapping(10),
+        ] {
+            let reference = lut_gemm_reference_seg(
+                &patches,
+                &sums,
+                &plan,
+                &seg_q,
+                &segments,
+                &lut,
+                accumulator,
+            );
+            for threads in [1, 3] {
+                let pool = WorkerPool::new(threads);
+                let tiled = lut_gemm_tiled_seg(
+                    &patches,
+                    &sums,
+                    &plan,
+                    &seg_q,
+                    &segments,
+                    &lut,
+                    accumulator,
+                    TileConfig::new(7, 5, 3).unwrap(),
+                    &pool,
+                );
+                assert_eq!(tiled, reference, "{accumulator:?} x{threads}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "segment table must cover every patch row")]
+    fn segmented_gemm_rejects_short_segment_table() {
+        let fs = FilterShape::new(1, 1, 2, 2);
+        let (patches, sums, plan, input_q) = setup(4, fs, 2);
+        let lut = MulLut::exact(Signedness::Signed);
+        let _ = lut_gemm_reference_seg(
+            &patches,
+            &sums,
+            &plan,
+            &[input_q],
+            &SegmentTable::from_counts(&[3]),
+            &lut,
+            Accumulator::Exact,
+        );
     }
 
     #[test]

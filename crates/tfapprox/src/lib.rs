@@ -115,7 +115,7 @@ pub use prepared::PreparedFilter;
 pub use runtime::{run_accurate_cpu, EmulationReport};
 pub use serve::{
     LatencyHistogram, RegistryStats, ServeConfig, ServeEngine, ServeError, ServeStats, SessionKey,
-    SessionRegistry, Ticket,
+    SessionRegistry, TenantServeStats, Ticket,
 };
 pub use session::{Session, SessionBuilder};
 
@@ -133,7 +133,8 @@ pub mod prelude {
     pub use crate::kernel::TileConfig;
     pub use crate::runtime::EmulationReport;
     pub use crate::serve::{
-        ServeConfig, ServeEngine, ServeError, ServeStats, SessionKey, SessionRegistry, Ticket,
+        ServeConfig, ServeEngine, ServeError, ServeStats, SessionKey, SessionRegistry,
+        TenantServeStats, Ticket,
     };
     pub use crate::session::{Session, SessionBuilder};
     pub use axmult::AxMultiplier;

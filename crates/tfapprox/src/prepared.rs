@@ -160,6 +160,86 @@ impl PreparedFilter {
         ev.global_read_bytes = taps * 4;
         ev
     }
+
+    /// Precompute the Eq. 4 epilogue constants for a *segmented* GEMM:
+    /// one set per `(segment, channel)` pair, resolved once so the fused
+    /// kernel's per-element epilogue is a table lookup rather than a
+    /// per-element re-derivation.
+    ///
+    /// For segment `s` (input params `(α₁ₛ, β₁ₛ)`) and channel `c`
+    /// (filter params `(α₂_c, β₂_c)`, correction sum `Sf_c`), this holds
+    /// the input-side correction `K·β₁ₛ·β₂_c − β₁ₛ·Sf_c` and the
+    /// dequantization scale `α₁ₛ·α₂_c`. The correction is an exact
+    /// regrouping of the reference epilogue's `i64` terms and the scale
+    /// is the same `f64` product in the same order, so
+    /// [`SegmentEpilogue::dequantize`] is bit-identical to the
+    /// unsegmented epilogue fed that segment's params alone.
+    #[must_use]
+    pub fn segment_epilogue(&self, seg_q: &[QuantParams]) -> SegmentEpilogue {
+        let c_out = self.c_out;
+        let k = self.k as i64;
+        let b2: Vec<i64> = self
+            .col_q
+            .iter()
+            .map(|q| i64::from(q.zero_point()))
+            .collect();
+        let mut corr = Vec::with_capacity(seg_q.len() * c_out);
+        let mut scale = Vec::with_capacity(seg_q.len() * c_out);
+        for q1 in seg_q {
+            let b1 = i64::from(q1.zero_point());
+            let a1 = f64::from(q1.scale());
+            for (&b2_c, (&sf_c, col)) in b2.iter().zip(self.sf.iter().zip(&self.col_q)) {
+                corr.push(k * b1 * b2_c - b1 * sf_c);
+                scale.push(a1 * f64::from(col.scale()));
+            }
+        }
+        SegmentEpilogue {
+            c_out,
+            b2,
+            corr,
+            scale,
+        }
+    }
+}
+
+/// Precomputed per-`(segment, channel)` Eq. 4 constants — the fused
+/// kernel's dequantization epilogue (see
+/// [`PreparedFilter::segment_epilogue`]).
+#[derive(Debug, Clone)]
+pub struct SegmentEpilogue {
+    c_out: usize,
+    /// Per-channel filter zero-point `β₂` (segment-invariant).
+    b2: Vec<i64>,
+    /// Per `(segment, channel)`: `K·β₁ₛ·β₂_c − β₁ₛ·Sf_c`, row-major by
+    /// segment.
+    corr: Vec<i64>,
+    /// Per `(segment, channel)`: `α₁ₛ·α₂_c`.
+    scale: Vec<f64>,
+}
+
+impl SegmentEpilogue {
+    /// Segments covered.
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.corr.len().checked_div(self.c_out).unwrap_or(0)
+    }
+
+    /// Apply the Eq. 4 correction and dequantize one raw accumulator of
+    /// segment `s`, channel `c`, with per-row patch sum `sp`:
+    /// `α₁ₛα₂_c · (acc − β₂_c·sp + corr[s][c])`. Bit-identical to the
+    /// unsegmented epilogue under that segment's input params (`i64`
+    /// additions regroup exactly; the `f64` multiply order is preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics (slice bounds) if `s` or `c` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn dequantize(&self, s: usize, c: usize, acc: i64, sp: i64) -> f32 {
+        let idx = s * self.c_out + c;
+        let corrected = acc - self.b2[c] * sp + self.corr[idx];
+        (self.scale[idx] * corrected as f64) as f32
+    }
 }
 
 #[cfg(test)]

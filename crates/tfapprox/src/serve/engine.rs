@@ -6,7 +6,7 @@ use super::registry::{SessionKey, SessionRegistry};
 use crate::pool::WorkerPool;
 use crate::{Error, Session};
 use axtensor::Tensor;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -78,8 +78,10 @@ impl std::error::Error for ServeError {}
 ///     .with_max_batch_images(16)
 ///     .with_flush_ticks(2)
 ///     .with_shards(2)
-///     .with_queue_depth(512);
+///     .with_queue_depth(512)
+///     .with_fuse_batches(false);
 /// assert_eq!(cfg.max_batch_images(), 16);
+/// assert!(!cfg.fuse_batches());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -87,11 +89,13 @@ pub struct ServeConfig {
     flush_ticks: usize,
     shards: usize,
     queue_depth: usize,
+    fuse_batches: bool,
 }
 
 impl ServeConfig {
     /// The default configuration: up to 32 images per micro-batch, a
-    /// 2-tick flush deadline, one shard, and a 256-request queue.
+    /// 2-tick flush deadline, one shard, a 256-request queue, and fused
+    /// batch execution enabled.
     #[must_use]
     pub fn new() -> Self {
         ServeConfig {
@@ -99,6 +103,7 @@ impl ServeConfig {
             flush_ticks: 2,
             shards: 1,
             queue_depth: 256,
+            fuse_batches: true,
         }
     }
 
@@ -141,6 +146,20 @@ impl ServeConfig {
         self
     }
 
+    /// Whether a coalesced micro-batch of same-shaped requests executes
+    /// as **one** fused [`Session::infer_fused`] call (segment-aware
+    /// quantization keeps each request's bits identical to a solo run)
+    /// instead of one graph pass per request. `false` restores the
+    /// request-at-a-time execution of PR 5/6 — useful as an A/B baseline
+    /// and as an escape hatch. Either way, responses are bit-identical.
+    ///
+    /// [`Session::infer_fused`]: crate::Session::infer_fused
+    #[must_use]
+    pub fn with_fuse_batches(mut self, fuse_batches: bool) -> Self {
+        self.fuse_batches = fuse_batches;
+        self
+    }
+
     /// The micro-batch image budget.
     #[must_use]
     pub fn max_batch_images(&self) -> usize {
@@ -163,6 +182,12 @@ impl ServeConfig {
     #[must_use]
     pub fn queue_depth(&self) -> usize {
         self.queue_depth
+    }
+
+    /// Whether coalesced micro-batches execute as one fused graph pass.
+    #[must_use]
+    pub fn fuse_batches(&self) -> bool {
+        self.fuse_batches
     }
 
     /// Reject configurations that would deadlock or process nothing —
@@ -194,8 +219,25 @@ impl Default for ServeConfig {
     }
 }
 
+/// Per-tenant slice of the engine's counters, keyed by the tenant's
+/// [`SessionKey`]. Rows are ordered by the key's display form
+/// (`model@mult`), so snapshots are deterministic and diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantServeStats {
+    /// The tenant the counters belong to.
+    pub key: SessionKey,
+    /// Requests answered through batch execution for this tenant
+    /// (successfully or with a batch failure).
+    pub requests: u64,
+    /// This tenant's requests shed at batch-formation time because their
+    /// SLO deadline had already expired — the per-tenant split of
+    /// [`ServeStats::deadline_shed`], so a noisy neighbour blowing its
+    /// own budget is visible as *its* problem, not smeared over the tier.
+    pub deadline_shed: u64,
+}
+
 /// A point-in-time snapshot of the engine's counters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeStats {
     /// Micro-batches formed and executed.
     pub batches: u64,
@@ -225,6 +267,14 @@ pub struct ServeStats {
     /// 99th-percentile submit-to-response latency, in seconds — the tail
     /// that governs how much load the tier can admit under an SLO.
     pub p99_latency_s: f64,
+    /// Micro-batches that executed as one fused graph pass (a subset of
+    /// `batches`): multi-request batches of same-shaped inputs run under
+    /// [`ServeConfig::fuse_batches`]. Single-request and shape-mixed
+    /// batches always run per request and are not counted here.
+    pub fused_batches: u64,
+    /// Per-tenant counters, ordered by the key's display form. Empty
+    /// until the first request is answered or shed on a deadline.
+    pub per_tenant: Vec<TenantServeStats>,
 }
 
 /// One queued request: the tenant key, its resolved session (held so an
@@ -245,6 +295,13 @@ struct ServeQueue {
     shutdown: bool,
 }
 
+/// Per-tenant counter cell behind [`Shared::tenants`].
+#[derive(Default)]
+struct TenantCounters {
+    requests: u64,
+    deadline_shed: u64,
+}
+
 /// State shared between the engine handle and its shard workers.
 struct Shared {
     registry: Arc<SessionRegistry>,
@@ -253,12 +310,17 @@ struct Shared {
     queue: Mutex<ServeQueue>,
     arrival: Condvar,
     batches: AtomicU64,
+    fused_batches: AtomicU64,
     requests: AtomicU64,
     images: AtomicU64,
     shed: AtomicU64,
     deadline_shed: AtomicU64,
     busy_nanos: AtomicU64,
     latency: LatencyHistogram,
+    /// Per-tenant counters. A mutex (not atomics) because the map grows
+    /// with tenant arrivals; it is taken once per batch and per shed,
+    /// never on the submit path.
+    tenants: Mutex<HashMap<SessionKey, TenantCounters>>,
 }
 
 impl Shared {
@@ -268,6 +330,12 @@ impl Shared {
         match request.deadline {
             Some((at, budget)) if now >= at => {
                 self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                self.tenants
+                    .lock()
+                    .expect("serve tenant counters")
+                    .entry(request.key.clone())
+                    .or_default()
+                    .deadline_shed += 1;
                 let _ = request
                     .responder
                     .send(Err(ServeError::DeadlineExceeded { budget }.into()));
@@ -355,11 +423,23 @@ impl Shared {
     /// A failed — or even panicking — batch answers every member with
     /// [`ServeError::Failed`] and leaves the shard alive for the next
     /// batch: never a silent drop, never a dead engine.
+    ///
+    /// A multi-request batch whose inputs all share one image shape runs
+    /// as **one** fused [`Session::infer_fused`] graph pass when
+    /// [`ServeConfig::fuse_batches`] is on; segment-aware quantization
+    /// keeps every member's response bit-identical to a solo run.
+    /// Shape-mixed or single-request batches run per request
+    /// ([`Session::infer_batches`]), as does everything when fusion is
+    /// toggled off.
+    ///
+    /// [`Session::infer_fused`]: crate::Session::infer_fused
+    /// [`Session::infer_batches`]: crate::Session::infer_batches
     fn execute(&self, batch: Vec<Request>) {
         debug_assert!(
             batch.iter().all(|r| r.key == batch[0].key),
             "a micro-batch must hold one tenant only"
         );
+        let key = batch[0].key.clone();
         let session = Arc::clone(&batch[0].session);
         let mut inputs = Vec::with_capacity(batch.len());
         let mut waiters = Vec::with_capacity(batch.len());
@@ -368,22 +448,43 @@ impl Shared {
             waiters.push((r.responder, r.submitted));
         }
         let images: usize = inputs.iter().map(|t| t.shape().n).sum();
+        // Fusion needs one concatenated batch tensor, so every member
+        // must share (h, w, c); image *counts* may differ freely (zero
+        // included — an empty request is an empty segment).
+        let same_shape = inputs.windows(2).all(|w| {
+            let (a, b) = (w[0].shape(), w[1].shape());
+            (a.h, a.w, a.c) == (b.h, b.w, b.c)
+        });
+        let fused = self.config.fuse_batches && inputs.len() > 1 && same_shape;
         let t0 = Instant::now();
         // A panic escaping here would unwind the whole shard loop: the
         // pool's catch would keep the *thread* alive but the loop job
         // would be gone, and with one shard every later accepted request
         // would hang forever. Contain it at the batch boundary instead.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            session.infer_batches(&inputs)
+            if fused {
+                session.infer_fused(&inputs)
+            } else {
+                session.infer_batches(&inputs).map(|(outputs, _)| outputs)
+            }
         }));
         self.busy_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
+        if fused {
+            self.fused_batches.fetch_add(1, Ordering::Relaxed);
+        }
         self.requests
             .fetch_add(waiters.len() as u64, Ordering::Relaxed);
         self.images.fetch_add(images as u64, Ordering::Relaxed);
+        self.tenants
+            .lock()
+            .expect("serve tenant counters")
+            .entry(key)
+            .or_default()
+            .requests += waiters.len() as u64;
         match result {
-            Ok(Ok((outputs, _report))) => {
+            Ok(Ok(outputs)) => {
                 debug_assert_eq!(outputs.len(), waiters.len());
                 for (out, (tx, submitted)) in outputs.into_iter().zip(waiters) {
                     // A dropped Ticket is the receiver's choice, not a
@@ -592,12 +693,14 @@ impl ServeEngine {
             }),
             arrival: Condvar::new(),
             batches: AtomicU64::new(0),
+            fused_batches: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             images: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             deadline_shed: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            tenants: Mutex::new(HashMap::new()),
         });
         let pool = WorkerPool::new(config.shards);
         for _ in 0..config.shards {
@@ -749,13 +852,27 @@ impl ServeEngine {
     }
 
     /// Snapshot the engine's counters, including the latency
-    /// percentiles of every answered request.
+    /// percentiles of every answered request and the per-tenant
+    /// request/shed split.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
         let batches = self.shared.batches.load(Ordering::Relaxed);
         let requests = self.shared.requests.load(Ordering::Relaxed);
         let images = self.shared.images.load(Ordering::Relaxed);
         let busy_s = self.shared.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let mut per_tenant: Vec<TenantServeStats> = self
+            .shared
+            .tenants
+            .lock()
+            .expect("serve tenant counters")
+            .iter()
+            .map(|(key, c)| TenantServeStats {
+                key: key.clone(),
+                requests: c.requests,
+                deadline_shed: c.deadline_shed,
+            })
+            .collect();
+        per_tenant.sort_by_key(|t| t.key.to_string());
         ServeStats {
             batches,
             requests,
@@ -775,6 +892,8 @@ impl ServeEngine {
             p50_latency_s: self.shared.latency.quantile_seconds(0.50),
             p95_latency_s: self.shared.latency.quantile_seconds(0.95),
             p99_latency_s: self.shared.latency.quantile_seconds(0.99),
+            fused_batches: self.shared.fused_batches.load(Ordering::Relaxed),
+            per_tenant,
         }
     }
 }
@@ -1068,6 +1187,102 @@ mod tests {
             engine.infer(ok.clone()).unwrap(),
             session.infer(&ok).unwrap()
         );
+    }
+
+    #[test]
+    fn fused_and_unfused_execution_are_bit_identical() {
+        let session = tiny_session();
+        // Varied image counts (0, 1, 2) so fused batches hold empty and
+        // tiny segments; solo inference is the golden for both modes.
+        let count = |s: u64| (s % 3) as usize;
+        let golden: Vec<Tensor<f32>> = (0..6)
+            .map(|s| session.infer(&input(s, count(s))).unwrap())
+            .collect();
+        for fuse in [true, false] {
+            let engine = ServeEngine::new(
+                Arc::clone(&session),
+                ServeConfig::new()
+                    .with_shards(1)
+                    .with_max_batch_images(16)
+                    .with_flush_ticks(50)
+                    .with_fuse_batches(fuse),
+            )
+            .unwrap();
+            let tickets: Vec<Ticket> = (0..6)
+                .map(|s| engine.submit(input(s, count(s))).unwrap())
+                .collect();
+            for (s, t) in tickets.into_iter().enumerate() {
+                assert_eq!(t.wait().unwrap(), golden[s], "fuse={fuse} request {s}");
+            }
+            let stats = engine.stats();
+            assert_eq!(stats.requests, 6);
+            if fuse {
+                // Any multi-request batch must have run fused (all
+                // inputs share (5, 5, 2)); coalescing itself is
+                // timing-dependent, so only assert when it happened.
+                if stats.batches < 6 {
+                    assert!(stats.fused_batches >= 1, "{stats:?}");
+                }
+            } else {
+                assert_eq!(stats.fused_batches, 0, "{stats:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mixed_batches_fall_back_to_per_request_execution() {
+        let session = tiny_session();
+        let engine = ServeEngine::new(
+            Arc::clone(&session),
+            ServeConfig::new()
+                .with_shards(1)
+                .with_max_batch_images(16)
+                .with_flush_ticks(50),
+        )
+        .unwrap();
+        // Same tenant, different spatial shapes: the requests may
+        // coalesce into one micro-batch but must never fuse — and every
+        // response stays bit-identical either way.
+        let small = rng::uniform(Shape4::new(1, 5, 5, 2), 3, -1.0, 1.0);
+        let big = rng::uniform(Shape4::new(2, 7, 7, 2), 4, -1.0, 1.0);
+        let t_small = engine.submit(small.clone()).unwrap();
+        let t_big = engine.submit(big.clone()).unwrap();
+        assert_eq!(t_small.wait().unwrap(), session.infer(&small).unwrap());
+        assert_eq!(t_big.wait().unwrap(), session.infer(&big).unwrap());
+        assert_eq!(engine.stats().fused_batches, 0);
+    }
+
+    #[test]
+    fn per_tenant_stats_split_requests_by_key() {
+        let anchor = tiny_session();
+        let registry = Arc::new(SessionRegistry::new(4).unwrap());
+        let key_a = registry.install("tiny", Arc::clone(&anchor)).unwrap();
+        let bam = axmult::catalog::by_name("mul8s_bam_v8h0").unwrap();
+        let key_b = registry.admit("tiny", &Assignment::uniform(bam)).unwrap();
+        let engine =
+            ServeEngine::with_registry(registry, key_a.clone(), ServeConfig::new()).unwrap();
+        for seed in 0..3 {
+            engine.infer_to(&key_a, input(seed, 1)).unwrap();
+        }
+        engine.infer_to(&key_b, input(9, 1)).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.per_tenant.len(), 2);
+        let row = |key: &SessionKey| {
+            stats
+                .per_tenant
+                .iter()
+                .find(|t| &t.key == key)
+                .unwrap_or_else(|| panic!("missing tenant row for {key}"))
+        };
+        assert_eq!(row(&key_a).requests, 3);
+        assert_eq!(row(&key_b).requests, 1);
+        assert_eq!(row(&key_a).deadline_shed, 0);
+        assert_eq!(row(&key_b).deadline_shed, 0);
+        // Rows are ordered by display form — deterministic snapshots.
+        let names: Vec<String> = stats.per_tenant.iter().map(|t| t.key.to_string()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

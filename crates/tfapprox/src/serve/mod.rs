@@ -30,26 +30,33 @@
 //! pops the first live request and coalesces only same-key arrivals) →
 //! **wakeup** (the shard sleeps until its flush deadline — or the
 //! tightest member SLO deadline — and is woken by arrivals) → **shed or
-//! execute** (expired requests answer `DeadlineExceeded`; the batch runs
-//! one [`Session::infer_batches`] call and answers every member).
+//! execute** (expired requests answer `DeadlineExceeded`; the batch
+//! executes as **one fused** [`Session::infer_fused`] graph pass when
+//! [`ServeConfig::fuse_batches`] is on and every member shares one image
+//! shape, and as one [`Session::infer_batches`] pass per request
+//! otherwise, then answers every member).
 //!
 //! # Determinism
 //!
 //! A request's output is **bit-identical** whether it ran solo, in any
-//! batch composition, on any shard, under any tenant mix, before or
-//! after an LRU eviction of its session. This is by construction: a
-//! micro-batch holds one tenant's requests only, keeps one tensor per
-//! request, and `infer_batches` runs the graph once per tensor — so each
-//! request sees exactly the forward pass `Session::infer` would have
-//! given it on that tenant's session. Requests are deliberately *not*
-//! fused into one batch tensor: the transformed graph's `Min`/`Max`
-//! observers reduce over the whole input tensor ("determined once per a
-//! batch"), so fusing two callers' data would cross-contaminate their
-//! quantization ranges and change their bits.
+//! batch composition, fused or unfused, on any shard, under any tenant
+//! mix, before or after an LRU eviction of its session. For the
+//! per-request path this is as before: one graph pass per tensor. The
+//! fused path earns the same guarantee through **segments**: the batch
+//! tensor carries an [`axtensor::SegmentTable`] marking each request's
+//! image span, the transformed graph's `Min`/`Max` observers reduce *per
+//! segment* (never across request boundaries), and the LUT-GEMM epilogue
+//! applies each segment's own quantization parameters to its rows. The
+//! cross-contamination that once made fusion unsafe — whole-tensor
+//! range observers bleeding one caller's data into another's
+//! quantization grid — is gone by construction, and the conformance
+//! suite pins `infer_fused` against solo `infer` bit-for-bit across
+//! every backend and accumulator model.
 //!
 //! [`Session`]: crate::Session
 //! [`Session::reassign`]: crate::Session::reassign
 //! [`Session::infer_batches`]: crate::Session::infer_batches
+//! [`Session::infer_fused`]: crate::Session::infer_fused
 //! [`Session::infer`]: crate::Session::infer
 
 #![deny(missing_docs)]
@@ -59,7 +66,8 @@ pub mod histogram;
 pub mod registry;
 
 pub use engine::{
-    ServeConfig, ServeEngine, ServeError, ServeStats, Ticket, DEFAULT_MODEL, FLUSH_TICK,
+    ServeConfig, ServeEngine, ServeError, ServeStats, TenantServeStats, Ticket, DEFAULT_MODEL,
+    FLUSH_TICK,
 };
 pub use histogram::LatencyHistogram;
 pub use registry::{RegistryStats, SessionKey, SessionRegistry};

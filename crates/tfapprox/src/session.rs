@@ -8,7 +8,7 @@ use crate::{
 };
 use axmult::AxMultiplier;
 use axnn::Graph;
-use axtensor::Tensor;
+use axtensor::{SegmentTable, Tensor};
 use gpusim::DeviceConfig;
 use std::sync::Arc;
 
@@ -291,6 +291,40 @@ impl Session {
         Ok(self.graph.forward(input)?)
     }
 
+    /// Run several independent requests through the compiled graph as
+    /// **one fused batch** — one graph sweep, one segmented LUT-GEMM per
+    /// layer chunk — and split the outputs back per request.
+    ///
+    /// The requests are concatenated along the batch axis with a
+    /// [`SegmentTable`] marking their spans; every range-observing node
+    /// resolves its quantization *per segment*, so the result is
+    /// **bit-identical** to calling [`Session::infer`] on each request
+    /// alone, for every backend, accumulator model, and batch
+    /// composition (zero-image requests included). This is what makes
+    /// serve-tier micro-batching profitable: the per-layer dispatch,
+    /// worker-pool synchronization, and GEMM setup are paid once per
+    /// fused batch instead of once per request.
+    ///
+    /// An empty request list produces an empty output list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the requests disagree on `h`/`w`/`c`;
+    /// propagates graph execution failures.
+    pub fn infer_fused(&self, requests: &[Tensor<f32>]) -> Result<Vec<Tensor<f32>>, Error> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let counts: Vec<usize> = requests.iter().map(|t| t.shape().n).collect();
+        let segments = SegmentTable::from_counts(&counts);
+        let fused = Tensor::concat_batch(requests)?;
+        let out = self.graph.forward_segmented(&fused, &segments)?;
+        Ok(segments
+            .iter()
+            .map(|(start, end)| out.batch_slice(start, end - start))
+            .collect())
+    }
+
     /// Run the compiled graph over evaluation batches, producing the
     /// per-batch outputs and the `tinit + tcomp` [`EmulationReport`]
     /// (Table I's decomposition; the profile carries the Fig. 2 phase
@@ -560,6 +594,48 @@ mod tests {
         assert_eq!(outputs[0].shape().c, 10, "shaped-empty, not just empty");
         assert_eq!(report.images, 0);
         assert_eq!(report.images_per_second(), 0.0);
+    }
+
+    #[test]
+    fn infer_fused_is_bit_identical_to_solo_infer() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(9).unwrap();
+        for backend in [Backend::CpuDirect, Backend::CpuGemm, Backend::GpuSim] {
+            let session = Session::builder()
+                .backend(backend)
+                .chunk_size(3)
+                .multiplier(&rough())
+                .compile(&graph)
+                .unwrap();
+            let requests = vec![
+                rng::uniform(cifar_input_shape(2), 31, -1.0, 1.0),
+                rng::uniform(cifar_input_shape(0), 32, -1.0, 1.0),
+                rng::uniform(cifar_input_shape(1), 33, -1.0, 1.0),
+                rng::uniform(cifar_input_shape(4), 34, -1.0, 1.0),
+            ];
+            let fused = session.infer_fused(&requests).unwrap();
+            assert_eq!(fused.len(), requests.len());
+            for (request, out) in requests.iter().zip(&fused) {
+                assert_eq!(out, &session.infer(request).unwrap(), "{backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn infer_fused_edge_shapes() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(10).unwrap();
+        let session = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&exact())
+            .compile(&graph)
+            .unwrap();
+        assert!(session.infer_fused(&[]).unwrap().is_empty());
+        // A single request degenerates to solo inference.
+        let one = rng::uniform(cifar_input_shape(2), 41, -1.0, 1.0);
+        let fused = session.infer_fused(std::slice::from_ref(&one)).unwrap();
+        assert_eq!(fused[0], session.infer(&one).unwrap());
+        // Mismatched spatial shapes are a typed error, not a panic.
+        let odd = rng::uniform(axtensor::Shape4::new(1, 8, 8, 3), 42, -1.0, 1.0);
+        assert!(session.infer_fused(&[one, odd]).is_err());
     }
 
     #[test]

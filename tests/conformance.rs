@@ -198,6 +198,78 @@ fn conformance_matrix_every_backend_multiplier_accumulator() {
     );
 }
 
+/// The fused-batch column of the matrix: `Session::infer_fused` over
+/// mixed-size request compositions (0-image and 1-image segments
+/// included) must be bit-identical to solo `Session::infer` per request
+/// — and, for non-empty requests, to the chained reference-kernel golden
+/// — on every backend × accumulator. A small chunk size forces chunk
+/// boundaries to intersect segment boundaries inside the fused GEMM.
+#[test]
+fn conformance_fused_batches_match_solo_and_reference() {
+    // Both signednesses plus a rough signed LUT; the full catalog is
+    // already pinned per backend by the solo matrix above.
+    let mult_names = ["mul8s_exact", "mul8s_bam_v8h0", "mul8u_drum4"];
+    let compositions: [&[usize]; 2] = [&[2, 0, 1, 3], &[1, 1]];
+    let w = workload();
+    let graph = graph_of(&w);
+    let mut cells = 0usize;
+    for name in mult_names {
+        let mult = axmult::catalog::by_name(name).unwrap();
+        for &accumulator in &ACCUMULATORS {
+            for &backend in &BACKENDS {
+                let session = Session::builder()
+                    .backend(backend)
+                    .chunk_size(3)
+                    .multiplier(&mult)
+                    .accumulator(accumulator)
+                    .compile(&graph)
+                    .unwrap();
+                // GpuSim f32-accumulates exactly; its golden ignores the
+                // accumulator knob (same contract as the solo matrix).
+                let golden_acc = if backend == Backend::GpuSim {
+                    Accumulator::Exact
+                } else {
+                    accumulator
+                };
+                for sizes in compositions {
+                    let requests: Vec<Tensor<f32>> = sizes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &n)| {
+                            rng::uniform(Shape4::new(n, 5, 5, 2), 100 + i as u64, -1.0, 1.0)
+                        })
+                        .collect();
+                    let fused = session.infer_fused(&requests).unwrap();
+                    assert_eq!(fused.len(), requests.len());
+                    for (i, (req, out)) in requests.iter().zip(&fused).enumerate() {
+                        let cell = format!(
+                            "backend={backend:?} multiplier={name} \
+                             accumulator={accumulator:?} composition={sizes:?} request {i}"
+                        );
+                        let solo = session.infer(req).unwrap();
+                        assert_eq!(out, &solo, "fused differs from solo: {cell}");
+                        if req.shape().n > 0 {
+                            let mut golden = req.clone();
+                            for (filter, bias, geom) in &w.layers {
+                                golden =
+                                    golden_conv(&golden, filter, bias, *geom, &mult, golden_acc);
+                            }
+                            assert_eq!(out, &golden, "fused differs from reference: {cell}");
+                        }
+                        cells += 1;
+                    }
+                }
+            }
+        }
+    }
+    let per_session: usize = compositions.iter().map(|c| c.len()).sum();
+    assert_eq!(
+        cells,
+        mult_names.len() * ACCUMULATORS.len() * BACKENDS.len() * per_session,
+        "every fused cell must have been asserted"
+    );
+}
+
 #[test]
 fn narrow_accumulators_actually_deviate_on_this_workload() {
     // The matrix would be vacuous if the narrow models never bit: pin

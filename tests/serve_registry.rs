@@ -236,6 +236,67 @@ fn ticket_survives_eviction_of_its_session() {
     });
 }
 
+/// Per-tenant stats must attribute answered requests and deadline sheds
+/// to the key that incurred them — the split that makes a noisy
+/// neighbour visible as *its* problem instead of a tier-wide smear.
+#[test]
+fn per_tenant_stats_attribute_requests_and_sheds_to_their_key() {
+    with_watchdog(Duration::from_secs(60), || {
+        let anchor = compile(Backend::CpuGemm, "mul8s_exact");
+        let registry = Arc::new(SessionRegistry::new(4).unwrap());
+        let key_a = registry.install("tiny", Arc::clone(&anchor)).unwrap();
+        let key_b = registry
+            .admit(
+                "tiny",
+                &Assignment::uniform(axmult::catalog::by_name("mul8s_bam_v8h0").unwrap()),
+            )
+            .unwrap();
+        let engine = ServeEngine::with_registry(
+            Arc::clone(&registry),
+            key_a.clone(),
+            ServeConfig::new()
+                .with_shards(1)
+                .with_max_batch_images(1)
+                .with_queue_depth(64),
+        )
+        .unwrap();
+        for seed in 0..3 {
+            engine.infer_to(&key_a, request(seed, 1)).unwrap();
+        }
+        for seed in 0..2 {
+            engine.infer_to(&key_b, request(seed, 1)).unwrap();
+        }
+        // One deadline shed charged to key_b only: a big request parks
+        // the single shard while a zero-budget request expires behind it.
+        let busy = engine.submit_to(&key_a, request(50, 24)).unwrap();
+        let doomed = engine
+            .submit_within(&key_b, request(51, 1), Duration::ZERO)
+            .unwrap();
+        assert!(doomed.wait().is_err(), "zero budget must shed");
+        assert!(busy.wait().is_ok());
+
+        let stats = engine.stats();
+        assert_eq!(stats.deadline_shed, 1);
+        assert_eq!(stats.per_tenant.len(), 2);
+        let row = |key: &SessionKey| {
+            stats
+                .per_tenant
+                .iter()
+                .find(|t| &t.key == key)
+                .unwrap_or_else(|| panic!("missing tenant row for {key}"))
+        };
+        assert_eq!(row(&key_a).requests, 4, "3 singles + the parked request");
+        assert_eq!(row(&key_a).deadline_shed, 0);
+        assert_eq!(row(&key_b).requests, 2, "sheds are not answered requests");
+        assert_eq!(row(&key_b).deadline_shed, 1);
+        // The per-tenant split partitions the engine-wide counters.
+        let req_sum: u64 = stats.per_tenant.iter().map(|t| t.requests).sum();
+        let shed_sum: u64 = stats.per_tenant.iter().map(|t| t.deadline_shed).sum();
+        assert_eq!(req_sum, stats.requests);
+        assert_eq!(shed_sum, stats.deadline_shed);
+    });
+}
+
 fn validation_session() -> Arc<Session> {
     static SESSION: OnceLock<Arc<Session>> = OnceLock::new();
     Arc::clone(SESSION.get_or_init(|| compile(Backend::CpuGemm, "mul8s_exact")))

@@ -351,6 +351,70 @@ fn zero_image_request_through_engine_matches_serial() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
+    /// Randomized segment layouts through the fused path: any request
+    /// composition (zero-image segments included) run through
+    /// `Session::infer_fused` directly AND through the engine — fusion
+    /// toggled on and off — stays bit-identical to serial inference.
+    #[test]
+    fn proptest_random_segment_layouts_fuse_bit_identically(
+        sizes in proptest::collection::vec(0usize..4, 1..16),
+        budget in 1usize..9,
+        shards in 1usize..3,
+        fuse in any::<bool>(),
+    ) {
+        let sizes_for_watchdog = sizes.clone();
+        with_watchdog(Duration::from_secs(120), move || {
+            let sizes = sizes_for_watchdog;
+            let session = shared_session();
+            let golden: Vec<Tensor<f32>> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| session.infer(&request(i as u64, n)).unwrap())
+                .collect();
+            // Direct fused inference over the raw composition.
+            let requests: Vec<Tensor<f32>> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| request(i as u64, n))
+                .collect();
+            let fused = session.infer_fused(&requests).unwrap();
+            assert_eq!(fused.len(), sizes.len());
+            for (i, out) in fused.iter().enumerate() {
+                assert_eq!(
+                    out, &golden[i],
+                    "direct infer_fused diverged on request {i} of layout {sizes:?}"
+                );
+            }
+            // The engine path, with the composition shaped by coalescing.
+            let engine = ServeEngine::new(
+                Arc::clone(&session),
+                ServeConfig::new()
+                    .with_shards(shards)
+                    .with_max_batch_images(budget)
+                    .with_flush_ticks(1)
+                    .with_queue_depth(4096)
+                    .with_fuse_batches(fuse),
+            )
+            .unwrap();
+            let tickets: Vec<_> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (i, engine.submit(request(i as u64, n)).unwrap()))
+                .collect();
+            for (i, ticket) in tickets {
+                assert_eq!(
+                    ticket.wait().unwrap(),
+                    golden[i],
+                    "engine (fuse={fuse}) diverged on request {i} of layout {sizes:?} \
+                     under budget {budget}, {shards} shard(s)"
+                );
+            }
+            if !fuse {
+                assert_eq!(engine.stats().fused_batches, 0);
+            }
+        });
+    }
+
     /// Randomized arrival orders, request sizes, batch budgets, flush
     /// windows, and shard counts: every response stays bit-identical to
     /// serial inference and every ticket resolves exactly once.
