@@ -41,6 +41,23 @@ pub enum CircuitError {
     },
     /// The netlist has no outputs, so evaluation would be meaningless.
     NoOutputs,
+    /// A textual netlist line could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A textual netlist referenced a net that is not defined at that
+    /// point — a dangling name, a forward reference, or a cycle (the
+    /// format is definition-ordered, so any reference to a net defined
+    /// later is indistinguishable from a cycle and equally rejected).
+    UndefinedNet {
+        /// 1-based line number of the offending reference.
+        line: usize,
+        /// The net name that was referenced.
+        name: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -65,6 +82,14 @@ impl fmt::Display for CircuitError {
                 write!(f, "width {width} unsupported (maximum {max})")
             }
             CircuitError::NoOutputs => write!(f, "netlist has no outputs"),
+            CircuitError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            CircuitError::UndefinedNet { line, name } => write!(
+                f,
+                "line {line} references net '{name}' which is not defined at that point \
+                 (dangling, forward or cyclic reference)"
+            ),
         }
     }
 }

@@ -15,7 +15,9 @@
 //! - [`cost`]: a unit-gate area / power / delay model so every multiplier
 //!   comes with a hardware cost estimate,
 //! - [`truth`]: exhaustive truth-table extraction (the 2¹⁶-entry tables the
-//!   paper stores in GPU texture memory).
+//!   paper stores in GPU texture memory),
+//! - [`text`]: a BLIF-like textual netlist format, so externally designed
+//!   multipliers (EvoApprox-style) can be brought in without writing Rust.
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@ pub mod dot;
 pub mod equiv;
 pub mod gate;
 pub mod netlist;
+pub mod text;
 pub mod truth;
 
 mod error;

@@ -250,12 +250,28 @@ impl Netlist {
     /// - [`CircuitError::InputArity`] if `words.len()` differs from the
     ///   number of declared operands.
     /// - [`CircuitError::OperandWidth`] if a word does not fit its width.
+    /// - [`CircuitError::UnsupportedWidth`] if a declared operand width or
+    ///   the output count exceeds 64 bits — the packed `u64` cannot carry
+    ///   them, and silently truncating (which a release-mode shift
+    ///   overflow would otherwise do) would corrupt results.
     /// - Propagates evaluation errors.
     pub fn eval_words(&self, words: &[u64]) -> Result<u64, CircuitError> {
         if words.len() != self.operand_widths.len() {
             return Err(CircuitError::InputArity {
                 expected: self.operand_widths.len(),
                 got: words.len(),
+            });
+        }
+        if let Some(&wide) = self.operand_widths.iter().find(|&&w| w > 64) {
+            return Err(CircuitError::UnsupportedWidth {
+                width: wide,
+                max: 64,
+            });
+        }
+        if self.outputs.len() > 64 {
+            return Err(CircuitError::UnsupportedWidth {
+                width: self.outputs.len() as u32,
+                max: 64,
             });
         }
         let mut lanes = Vec::with_capacity(self.n_inputs as usize);
@@ -384,6 +400,30 @@ mod tests {
         nl.set_outputs(vec![y]).unwrap();
         let err = nl.eval_words(&[4, 0]).unwrap_err();
         assert!(matches!(err, CircuitError::OperandWidth { operand: 0, .. }));
+    }
+
+    #[test]
+    fn eval_words_rejects_operand_width_over_64() {
+        // A 65-bit operand cannot be packed into one u64; previously this
+        // silently truncated (or overflowed the shift in debug builds).
+        let mut nl = Netlist::with_operands(&[65, 2]);
+        let y = nl
+            .push(GateKind::And, nl.operand_bit(0, 0), nl.operand_bit(1, 0))
+            .unwrap();
+        nl.set_outputs(vec![y]).unwrap();
+        let err = nl.eval_words(&[0, 0]).unwrap_err();
+        assert_eq!(err, CircuitError::UnsupportedWidth { width: 65, max: 64 });
+    }
+
+    #[test]
+    fn eval_words_rejects_more_than_64_outputs() {
+        let mut nl = Netlist::with_operands(&[2, 2]);
+        let y = nl
+            .push(GateKind::And, nl.operand_bit(0, 0), nl.operand_bit(1, 0))
+            .unwrap();
+        nl.set_outputs(vec![y; 65]).unwrap();
+        let err = nl.eval_words(&[0, 0]).unwrap_err();
+        assert_eq!(err, CircuitError::UnsupportedWidth { width: 65, max: 64 });
     }
 
     #[test]

@@ -1,0 +1,579 @@
+//! Textual netlist format: a BLIF-like, definition-ordered gate listing.
+//!
+//! TFApprox users bring their own approximate multipliers as gate-level
+//! designs (the EvoApprox library ships C/Verilog netlists). This module
+//! provides the textual interchange format the compile pipeline parses:
+//!
+//! ```text
+//! # 2-bit bitwise AND, for illustration.
+//! .model tiny_and
+//! .operands 2 2
+//! .gate and y0 = a0 b0
+//! .gate and y1 = a1 b1
+//! .outputs y0 y1
+//! .end
+//! ```
+//!
+//! Rules:
+//!
+//! - `#` starts a comment (to end of line); blank lines are ignored.
+//! - `.model <name>` — optional, at most once, before `.operands`.
+//! - `.operands <w0> <w1> ...` — required, once, before any gate. Declares
+//!   the integer operands. Each operand's bits become implicitly-defined
+//!   input nets named by the operand letter (`a`, `b`, `c`, … in declaration
+//!   order, at most 26 operands) followed by the bit index, LSB first:
+//!   `a0` is bit 0 of operand 0, `b3` is bit 3 of operand 1.
+//! - `.gate <kind> <dst> = <src...>` — defines net `<dst>` as the output of
+//!   a gate. `<kind>` is one of `const0`, `const1`, `buf`, `not`, `and`,
+//!   `or`, `xor`, `nand`, `nor`, `xnor`, `andnot`; the number of sources
+//!   must match the gate's arity (0, 1 or 2). Sources may only reference
+//!   nets defined **earlier** — the format is definition-ordered, so a
+//!   forward reference is indistinguishable from a combinational cycle and
+//!   both are rejected with [`CircuitError::UndefinedNet`].
+//! - `.outputs <net...>` — required, once, after all gates. LSB first.
+//! - `.end` — optional terminator; nothing may follow it.
+//!
+//! Net names are identifiers (`[A-Za-z_][A-Za-z0-9_]*`). Defining the same
+//! name twice (including shadowing an implicit input) is an error.
+//!
+//! [`format()`] emits canonical names (inputs by operand letter + bit, gate
+//! nets as `n<net-index>`), so `parse(&format(&nl, m))` reconstructs a
+//! [`Netlist`] structurally equal to `nl` for netlists built through the
+//! canonical constructors (`push`/`push1`/`const0`/`const1`), which all of
+//! this crate's generators use.
+
+use crate::{CircuitError, GateKind, NetId, Netlist};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Maximum number of operands the implicit `a`/`b`/`c`… naming supports.
+pub const MAX_OPERANDS: usize = 26;
+
+fn parse_err(line: usize, message: impl Into<String>) -> CircuitError {
+    CircuitError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn gate_kind_of(token: &str) -> Option<GateKind> {
+    Some(match token {
+        "const0" => GateKind::Const0,
+        "const1" => GateKind::Const1,
+        "buf" => GateKind::Buf,
+        "not" => GateKind::Not,
+        "and" => GateKind::And,
+        "or" => GateKind::Or,
+        "xor" => GateKind::Xor,
+        "nand" => GateKind::Nand,
+        "nor" => GateKind::Nor,
+        "xnor" => GateKind::Xnor,
+        "andnot" => GateKind::AndNot,
+        _ => return None,
+    })
+}
+
+/// Canonical name of bit `bit` of operand `op`: letter + bit index.
+fn input_name(op: usize, bit: u32) -> String {
+    let letter = (b'a' + op as u8) as char;
+    format!("{letter}{bit}")
+}
+
+/// Parse a textual netlist.
+///
+/// # Errors
+///
+/// - [`CircuitError::Parse`] for malformed syntax: unknown directives or
+///   gate kinds, wrong token counts, bad identifiers, duplicate net
+///   definitions, missing or repeated `.operands`/`.outputs`, content after
+///   `.end`, operand counts outside `1..=26`.
+/// - [`CircuitError::UndefinedNet`] when a gate source or output references
+///   a name not defined at that point (dangling, forward or cyclic).
+pub fn parse(src: &str) -> Result<Netlist, CircuitError> {
+    let mut model_seen = false;
+    let mut netlist: Option<Netlist> = None;
+    let mut names: HashMap<String, NetId> = HashMap::new();
+    let mut outputs_seen = false;
+    let mut end_seen = false;
+    let mut n_lines = 0usize;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        n_lines = line;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if end_seen {
+            return Err(parse_err(line, "content after .end"));
+        }
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        match tokens[0] {
+            ".model" => {
+                if model_seen {
+                    return Err(parse_err(line, "duplicate .model directive"));
+                }
+                if netlist.is_some() {
+                    return Err(parse_err(line, ".model must precede .operands"));
+                }
+                if tokens.len() != 2 {
+                    return Err(parse_err(line, ".model takes exactly one name"));
+                }
+                model_seen = true;
+            }
+            ".operands" => {
+                if netlist.is_some() {
+                    return Err(parse_err(line, "duplicate .operands directive"));
+                }
+                let widths: Vec<u32> = tokens[1..]
+                    .iter()
+                    .map(|t| {
+                        t.parse::<u32>()
+                            .map_err(|_| parse_err(line, format!("invalid operand width '{t}'")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if widths.is_empty() || widths.len() > MAX_OPERANDS {
+                    return Err(parse_err(
+                        line,
+                        format!(".operands takes 1..={MAX_OPERANDS} widths"),
+                    ));
+                }
+                if widths
+                    .iter()
+                    .try_fold(0u32, |s, &w| s.checked_add(w))
+                    .is_none()
+                {
+                    return Err(parse_err(line, "total input width overflows"));
+                }
+                let nl = Netlist::with_operands(&widths);
+                for (op, &width) in widths.iter().enumerate() {
+                    for bit in 0..width {
+                        names.insert(input_name(op, bit), nl.operand_bit(op, bit));
+                    }
+                }
+                netlist = Some(nl);
+            }
+            ".gate" => {
+                let nl = netlist
+                    .as_mut()
+                    .ok_or_else(|| parse_err(line, ".gate before .operands"))?;
+                if outputs_seen {
+                    return Err(parse_err(line, ".gate after .outputs"));
+                }
+                if tokens.len() < 4 || tokens[3] != "=" {
+                    return Err(parse_err(line, "expected '.gate <kind> <dst> = <src...>'"));
+                }
+                let kind = gate_kind_of(tokens[1])
+                    .ok_or_else(|| parse_err(line, format!("unknown gate kind '{}'", tokens[1])))?;
+                let dst = tokens[2];
+                if !is_identifier(dst) {
+                    return Err(parse_err(line, format!("invalid net name '{dst}'")));
+                }
+                if names.contains_key(dst) {
+                    return Err(parse_err(line, format!("net '{dst}' is already defined")));
+                }
+                let srcs = &tokens[4..];
+                if srcs.len() != kind.arity() {
+                    return Err(parse_err(
+                        line,
+                        format!(
+                            "gate '{}' takes {} source(s), got {}",
+                            tokens[1],
+                            kind.arity(),
+                            srcs.len()
+                        ),
+                    ));
+                }
+                let resolve = |name: &str| -> Result<NetId, CircuitError> {
+                    names.get(name).copied().ok_or(CircuitError::UndefinedNet {
+                        line,
+                        name: name.to_string(),
+                    })
+                };
+                let id = match kind.arity() {
+                    0 => nl.push(kind, NetId(0), NetId(0))?,
+                    1 => nl.push1(kind, resolve(srcs[0])?)?,
+                    _ => nl.push(kind, resolve(srcs[0])?, resolve(srcs[1])?)?,
+                };
+                names.insert(dst.to_string(), id);
+            }
+            ".outputs" => {
+                let nl = netlist
+                    .as_mut()
+                    .ok_or_else(|| parse_err(line, ".outputs before .operands"))?;
+                if outputs_seen {
+                    return Err(parse_err(line, "duplicate .outputs directive"));
+                }
+                if tokens.len() < 2 {
+                    return Err(parse_err(line, ".outputs needs at least one net"));
+                }
+                let outs: Vec<NetId> = tokens[1..]
+                    .iter()
+                    .map(|name| {
+                        names.get(*name).copied().ok_or(CircuitError::UndefinedNet {
+                            line,
+                            name: (*name).to_string(),
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                nl.set_outputs(outs)?;
+                outputs_seen = true;
+            }
+            ".end" => {
+                if tokens.len() != 1 {
+                    return Err(parse_err(line, ".end takes no arguments"));
+                }
+                end_seen = true;
+            }
+            other => {
+                return Err(parse_err(line, format!("unknown directive '{other}'")));
+            }
+        }
+    }
+
+    let nl = netlist.ok_or_else(|| parse_err(n_lines.max(1), "missing .operands directive"))?;
+    if !outputs_seen {
+        return Err(parse_err(n_lines.max(1), "missing .outputs directive"));
+    }
+    Ok(nl)
+}
+
+/// Render a netlist in the textual format with canonical net names.
+///
+/// Inputs are named by operand letter + bit index; gate outputs are named
+/// `n<net-index>`. The result parses back to a structurally equal netlist
+/// for canonically constructed circuits (see the module docs). `model` is
+/// emitted as the `.model` name when non-empty.
+#[must_use]
+pub fn format(nl: &Netlist, model: &str) -> String {
+    let mut names: Vec<String> = Vec::with_capacity(nl.n_nets() as usize);
+    for (op, &width) in nl.operand_widths().iter().enumerate() {
+        for bit in 0..width {
+            names.push(input_name(op, bit));
+        }
+    }
+    for i in nl.n_inputs()..nl.n_nets() {
+        names.push(format!("n{i}"));
+    }
+
+    let mut out = String::new();
+    if !model.is_empty() {
+        let _ = writeln!(out, ".model {model}");
+    }
+    let widths: Vec<String> = nl.operand_widths().iter().map(u32::to_string).collect();
+    let _ = writeln!(out, ".operands {}", widths.join(" "));
+    let base = nl.n_inputs() as usize;
+    for (i, g) in nl.gates().iter().enumerate() {
+        let dst = &names[base + i];
+        match g.kind.arity() {
+            0 => {
+                let _ = writeln!(out, ".gate {} {dst} =", g.kind);
+            }
+            1 => {
+                let _ = writeln!(out, ".gate {} {dst} = {}", g.kind, names[g.a.index()]);
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    ".gate {} {dst} = {} {}",
+                    g.kind,
+                    names[g.a.index()],
+                    names[g.b.index()]
+                );
+            }
+        }
+    }
+    let outs: Vec<&str> = nl
+        .outputs()
+        .iter()
+        .map(|o| names[o.index()].as_str())
+        .collect();
+    let _ = writeln!(out, ".outputs {}", outs.join(" "));
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx;
+    use crate::builder::MultiplierSpec;
+    use crate::truth::TruthTable;
+    use proptest::{prop_assert_eq, proptest, ProptestConfig};
+
+    const TINY_AND: &str = "\
+# 2-bit bitwise AND.
+.model tiny_and
+.operands 2 2
+.gate and y0 = a0 b0
+.gate and y1 = a1 b1
+.outputs y0 y1
+.end
+";
+
+    #[test]
+    fn parses_and_evaluates() {
+        let nl = parse(TINY_AND).unwrap();
+        assert_eq!(nl.operand_widths(), &[2, 2]);
+        assert_eq!(nl.n_gates(), 2);
+        assert_eq!(nl.eval_words(&[0b11, 0b10]).unwrap(), 0b10);
+    }
+
+    #[test]
+    fn round_trips_exact_multiplier() {
+        let nl = MultiplierSpec::unsigned(4, 4).build().unwrap();
+        let text = format(&nl, "mul4x4");
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed, nl);
+    }
+
+    #[test]
+    fn round_trips_approx_generators() {
+        for nl in [
+            approx::exact_unsigned(8).unwrap(),
+            approx::truncated_unsigned(8, 3).unwrap(),
+            approx::broken_array_unsigned(8, 5, 2).unwrap(),
+            approx::exact_signed(8).unwrap(),
+        ] {
+            let reparsed = parse(&format(&nl, "m")).unwrap();
+            assert_eq!(reparsed, nl);
+        }
+    }
+
+    #[test]
+    fn parsed_netlist_matches_builder_truth_table() {
+        let nl = MultiplierSpec::unsigned(4, 4).build().unwrap();
+        let reparsed = parse(&format(&nl, "")).unwrap();
+        let tt = TruthTable::from_netlist(&reparsed).unwrap();
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                assert_eq!(tt.lookup(a, b), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_reference_rejected_as_cycle() {
+        // `y` references `z`, defined one line later: in a
+        // definition-ordered format this is exactly a cycle.
+        let src = "\
+.operands 1 1
+.gate and y = a0 z
+.gate and z = b0 y
+.outputs y
+";
+        let err = parse(src).unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::UndefinedNet {
+                line: 2,
+                name: "z".into()
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_corpus_yields_typed_errors() {
+        // Each entry: (source, line the error must point at, substring of
+        // the Display message). None of these may panic.
+        let corpus: &[(&str, usize, &str)] = &[
+            ("", 1, "missing .operands"),
+            (
+                ".operands 2 2\n.gate and y = a0 b0\n",
+                2,
+                "missing .outputs",
+            ),
+            (".gate and y = a0 b0\n", 1, ".gate before .operands"),
+            (".outputs y\n", 1, ".outputs before .operands"),
+            (".operands\n", 1, ".operands takes"),
+            (".operands 2 x\n", 1, "invalid operand width 'x'"),
+            (".operands 2 2\n.operands 2 2\n", 2, "duplicate .operands"),
+            (".model a\n.model b\n", 2, "duplicate .model"),
+            (".model two words\n", 1, "exactly one name"),
+            (".operands 2\n.model late\n", 2, "precede .operands"),
+            (
+                ".operands 2\n.gate frob y = a0\n",
+                2,
+                "unknown gate kind 'frob'",
+            ),
+            (".operands 2\n.gate and y a0 b0\n", 2, "expected '.gate"),
+            (
+                ".operands 2\n.gate and y = a0\n",
+                2,
+                "takes 2 source(s), got 1",
+            ),
+            (
+                ".operands 2\n.gate not y = a0 a1\n",
+                2,
+                "takes 1 source(s), got 2",
+            ),
+            (
+                ".operands 2\n.gate const1 y = a0\n",
+                2,
+                "takes 0 source(s), got 1",
+            ),
+            (".operands 2\n.gate and a1 = a0 a0\n", 2, "already defined"),
+            (
+                ".operands 2\n.gate and y = a0 a0\n.gate or y = a0 a1\n",
+                3,
+                "already defined",
+            ),
+            (
+                ".operands 2\n.gate and 9y = a0 a0\n",
+                2,
+                "invalid net name '9y'",
+            ),
+            (
+                ".operands 2\n.outputs a0\n.gate and y = a0 a1\n",
+                3,
+                ".gate after .outputs",
+            ),
+            (
+                ".operands 2\n.outputs a0\n.outputs a1\n",
+                3,
+                "duplicate .outputs",
+            ),
+            (".operands 2\n.outputs\n", 2, ".outputs needs at least one"),
+            (
+                ".operands 2\n.outputs a0\n.end\n.operands 2\n",
+                4,
+                "content after .end",
+            ),
+            (
+                ".operands 2\n.outputs a0\n.end now\n",
+                3,
+                ".end takes no arguments",
+            ),
+            (".operands 2\n.wires y\n", 2, "unknown directive '.wires'"),
+            ("garbage line\n", 1, "unknown directive 'garbage'"),
+        ];
+        for (src, want_line, want_msg) in corpus {
+            let err = parse(src).unwrap_err();
+            match &err {
+                CircuitError::Parse { line, .. } => {
+                    assert_eq!(line, want_line, "wrong line for {src:?}: {err}")
+                }
+                other => panic!("expected Parse error for {src:?}, got {other:?}"),
+            }
+            let msg = err.to_string();
+            assert!(
+                msg.contains(want_msg),
+                "error for {src:?} was '{msg}', expected to contain '{want_msg}'"
+            );
+        }
+    }
+
+    #[test]
+    fn dangling_references_are_typed() {
+        let cases: &[(&str, usize, &str)] = &[
+            (".operands 2\n.gate and y = a0 zz\n", 2, "zz"),
+            (".operands 2\n.gate not y = qq\n", 2, "qq"),
+            (".operands 2\n.outputs nowhere\n", 2, "nowhere"),
+            // Out-of-range bit index on an implicit input name.
+            (".operands 2\n.gate and y = a0 a5\n", 2, "a5"),
+            // Operand letter beyond the declared operand count.
+            (".operands 2 2\n.gate and y = a0 c0\n", 2, "c0"),
+        ];
+        for (src, want_line, want_name) in cases {
+            let err = parse(src).unwrap_err();
+            assert_eq!(
+                err,
+                CircuitError::UndefinedNet {
+                    line: *want_line,
+                    name: (*want_name).to_string()
+                },
+                "for {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn operand_count_limit_enforced() {
+        let widths = vec!["1"; MAX_OPERANDS + 1].join(" ");
+        let src = std::format!(".operands {widths}\n.outputs a0\n");
+        let err = parse(&src);
+        assert!(matches!(err, Err(CircuitError::Parse { line: 1, .. })));
+    }
+
+    /// Build a canonical netlist from raw sampled data: widths pick the
+    /// operand shape, each (kind, a, b) triple is mapped onto the currently
+    /// defined nets, outputs are a non-empty selection of all nets.
+    fn netlist_from_raw(widths: &[u32], gates: &[(u8, u16, u16)], out_sel: &[u16]) -> Netlist {
+        const KINDS: [GateKind; 11] = [
+            GateKind::Const0,
+            GateKind::Const1,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Xor,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xnor,
+            GateKind::AndNot,
+        ];
+        let mut nl = Netlist::with_operands(widths);
+        let mut defined: Vec<NetId> = (0..nl.n_inputs()).map(|i| nl.input(i)).collect();
+        for &(k, a, b) in gates {
+            let kind = KINDS[k as usize % KINDS.len()];
+            let id = match kind.arity() {
+                0 => {
+                    if kind == GateKind::Const0 {
+                        nl.const0().unwrap()
+                    } else {
+                        nl.const1().unwrap()
+                    }
+                }
+                1 => {
+                    let src = defined[a as usize % defined.len()];
+                    nl.push1(kind, src).unwrap()
+                }
+                _ => {
+                    let sa = defined[a as usize % defined.len()];
+                    let sb = defined[b as usize % defined.len()];
+                    nl.push(kind, sa, sb).unwrap()
+                }
+            };
+            defined.push(id);
+        }
+        let outs: Vec<NetId> = out_sel
+            .iter()
+            .map(|&s| defined[s as usize % defined.len()])
+            .collect();
+        nl.set_outputs(outs).unwrap();
+        nl
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn format_parse_round_trip(
+            widths in proptest::collection::vec(1u32..5, 1..4),
+            gates in proptest::collection::vec((0u8..11, 0u16..512, 0u16..512), 1..40),
+            out_sel in proptest::collection::vec(0u16..512, 1..9),
+        ) {
+            let nl = netlist_from_raw(&widths, &gates, &out_sel);
+            let text = format(&nl, "roundtrip");
+            let reparsed = parse(&text).unwrap();
+            prop_assert_eq!(&reparsed, &nl);
+            // And the reparsed netlist evaluates identically on a probe.
+            let probe: Vec<u64> = (0..nl.n_inputs() as usize)
+                .map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i as u32 * 7))
+                .collect();
+            prop_assert_eq!(
+                reparsed.eval_lanes(&probe).unwrap(),
+                nl.eval_lanes(&probe).unwrap()
+            );
+        }
+    }
+}

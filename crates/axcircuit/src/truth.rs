@@ -93,6 +93,54 @@ impl TruthTable {
         })
     }
 
+    /// Assemble a truth table from pre-computed entries.
+    ///
+    /// This is the admission path for sharded compilation: workers each
+    /// fill a slice of the stitched index space, and the shards are stitched
+    /// back together here. The entries must be indexed `(b << width_a) | a`,
+    /// exactly as [`TruthTable::from_netlist`] produces them.
+    ///
+    /// # Errors
+    ///
+    /// - [`CircuitError::UnsupportedWidth`] if total input width exceeds 24
+    ///   bits or output width exceeds 32 bits (same limits as
+    ///   [`TruthTable::from_netlist`]).
+    /// - [`CircuitError::InputArity`] if `entries.len()` is not exactly
+    ///   `2^(width_a + width_b)`.
+    pub fn from_parts(
+        entries: Vec<u32>,
+        width_a: u32,
+        width_b: u32,
+        width_out: u32,
+    ) -> Result<Self, CircuitError> {
+        let total = width_a + width_b;
+        if total > 24 {
+            return Err(CircuitError::UnsupportedWidth {
+                width: total,
+                max: 24,
+            });
+        }
+        if width_out > 32 {
+            return Err(CircuitError::UnsupportedWidth {
+                width: width_out,
+                max: 32,
+            });
+        }
+        let expected = 1usize << total;
+        if entries.len() != expected {
+            return Err(CircuitError::InputArity {
+                expected,
+                got: entries.len(),
+            });
+        }
+        Ok(TruthTable {
+            entries,
+            width_a,
+            width_b,
+            width_out,
+        })
+    }
+
     /// Width of operand 0 in bits.
     #[must_use]
     pub fn width_a(&self) -> u32 {
@@ -204,5 +252,35 @@ mod tests {
         // Not even populated; width check fires first.
         let err = TruthTable::from_netlist(&nl).unwrap_err();
         assert!(matches!(err, CircuitError::UnsupportedWidth { .. }));
+    }
+
+    #[test]
+    fn from_parts_round_trips_from_netlist() {
+        let nl = MultiplierSpec::unsigned(4, 4).build().unwrap();
+        let tt = TruthTable::from_netlist(&nl).unwrap();
+        let rebuilt = TruthTable::from_parts(tt.entries().to_vec(), 4, 4, tt.width_out()).unwrap();
+        assert_eq!(rebuilt, tt);
+    }
+
+    #[test]
+    fn from_parts_validates_shape() {
+        let err = TruthTable::from_parts(vec![0; 10], 4, 4, 8).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::InputArity {
+                expected: 256,
+                got: 10
+            }
+        ));
+        let err = TruthTable::from_parts(vec![0; 4], 13, 12, 8).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::UnsupportedWidth { width: 25, max: 24 }
+        ));
+        let err = TruthTable::from_parts(vec![0; 256], 4, 4, 33).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::UnsupportedWidth { width: 33, max: 32 }
+        ));
     }
 }

@@ -1,0 +1,97 @@
+use std::fmt;
+
+use axcircuit::CircuitError;
+use axmult::MultError;
+
+/// Errors produced while compiling a netlist into a multiplier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The netlist is not an 8×8 two-operand multiplier.
+    Shape {
+        /// The operand widths the netlist declares.
+        widths: Vec<u32>,
+        /// Number of output bits.
+        outputs: usize,
+    },
+    /// The sharded evaluation disagreed with the single-threaded golden
+    /// sweep — a compiler bug, never bad user input. The LUT is rejected
+    /// rather than admitted corrupt.
+    Mismatch {
+        /// Stitched operand index `(b << 8) | a` of the first difference.
+        index: usize,
+        /// Entry the sharded evaluation produced.
+        got: u32,
+        /// Entry the golden sweep produced.
+        expected: u32,
+    },
+    /// The netlist is not equivalent to the reference netlist supplied via
+    /// `CompileRequest::verify_against`.
+    NotEquivalent {
+        /// Packed input index (operand 0 in the low bits) of the first
+        /// disagreement.
+        input: u64,
+        /// Output word of the compiled netlist at that input.
+        left: u64,
+        /// Output word of the reference netlist at that input.
+        right: u64,
+    },
+    /// A circuit-level error (evaluation, truth-table shape) bubbled up.
+    Circuit(CircuitError),
+    /// A multiplier-level error (LUT conversion, registration) bubbled up.
+    Mult(MultError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Shape { widths, outputs } => {
+                let w: Vec<String> = widths.iter().map(u32::to_string).collect();
+                write!(
+                    f,
+                    "netlist is not an 8x8 multiplier: operand widths [{}], {outputs} outputs \
+                     (need exactly two 8-bit operands and 1..=32 outputs)",
+                    w.join(", ")
+                )
+            }
+            CompileError::Mismatch {
+                index,
+                got,
+                expected,
+            } => write!(
+                f,
+                "sharded evaluation differs from the golden sweep at index {index}: \
+                 got {got}, expected {expected} (compiler bug — LUT rejected)"
+            ),
+            CompileError::NotEquivalent { input, left, right } => write!(
+                f,
+                "netlist is not equivalent to the reference: at packed input {input} \
+                 the netlist outputs {left} but the reference outputs {right}"
+            ),
+            CompileError::Circuit(e) => write!(f, "circuit error: {e}"),
+            CompileError::Mult(e) => write!(f, "multiplier error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Circuit(e) => Some(e),
+            CompileError::Mult(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for CompileError {
+    fn from(e: CircuitError) -> Self {
+        CompileError::Circuit(e)
+    }
+}
+
+impl From<MultError> for CompileError {
+    fn from(e: MultError) -> Self {
+        CompileError::Mult(e)
+    }
+}

@@ -232,14 +232,16 @@ pub fn catalog() -> Result<Vec<AxMultiplier>, MultError> {
     Ok(v)
 }
 
-/// Look up one catalog entry by name.
+/// Look up a multiplier by name: built-in catalog entries first, then the
+/// process-wide [`crate::registry`] of user-compiled multipliers.
 ///
 /// # Errors
 ///
-/// Returns [`MultError::UnknownMultiplier`] for names not in the catalog
-/// — the error lists every available name (and the nearest match, so a
-/// typo like `mul8s_exact_` points straight at the intended entry) — and
-/// propagates construction failures.
+/// Returns [`MultError::UnknownMultiplier`] for names found in neither —
+/// the error lists every available name, built-ins and registered alike,
+/// plus the nearest match, so a typo like `mul8s_exact_` (or a typo of a
+/// *custom* name) points straight at the intended entry — and propagates
+/// construction failures.
 ///
 /// ```
 /// # fn main() -> Result<(), axmult::MultError> {
@@ -258,9 +260,14 @@ pub fn by_name(name: &str) -> Result<AxMultiplier, MultError> {
     if let Some(m) = cat.iter().find(|m| m.name() == name) {
         return Ok(m.clone());
     }
+    if let Some(m) = crate::registry::get(name) {
+        return Ok(m);
+    }
+    let mut available: Vec<String> = cat.iter().map(|m| m.name().to_owned()).collect();
+    available.extend(crate::registry::registered_names());
     Err(MultError::UnknownMultiplier {
         name: name.to_owned(),
-        available: cat.iter().map(|m| m.name().to_owned()).collect(),
+        available,
     })
 }
 
@@ -354,6 +361,40 @@ mod tests {
         for m in catalog().unwrap() {
             assert!(msg.contains(m.name()), "missing {} in: {msg}", m.name());
         }
+    }
+
+    #[test]
+    fn by_name_resolves_registered_multipliers() {
+        let m = AxMultiplier::new(
+            "cat_test_registered",
+            "registered via the registry",
+            crate::MulLut::exact(crate::Signedness::Unsigned),
+            None,
+        );
+        crate::registry::register(m).unwrap();
+        let got = by_name("cat_test_registered").unwrap();
+        assert_eq!(got.name(), "cat_test_registered");
+        // Built-ins shadow nothing: they still resolve first.
+        assert_eq!(by_name("mul8u_exact").unwrap().name(), "mul8u_exact");
+        crate::registry::unregister("cat_test_registered");
+    }
+
+    #[test]
+    fn unknown_name_error_includes_registered_names() {
+        let m = AxMultiplier::new(
+            "cat_test_custom_bam",
+            "registered entry for the did-you-mean test",
+            crate::MulLut::exact(crate::Signedness::Unsigned),
+            None,
+        );
+        crate::registry::register(m).unwrap();
+        // A typo of the *custom* name gets the same treatment as built-ins.
+        let err = by_name("cat_test_custom_bamm").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("did you mean 'cat_test_custom_bam'?"), "{msg}");
+        assert!(msg.contains("cat_test_custom_bam"), "{msg}");
+        assert!(msg.contains("mul8u_exact"), "{msg}");
+        crate::registry::unregister("cat_test_custom_bam");
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub enum MultError {
         /// Every name the catalog does know, in catalog order.
         available: Vec<String>,
     },
+    /// A multiplier registration collided with an existing name.
+    DuplicateMultiplier {
+        /// The name that is already taken (by a built-in catalog entry or
+        /// an earlier registration).
+        name: String,
+    },
     /// A circuit-level error bubbled up during construction.
     Circuit(axcircuit::CircuitError),
 }
@@ -49,6 +55,12 @@ impl fmt::Display for MultError {
                     write!(f, "; available: {}", available.join(", "))
                 }
             }
+            MultError::DuplicateMultiplier { name } => write!(
+                f,
+                "multiplier name '{name}' is already taken (built-in catalog \
+                 entries and registered names must be unique; unregister first \
+                 to replace)"
+            ),
             MultError::Circuit(e) => write!(f, "circuit error: {e}"),
         }
     }

@@ -16,7 +16,10 @@
 //! - [`error`]: full-input-space error metrics (MAE, WCE, MRE, error rate,
 //!   MSE) used to rank candidate multipliers,
 //! - [`mod@catalog`]: a named catalog of ready-made multipliers with hardware
-//!   cost estimates, standing in for the EvoApprox8b library.
+//!   cost estimates, standing in for the EvoApprox8b library,
+//! - [`mod@registry`]: a process-wide registry where user-compiled
+//!   multipliers (see the `axcompile` crate) are addressable by name, with
+//!   [`catalog::by_name`] resolving built-ins first, then the registry.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod catalog;
 pub mod error;
 pub mod lut;
 pub mod profile;
+pub mod registry;
 
 mod err;
 

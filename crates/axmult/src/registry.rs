@@ -1,0 +1,157 @@
+//! Process-wide registry of user-compiled multipliers.
+//!
+//! The built-in [`crate::catalog()`] covers the ready-made entries the paper
+//! evaluates; the registry is where *bring-your-own* multipliers land after
+//! compilation (see the `axcompile` crate). [`crate::catalog::by_name`]
+//! consults the registry after the built-ins, so a registered multiplier is
+//! addressable everywhere a catalog name is — session builders, per-layer
+//! assignments, serving keys — with no other plumbing.
+//!
+//! Registration is last-write-loses: a name can be taken exactly once
+//! (built-in names are reserved), so a resolved name always means the same
+//! LUT for the lifetime of the process unless explicitly
+//! [`unregister`]ed. That is what keeps serving-session keys (`model@mult`)
+//! stable.
+
+use crate::{AxMultiplier, MultError};
+use std::collections::BTreeMap;
+use std::sync::{OnceLock, RwLock};
+
+fn store() -> &'static RwLock<BTreeMap<String, AxMultiplier>> {
+    static STORE: OnceLock<RwLock<BTreeMap<String, AxMultiplier>>> = OnceLock::new();
+    STORE.get_or_init(|| RwLock::new(BTreeMap::new()))
+}
+
+/// Names of the built-in catalog entries, computed once.
+fn builtin_names() -> &'static [String] {
+    static NAMES: OnceLock<Vec<String>> = OnceLock::new();
+    NAMES.get_or_init(|| {
+        crate::catalog()
+            .map(|cat| cat.iter().map(|m| m.name().to_owned()).collect())
+            .unwrap_or_default()
+    })
+}
+
+/// Register a multiplier under its own name.
+///
+/// # Errors
+///
+/// Returns [`MultError::DuplicateMultiplier`] if the name is already taken
+/// — by a previous registration or by a built-in catalog entry. Re-using a
+/// name silently would re-point live serving keys at a different LUT, so it
+/// is always an explicit error; [`unregister`] first to replace an entry.
+///
+/// ```
+/// use axmult::{AxMultiplier, MulLut, Signedness};
+///
+/// let lut = MulLut::exact(Signedness::Unsigned);
+/// let m = AxMultiplier::new("doc_registry_example", "doctest", lut, None);
+/// axmult::registry::register(m).unwrap();
+/// assert!(axmult::registry::get("doc_registry_example").is_some());
+/// let err = axmult::registry::register(AxMultiplier::new(
+///     "mul8u_exact",
+///     "collides with a built-in",
+///     MulLut::exact(Signedness::Unsigned),
+///     None,
+/// ))
+/// .unwrap_err();
+/// assert!(err.to_string().contains("already"));
+/// ```
+pub fn register(mult: AxMultiplier) -> Result<(), MultError> {
+    let name = mult.name().to_owned();
+    if builtin_names().contains(&name) {
+        return Err(MultError::DuplicateMultiplier { name });
+    }
+    let mut map = store().write().expect("multiplier registry poisoned");
+    if map.contains_key(&name) {
+        return Err(MultError::DuplicateMultiplier { name });
+    }
+    map.insert(name, mult);
+    Ok(())
+}
+
+/// Remove a registered multiplier, returning it if it was present.
+///
+/// Built-in catalog entries cannot be unregistered (they are not in the
+/// registry to begin with).
+pub fn unregister(name: &str) -> Option<AxMultiplier> {
+    store()
+        .write()
+        .expect("multiplier registry poisoned")
+        .remove(name)
+}
+
+/// Look up a registered multiplier by name (registry only — use
+/// [`crate::catalog::by_name`] for the catalog-then-registry resolution).
+#[must_use]
+pub fn get(name: &str) -> Option<AxMultiplier> {
+    store()
+        .read()
+        .expect("multiplier registry poisoned")
+        .get(name)
+        .cloned()
+}
+
+/// Names currently registered, in sorted order.
+#[must_use]
+pub fn registered_names() -> Vec<String> {
+    store()
+        .read()
+        .expect("multiplier registry poisoned")
+        .keys()
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MulLut, Signedness};
+
+    // NB: the registry is process-global and tests run in parallel, so
+    // every test uses names unique to itself.
+
+    fn dummy(name: &str) -> AxMultiplier {
+        AxMultiplier::new(
+            name,
+            "test entry",
+            MulLut::exact(Signedness::Unsigned),
+            None,
+        )
+    }
+
+    #[test]
+    fn register_get_unregister_cycle() {
+        assert!(get("reg_test_cycle").is_none());
+        register(dummy("reg_test_cycle")).unwrap();
+        assert_eq!(get("reg_test_cycle").unwrap().name(), "reg_test_cycle");
+        assert!(registered_names().contains(&"reg_test_cycle".to_string()));
+        let removed = unregister("reg_test_cycle").unwrap();
+        assert_eq!(removed.name(), "reg_test_cycle");
+        assert!(get("reg_test_cycle").is_none());
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        register(dummy("reg_test_dup")).unwrap();
+        let err = register(dummy("reg_test_dup")).unwrap_err();
+        assert_eq!(
+            err,
+            MultError::DuplicateMultiplier {
+                name: "reg_test_dup".into()
+            }
+        );
+        unregister("reg_test_dup");
+    }
+
+    #[test]
+    fn builtin_names_are_reserved() {
+        let err = register(dummy("mul8u_exact")).unwrap_err();
+        assert!(matches!(err, MultError::DuplicateMultiplier { .. }));
+    }
+
+    #[test]
+    fn unregister_missing_is_none() {
+        assert!(unregister("reg_test_never_registered").is_none());
+    }
+}

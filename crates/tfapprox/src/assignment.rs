@@ -70,6 +70,43 @@ impl Assignment {
         }
     }
 
+    /// [`Assignment::uniform`] by multiplier name, resolved through
+    /// [`axmult::catalog::by_name`] — built-in catalog entries first, then
+    /// the process-wide registry of compiled multipliers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lookup error (with its "did you mean" suggestion) for
+    /// an unknown name.
+    pub fn uniform_named(name: &str) -> Result<Self, Error> {
+        Ok(Assignment::uniform(axmult::catalog::by_name(name)?))
+    }
+
+    /// [`Assignment::per_layer`] by multiplier names, in topological
+    /// order, each resolved through [`axmult::catalog::by_name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the lookup error of the first unknown name.
+    pub fn per_layer_named<S: AsRef<str>>(names: &[S]) -> Result<Self, Error> {
+        let mults = names
+            .iter()
+            .map(|n| axmult::catalog::by_name(n.as_ref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Assignment::per_layer(mults))
+    }
+
+    /// [`Assignment::with_layer`] by multiplier name, resolved through
+    /// [`axmult::catalog::by_name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the lookup error for an unknown name (the assignment built
+    /// so far is dropped).
+    pub fn with_layer_named(self, layer: usize, name: &str) -> Result<Self, Error> {
+        Ok(self.with_layer(layer, axmult::catalog::by_name(name)?))
+    }
+
     /// Override the multiplier of one layer (0-based index into the
     /// graph's convolution layers in topological order). Later calls for
     /// the same layer replace earlier ones.
@@ -150,6 +187,37 @@ mod tests {
         let bad = Assignment::uniform(rough()).with_layer(3, exact());
         let err = bad.resolve(3).unwrap_err();
         assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn named_constructors_resolve_catalog_and_registry() {
+        let a = Assignment::uniform_named("mul8s_bam_v8h0")
+            .unwrap()
+            .with_layer_named(0, "mul8s_exact")
+            .unwrap();
+        let r = a.resolve(2).unwrap();
+        assert_eq!(r[0].name(), "mul8s_exact");
+        assert_eq!(r[1].name(), "mul8s_bam_v8h0");
+
+        let b = Assignment::per_layer_named(&["mul8s_exact", "mul8s_drum4"]).unwrap();
+        let r = b.resolve(2).unwrap();
+        assert_eq!(r[1].name(), "mul8s_drum4");
+
+        // A registered multiplier is addressable the same way.
+        axmult::registry::register(AxMultiplier::new(
+            "asn_test_registered",
+            "registry entry for assignment test",
+            axmult::MulLut::exact(axmult::Signedness::Signed),
+            None,
+        ))
+        .unwrap();
+        let c = Assignment::uniform_named("asn_test_registered").unwrap();
+        assert_eq!(c.resolve(1).unwrap()[0].name(), "asn_test_registered");
+        axmult::registry::unregister("asn_test_registered");
+
+        // Unknown names keep the did-you-mean treatment.
+        let err = Assignment::uniform_named("mul8s_exakt").unwrap_err();
+        assert!(err.to_string().contains("did you mean"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Bring-your-own multipliers: the [`axcompile`] pipeline wired to the
+//! emulation stack.
+//!
+//! This module closes the loop the paper opens — *arbitrary* approximate
+//! multipliers in the MAC datapath, not just catalog entries:
+//!
+//! 1. Describe the multiplier as a gate-level netlist — built with
+//!    [`axcircuit::builder`]/[`axcircuit::approx`], or parsed from the
+//!    textual format in [`axcircuit::text`].
+//! 2. Compile it here: the exhaustive 2¹⁶ sweep is sharded over the same
+//!    persistent [`WorkerPool`] that runs inference (this module implements
+//!    [`axcompile::Executor`] for it), verified against the golden sweep,
+//!    and characterized with hardware cost + error metrics.
+//! 3. [`CompiledMultiplier::register`] it, and the custom name resolves
+//!    everywhere a built-in does: [`crate::SessionBuilder::multiplier_named`],
+//!    [`crate::Assignment::uniform_named`], serving keys.
+//!
+//! ```
+//! use tfapprox::prelude::*;
+//! use tfapprox::compile::compile_netlist;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let netlist = axcircuit::approx::truncated_unsigned(8, 4)?;
+//! let pool = tfapprox::WorkerPool::new(2);
+//! let compiled = compile_netlist(&netlist, "doc_my_trunc4", Signedness::Unsigned, &pool)?;
+//! compiled.register()?;
+//! // Now addressable by name, exactly like a catalog entry.
+//! let assignment = Assignment::uniform_named("doc_my_trunc4")?;
+//! # axmult::registry::unregister("doc_my_trunc4");
+//! # let _ = assignment;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::pool::WorkerPool;
+use axcircuit::Netlist;
+
+pub use axcompile::{
+    CompileError, CompileReport, CompileRequest, CompiledMultiplier, Executor, SerialExecutor,
+};
+pub use axmult::Signedness;
+
+impl Executor for WorkerPool {
+    fn run_jobs<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        self.run(jobs);
+    }
+}
+
+/// Compile a netlist into a catalog-grade multiplier on `pool`, sharding
+/// the exhaustive sweep so every worker thread stays busy.
+///
+/// This is the convenience path; use [`CompileRequest`] directly for a
+/// custom description, shard count, or an `equiv`-checked reference.
+///
+/// # Errors
+///
+/// See [`CompileRequest::run`].
+pub fn compile_netlist(
+    netlist: &Netlist,
+    name: impl Into<String>,
+    signedness: Signedness,
+    pool: &WorkerPool,
+) -> Result<CompiledMultiplier, CompileError> {
+    CompileRequest::new(netlist, name, signedness)
+        .with_shards(pool.threads() * 4)
+        .run(pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axcircuit::approx;
+
+    #[test]
+    fn worker_pool_compile_matches_serial() {
+        let nl = approx::broken_array_unsigned(8, 7, 1).unwrap();
+        let pool = WorkerPool::new(4);
+        let pooled = compile_netlist(&nl, "tfc_test_pool", Signedness::Unsigned, &pool).unwrap();
+        let serial = CompileRequest::new(&nl, "tfc_test_serial", Signedness::Unsigned)
+            .run(&SerialExecutor)
+            .unwrap();
+        assert_eq!(pooled.multiplier().lut(), serial.multiplier().lut());
+        assert!(pooled.report().shards > 1, "pool path must shard");
+    }
+
+    #[test]
+    fn registered_compile_resolves_through_by_name() {
+        let nl = approx::exact_unsigned(8).unwrap();
+        let pool = WorkerPool::new(2);
+        let compiled =
+            compile_netlist(&nl, "tfc_test_exact_reg", Signedness::Unsigned, &pool).unwrap();
+        compiled.register().unwrap();
+        let resolved = axmult::catalog::by_name("tfc_test_exact_reg").unwrap();
+        // Bit-identical to the built-in exact multiplier.
+        let builtin = axmult::catalog::by_name("mul8u_exact").unwrap();
+        assert_eq!(resolved.lut(), builtin.lut());
+        axmult::registry::unregister("tfc_test_exact_reg");
+    }
+}

@@ -81,6 +81,9 @@ pub enum Error {
     /// failed batch) — every request outcome is explicit, never a silent
     /// drop.
     Serve(crate::serve::ServeError),
+    /// A circuit-to-LUT compilation failure (netlist shape, verification,
+    /// registration) from the [`crate::compile`] pipeline.
+    Compile(axcompile::CompileError),
 }
 
 impl fmt::Display for Error {
@@ -92,6 +95,7 @@ impl fmt::Display for Error {
             Error::Tensor(e) => write!(f, "tensor error: {e}"),
             Error::Config(msg) => write!(f, "session configuration error: {msg}"),
             Error::Serve(e) => write!(f, "serving error: {e}"),
+            Error::Compile(e) => write!(f, "multiplier compilation error: {e}"),
         }
     }
 }
@@ -105,7 +109,14 @@ impl std::error::Error for Error {
             Error::Tensor(e) => Some(e),
             Error::Config(_) => None,
             Error::Serve(e) => Some(e),
+            Error::Compile(e) => Some(e),
         }
+    }
+}
+
+impl From<axcompile::CompileError> for Error {
+    fn from(e: axcompile::CompileError) -> Self {
+        Error::Compile(e)
     }
 }
 

@@ -23,6 +23,10 @@
 //!   [`Session::reassign`] — the design-space hot path that recompiles
 //!   while reusing the cached plans of unchanged layers,
 //! - [`Error`]: the one error type every session operation returns,
+//! - [`compile`]: bring-your-own multipliers — the [`axcompile`]
+//!   circuit-to-LUT pipeline sharded over the session [`WorkerPool`], so a
+//!   gate-level netlist compiles into a registered multiplier addressable
+//!   by name everywhere a built-in is,
 //! - [`serve`]: the multi-tenant serving tier — a [`SessionRegistry`]
 //!   holds many compiled sessions behind an LRU (compile-on-miss via
 //!   [`Session::reassign`] plan transplant), and a [`ServeEngine`]
@@ -85,6 +89,7 @@ pub mod assignment;
 pub mod axconv2d;
 pub mod axdense;
 pub mod backend;
+pub mod compile;
 pub mod context;
 pub mod kernel;
 pub mod perfmodel;
@@ -128,14 +133,16 @@ pub use session::{Session, SessionBuilder};
 pub mod prelude {
     pub use crate::accumulator::Accumulator;
     pub use crate::assignment::Assignment;
+    pub use crate::compile::{compile_netlist, CompileRequest, CompiledMultiplier};
     pub use crate::context::{Backend, EmuContext};
     pub use crate::error::Error;
     pub use crate::kernel::TileConfig;
+    pub use crate::pool::WorkerPool;
     pub use crate::runtime::EmulationReport;
     pub use crate::serve::{
         ServeConfig, ServeEngine, ServeError, ServeStats, SessionKey, SessionRegistry,
         TenantServeStats, Ticket,
     };
     pub use crate::session::{Session, SessionBuilder};
-    pub use axmult::AxMultiplier;
+    pub use axmult::{AxMultiplier, Signedness};
 }

@@ -44,6 +44,10 @@ pub struct SessionBuilder {
     threads: Option<usize>,
     tiles: Option<TileConfig>,
     assignment: Option<Assignment>,
+    /// A multiplier name to resolve at compile time (catalog, then the
+    /// process-wide registry). Mutually exclusive with `assignment`;
+    /// whichever was set last wins.
+    named_multiplier: Option<String>,
     accumulator: Accumulator,
 }
 
@@ -59,6 +63,7 @@ impl SessionBuilder {
             threads: None,
             tiles: None,
             assignment: None,
+            named_multiplier: None,
             accumulator: Accumulator::default(),
         }
     }
@@ -121,10 +126,24 @@ impl SessionBuilder {
         self.assignment(Assignment::uniform(mult.clone()))
     }
 
+    /// Emulate one multiplier in every convolution layer, resolved *by
+    /// name* at [`SessionBuilder::compile`] — built-in catalog entries
+    /// first, then the process-wide [`axmult::registry`], so multipliers
+    /// compiled at runtime (see [`crate::compile`]) work exactly like
+    /// built-ins. An unknown name is a compile-time [`Error`] carrying the
+    /// usual "did you mean" suggestion.
+    #[must_use]
+    pub fn multiplier_named(mut self, name: impl Into<String>) -> Self {
+        self.assignment = None;
+        self.named_multiplier = Some(name.into());
+        self
+    }
+
     /// Use a per-layer multiplier [`Assignment`] (the ALWANN use case).
     #[must_use]
     pub fn assignment(mut self, assignment: Assignment) -> Self {
         self.assignment = Some(assignment);
+        self.named_multiplier = None;
         self
     }
 
@@ -158,12 +177,17 @@ impl SessionBuilder {
     ///   the graph's convolution-layer count.
     /// - Propagates graph-transform and plan-build failures.
     pub fn compile(&self, graph: &Graph) -> Result<Session, Error> {
-        let assignment = self.assignment.clone().ok_or_else(|| {
-            Error::Config(
-                "no multiplier assigned: call .multiplier(..) or .assignment(..) before compile"
-                    .to_owned(),
-            )
-        })?;
+        let assignment = match (&self.assignment, &self.named_multiplier) {
+            (Some(a), _) => a.clone(),
+            (None, Some(name)) => Assignment::uniform_named(name)?,
+            (None, None) => {
+                return Err(Error::Config(
+                    "no multiplier assigned: call .multiplier(..), .multiplier_named(..) or \
+                     .assignment(..) before compile"
+                        .to_owned(),
+                ))
+            }
+        };
         let ctx = self.build_context()?;
         let mults = assignment.resolve(graph.conv_layer_count())?;
         let accumulator = self.accumulator;
@@ -463,6 +487,59 @@ mod tests {
         let graph = ResNetConfig::with_depth(8).unwrap().build(1).unwrap();
         let err = Session::builder().compile(&graph).unwrap_err();
         assert!(err.to_string().contains("no multiplier"), "{err}");
+    }
+
+    #[test]
+    fn compile_resolves_named_multipliers() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(1).unwrap();
+
+        // A catalog name resolves identically to passing the multiplier.
+        let named = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier_named("mul8s_exact")
+            .compile(&graph)
+            .unwrap();
+        assert!(named
+            .multipliers()
+            .iter()
+            .all(|m| m.name() == "mul8s_exact"));
+
+        // A registered (bring-your-own) name resolves the same way.
+        axmult::registry::register(AxMultiplier::new(
+            "ses_test_registered",
+            "registry entry for session test",
+            axmult::MulLut::exact(axmult::Signedness::Signed),
+            None,
+        ))
+        .unwrap();
+        let custom = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier_named("ses_test_registered")
+            .compile(&graph)
+            .unwrap();
+        assert!(custom
+            .multipliers()
+            .iter()
+            .all(|m| m.name() == "ses_test_registered"));
+        axmult::registry::unregister("ses_test_registered");
+
+        // Typos fail at compile time with the did-you-mean treatment.
+        let err = Session::builder()
+            .multiplier_named("mul8s_exakt")
+            .compile(&graph)
+            .unwrap_err();
+        assert!(err.to_string().contains("did you mean"), "{err}");
+
+        // Whichever of name/assignment was set last wins.
+        let last_wins = Session::builder()
+            .multiplier(&rough())
+            .multiplier_named("mul8s_exact")
+            .compile(&graph)
+            .unwrap();
+        assert!(last_wins
+            .multipliers()
+            .iter()
+            .all(|m| m.name() == "mul8s_exact"));
     }
 
     #[test]

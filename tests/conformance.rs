@@ -270,6 +270,168 @@ fn conformance_fused_batches_match_solo_and_reference() {
     );
 }
 
+/// The bring-your-own column, part 1: multipliers compiled from gate-level
+/// netlists through the full `axcompile` pipeline (sharded over the
+/// session `WorkerPool`) are **bit-identical** to the catalog entries
+/// built from the same circuits — and the exhaustive 2¹⁶ sweep is cheap
+/// enough to run inline in a test suite (the guard keeps it far inside
+/// the conformance-stress per-step timeout).
+#[test]
+fn compiled_multipliers_match_builtin_luts() {
+    use std::time::{Duration, Instant};
+    use tfapprox::compile::compile_netlist;
+
+    let pool = tfapprox::WorkerPool::new(4);
+
+    let exact = compile_netlist(
+        &axcircuit::approx::exact_unsigned(8).unwrap(),
+        "conf_test_cmp_exact",
+        Signedness::Unsigned,
+        &pool,
+    )
+    .unwrap();
+    let builtin = axmult::catalog::by_name("mul8u_exact").unwrap();
+    assert_eq!(
+        exact.multiplier().lut(),
+        builtin.lut(),
+        "compiled exact_unsigned(8) must equal the built-in mul8u_exact"
+    );
+
+    for k in [2u32, 4, 6] {
+        let compiled = compile_netlist(
+            &axcircuit::approx::truncated_unsigned(8, k).unwrap(),
+            format!("conf_test_cmp_trunc{k}"),
+            Signedness::Unsigned,
+            &pool,
+        )
+        .unwrap();
+        let builtin = axmult::catalog::by_name(&format!("mul8u_trunc{k}")).unwrap();
+        assert_eq!(
+            compiled.multiplier().lut(),
+            builtin.lut(),
+            "compiled truncated_unsigned(8, {k}) must equal mul8u_trunc{k}"
+        );
+    }
+
+    // Timing guard: a full 2^16-entry compile of the 8×8 broken-array
+    // multiplier must stay far below the conformance-stress step timeout
+    // (10 minutes in CI) — the sweep is 1024 bit-parallel passes, not
+    // 65536 scalar evaluations, and this pins that it stays that way.
+    let start = Instant::now();
+    let bam = compile_netlist(
+        &axcircuit::approx::broken_array_unsigned(8, 8, 0).unwrap(),
+        "conf_test_cmp_bam",
+        Signedness::Unsigned,
+        &pool,
+    )
+    .unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(
+        bam.multiplier().lut(),
+        axmult::catalog::by_name("mul8u_bam_v8h0").unwrap().lut(),
+        "compiled broken_array_unsigned(8, 8, 0) must equal mul8u_bam_v8h0"
+    );
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "full 2^16 compile took {elapsed:?} — too slow for the conformance-stress budget"
+    );
+}
+
+/// The bring-your-own column, part 2: a multiplier that exists in **no**
+/// catalog — `truncated_unsigned(8, 3)`, between the built-in trunc2 and
+/// trunc4 — compiled, registered, and then driven by *name* through every
+/// backend × accumulator cell against the chained reference-kernel
+/// golden, through the fused-batch path, and end-to-end through the
+/// serving tier (`SessionRegistry` admission + keyed
+/// `ServeEngine::submit_to`). Custom multipliers get the exact same
+/// conformance contract as built-ins, with zero kernel changes.
+#[test]
+fn conformance_compiled_multiplier_column() {
+    use tfapprox::compile::compile_netlist;
+    use tfapprox::{ServeConfig, ServeEngine, SessionRegistry};
+
+    let netlist = axcircuit::approx::truncated_unsigned(8, 3).unwrap();
+    let pool = tfapprox::WorkerPool::new(4);
+    let compiled = compile_netlist(&netlist, "conf_test_trunc3", Signedness::Unsigned, &pool)
+        .expect("trunc3 compiles");
+    compiled.register().expect("name is free");
+    let mult = axmult::catalog::by_name("conf_test_trunc3").unwrap();
+    // The column must not be vacuous: trunc3 is a real approximation.
+    assert_ne!(
+        mult.lut(),
+        axmult::catalog::by_name("mul8u_exact").unwrap().lut(),
+        "trunc3 must differ from exact"
+    );
+
+    let w = workload();
+    let graph = graph_of(&w);
+    let fused_sizes: [usize; 3] = [2, 0, 1];
+    let requests: Vec<Tensor<f32>> = fused_sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| rng::uniform(Shape4::new(n, 5, 5, 2), 200 + i as u64, -1.0, 1.0))
+        .collect();
+
+    let mut cells = 0usize;
+    for &accumulator in &ACCUMULATORS {
+        for &backend in &BACKENDS {
+            let cell = format!("backend={backend:?} accumulator={accumulator:?}");
+            // GpuSim f32-accumulates exactly (same contract as the
+            // catalog matrix): its golden ignores the accumulator knob.
+            let golden_acc = if backend == Backend::GpuSim {
+                Accumulator::Exact
+            } else {
+                accumulator
+            };
+            let golden = golden_forward(&w, &mult, golden_acc);
+
+            // Solo: the session resolves the multiplier by its
+            // registered name, never by value.
+            let session = Session::builder()
+                .backend(backend)
+                .chunk_size(3)
+                .multiplier_named("conf_test_trunc3")
+                .accumulator(accumulator)
+                .compile(&graph)
+                .unwrap_or_else(|e| panic!("compiled cell failed to compile: {cell}: {e}"));
+            let out = session.infer(&w.input).unwrap();
+            assert_eq!(out, golden, "compiled cell differs from reference: {cell}");
+
+            // Fused: mixed-size micro-batch, bit-identical to solo.
+            let fused = session.infer_fused(&requests).unwrap();
+            for (i, (req, fused_out)) in requests.iter().zip(&fused).enumerate() {
+                let solo = session.infer(req).unwrap();
+                assert_eq!(
+                    fused_out, &solo,
+                    "compiled fused differs from solo: {cell} request {i}"
+                );
+            }
+
+            // Served: the key installed from this session carries the
+            // registered multiplier; the keyed submission path must
+            // return the same bits as the golden.
+            let registry = Arc::new(SessionRegistry::new(1).unwrap());
+            let key = registry
+                .install("conf_compiled", Arc::new(session))
+                .unwrap();
+            assert_eq!(key.multiplier_names(), vec!["conf_test_trunc3"; 2]);
+            let engine =
+                ServeEngine::with_registry(Arc::clone(&registry), key.clone(), ServeConfig::new())
+                    .unwrap();
+            let served = engine.infer_to(&key, w.input.clone()).unwrap();
+            assert_eq!(served, golden, "served cell differs from reference: {cell}");
+
+            cells += 1;
+        }
+    }
+    assert_eq!(
+        cells,
+        ACCUMULATORS.len() * BACKENDS.len(),
+        "every compiled-multiplier cell must have been asserted"
+    );
+    axmult::registry::unregister("conf_test_trunc3");
+}
+
 #[test]
 fn narrow_accumulators_actually_deviate_on_this_workload() {
     // The matrix would be vacuous if the narrow models never bit: pin

@@ -83,6 +83,24 @@ macro_rules! impl_float_strategy {
 
 impl_float_strategy!(f32, f64);
 
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (S0 / 0, S1 / 1),
+    (S0 / 0, S1 / 1, S2 / 2),
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3)
+);
+
 /// Types with a canonical `any::<T>()` strategy.
 pub trait Arbitrary {
     /// Draw one arbitrary value.
