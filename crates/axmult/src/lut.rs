@@ -5,7 +5,7 @@ use axcircuit::truth::TruthTable;
 use bytes::{Buf, BufMut};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Number of entries in an 8×8 multiplier truth table.
 pub const LUT_ENTRIES: usize = 1 << 16;
@@ -81,6 +81,77 @@ impl fmt::Display for Signedness {
     }
 }
 
+/// SIMD-friendly derived layouts of one multiplier truth table, built
+/// once per [`MulLut`] and cached (see [`MulLut::simd_tables`]).
+///
+/// Two layouts serve the two vector LUT-GEMM mechanisms:
+///
+/// - **Nibble sub-table planes** for byte-shuffle kernels. The 16-bit
+///   products are split into a low-byte plane and a high-byte plane, both
+///   indexed by the stitched `(b << 8) | a` index. Within a plane, the
+///   512-byte row of a fixed filter byte `b` decomposes into **16
+///   sub-tables of 16 bytes**, one per high nibble of the activation byte
+///   `a` — exactly the shape a 16-lane byte shuffle (`pshufb` /
+///   `vqtbl4q_u8`) can gather from: the low nibble selects the lane, the
+///   high nibble selects the sub-table.
+/// - **A gather-padded row table** for element-gather kernels. The raw
+///   `u16` entries plus **one trailing zero entry**, so a 32-bit gather of
+///   the 2-byte entry at row offset 255 (which reads 2 bytes past the
+///   512-byte row) stays in bounds even for the last row.
+///
+/// Both are pure re-encodings of the same products; kernels built on them
+/// stay bit-identical to scalar [`MulLut::fetch`] loops.
+pub struct SimdTables {
+    lo: Box<[u8; LUT_ENTRIES]>,
+    hi: Box<[u8; LUT_ENTRIES]>,
+    padded: Box<[u16]>,
+}
+
+impl SimdTables {
+    fn derive(entries: &[u16; LUT_ENTRIES]) -> Self {
+        let mut lo = vec![0u8; LUT_ENTRIES];
+        let mut hi = vec![0u8; LUT_ENTRIES];
+        let mut padded = vec![0u16; LUT_ENTRIES + 1];
+        for (i, &e) in entries.iter().enumerate() {
+            lo[i] = (e & 0xFF) as u8;
+            hi[i] = (e >> 8) as u8;
+            padded[i] = e;
+        }
+        let lo: Box<[u8; LUT_ENTRIES]> = lo.into_boxed_slice().try_into().expect("plane size");
+        let hi: Box<[u8; LUT_ENTRIES]> = hi.into_boxed_slice().try_into().expect("plane size");
+        SimdTables {
+            lo,
+            hi,
+            padded: padded.into_boxed_slice(),
+        }
+    }
+
+    /// The low-byte plane: entry `(b << 8) | a` is the low byte of
+    /// [`MulLut::fetch`]`(a, b)`.
+    #[inline]
+    #[must_use]
+    pub fn lo_plane(&self) -> &[u8; LUT_ENTRIES] {
+        &self.lo
+    }
+
+    /// The high-byte plane: entry `(b << 8) | a` is the high byte of
+    /// [`MulLut::fetch`]`(a, b)`.
+    #[inline]
+    #[must_use]
+    pub fn hi_plane(&self) -> &[u8; LUT_ENTRIES] {
+        &self.hi
+    }
+
+    /// The raw entries with one extra zero entry appended
+    /// (`LUT_ENTRIES + 1` long), safe for 32-bit gathers of the 2-byte
+    /// entry at any stitched index.
+    #[inline]
+    #[must_use]
+    pub fn padded(&self) -> &[u16] {
+        &self.padded
+    }
+}
+
 /// Truth table of an 8×8 (possibly approximate) multiplier.
 ///
 /// Entry `(b << 8) | a` holds the raw 16-bit product pattern for operand
@@ -88,11 +159,25 @@ impl fmt::Display for Signedness {
 /// for its `tex1Dfetch<ushort>` lookups. The table is immutable and cheaply
 /// cloneable (`Arc`-backed), since emulation shares one table across many
 /// worker threads / simulated thread blocks.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct MulLut {
     entries: Arc<[u16; LUT_ENTRIES]>,
     signedness: Signedness,
+    /// Lazily derived SIMD layouts, shared across clones so a LUT used by
+    /// many sessions/threads derives them once.
+    simd: Arc<OnceLock<SimdTables>>,
 }
+
+impl PartialEq for MulLut {
+    fn eq(&self, other: &Self) -> bool {
+        // The SIMD cache is derived state — identity is the products and
+        // the signedness, exactly as before the cache existed.
+        self.signedness == other.signedness
+            && (Arc::ptr_eq(&self.entries, &other.entries) || self.entries == other.entries)
+    }
+}
+
+impl Eq for MulLut {}
 
 impl fmt::Debug for MulLut {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -104,6 +189,14 @@ impl fmt::Debug for MulLut {
 }
 
 impl MulLut {
+    fn from_arc_entries(entries: Arc<[u16; LUT_ENTRIES]>, signedness: Signedness) -> Self {
+        MulLut {
+            entries,
+            signedness,
+            simd: Arc::new(OnceLock::new()),
+        }
+    }
+
     /// Build a table from a function on *logical* operand values.
     ///
     /// `f` receives operands in the logical range of `signedness` and must
@@ -131,10 +224,7 @@ impl MulLut {
                 entries[(b_raw << 8) | a_raw] = (p as i64 & 0xFFFF) as u16;
             }
         }
-        MulLut {
-            entries: entries_into_arc(entries),
-            signedness,
-        }
+        MulLut::from_arc_entries(entries_into_arc(entries), signedness)
     }
 
     /// The exact multiplier.
@@ -159,10 +249,10 @@ impl MulLut {
         for (i, e) in entries.iter_mut().enumerate() {
             *e = (tt.entries()[i] & 0xFFFF) as u16;
         }
-        Ok(MulLut {
-            entries: entries_into_arc(entries),
+        Ok(MulLut::from_arc_entries(
+            entries_into_arc(entries),
             signedness,
-        })
+        ))
     }
 
     /// Deserialize from the flat little-endian `u16[65536]` binary layout.
@@ -182,10 +272,10 @@ impl MulLut {
         for e in entries.iter_mut() {
             *e = buf.get_u16_le();
         }
-        Ok(MulLut {
-            entries: entries_into_arc(entries),
+        Ok(MulLut::from_arc_entries(
+            entries_into_arc(entries),
             signedness,
-        })
+        ))
     }
 
     /// Serialize to the flat little-endian `u16[65536]` binary layout
@@ -290,6 +380,16 @@ impl MulLut {
     #[must_use]
     pub fn entries(&self) -> &[u16; LUT_ENTRIES] {
         &self.entries
+    }
+
+    /// SIMD-friendly derived layouts of this table (see [`SimdTables`]).
+    ///
+    /// Derived lazily on first use and cached; clones of this `MulLut`
+    /// share the cache, so a table used by many sessions pays the
+    /// derivation cost once.
+    #[must_use]
+    pub fn simd_tables(&self) -> &SimdTables {
+        self.simd.get_or_init(|| SimdTables::derive(&self.entries))
     }
 }
 
@@ -440,5 +540,30 @@ mod tests {
             lut.entries().as_ptr(),
             clone.entries().as_ptr()
         ));
+    }
+
+    #[test]
+    fn simd_tables_match_entries() {
+        for signedness in [Signedness::Signed, Signedness::Unsigned] {
+            let lut = MulLut::from_fn(signedness, |a, b| (a * b) & !0x7);
+            let simd = lut.simd_tables();
+            assert_eq!(simd.padded().len(), LUT_ENTRIES + 1);
+            assert_eq!(simd.padded()[LUT_ENTRIES], 0);
+            for i in 0..LUT_ENTRIES {
+                let e = lut.entries()[i];
+                assert_eq!(simd.lo_plane()[i], (e & 0xFF) as u8);
+                assert_eq!(simd.hi_plane()[i], (e >> 8) as u8);
+                assert_eq!(simd.padded()[i], e);
+            }
+        }
+    }
+
+    #[test]
+    fn simd_tables_shared_across_clones() {
+        let lut = MulLut::exact(Signedness::Signed);
+        let clone = lut.clone();
+        let a: *const SimdTables = lut.simd_tables();
+        let b: *const SimdTables = clone.simd_tables();
+        assert!(std::ptr::eq(a, b), "clones must share the derived cache");
     }
 }

@@ -51,10 +51,11 @@ fn main() {
     let reports = conv_engine::run_suite(quick);
     for report in &reports {
         println!(
-            "bench: conv_engine/{}/{} speedup cpu-gemm vs cpu-direct: {:.1}x",
+            "bench: conv_engine/{}/{} speedup cpu-gemm vs cpu-direct: {:.1}x, best simd vs scalar: {:.2}x",
             report.case.name,
             report.multiplier,
-            report.speedup_gemm_vs_direct()
+            report.speedup_gemm_vs_direct(),
+            report.speedup_best_simd_vs_scalar()
         );
     }
     let path = conv_engine::default_output_path();

@@ -7,10 +7,11 @@
 //! regime the paper's Table I reports. Per backend it also captures the
 //! [`Phase`] split of the steady-state profile (the Fig. 2 breakdown)
 //! and the one-off plan-build quantization charge of the first call.
-//! The thread-sharded CpuGemm backend is additionally swept over
-//! [`THREAD_SWEEP`] host worker counts, and the primary case over the
-//! [`tile_sweep_configs`] cache-blocking panel sizes of the tiled
-//! LUT-GEMM microkernel.
+//! The thread-sharded CpuGemm backend is additionally swept over the
+//! cross product of [`THREAD_SWEEP`] host worker counts and every
+//! LUT-GEMM kernel arm this host supports ([`available_kernels`]), and
+//! the primary case over the [`tile_sweep_configs`] cache-blocking panel
+//! sizes of the tiled scalar microkernel.
 //!
 //! The criterion bench `benches/conv_engine.rs` drives [`run_suite`] and
 //! writes the report with [`write_report`]; the bench-smoke integration
@@ -25,7 +26,7 @@ use gpusim::Phase;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
-use tfapprox::{AxConv2D, Backend, EmuContext, TileConfig};
+use tfapprox::{available_kernels, AxConv2D, Backend, EmuContext, KernelKind, TileConfig};
 
 /// The host worker-thread counts the CpuGemm backend is swept over.
 pub const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
@@ -51,6 +52,10 @@ pub struct BackendSample {
     /// Host worker threads the run used (the CpuGemm backend is swept
     /// over [`THREAD_SWEEP`]; the other backends always report 1).
     pub threads: usize,
+    /// LUT-GEMM kernel arm the run dispatched to (a
+    /// [`KernelKind`] name), or `"none"` for backends that never enter
+    /// the host GEMM.
+    pub kernel: &'static str,
     /// Mean wall-clock seconds per convolve call (plan already built).
     pub mean_s: f64,
     /// Quantization-phase seconds of the first (plan-building) call.
@@ -97,23 +102,46 @@ pub struct CaseReport {
 }
 
 impl CaseReport {
-    fn sample(&self, backend: Backend, threads: usize) -> Option<&BackendSample> {
+    fn sample(&self, backend: Backend, threads: usize, kernel: &str) -> Option<&BackendSample> {
         self.samples
             .iter()
-            .find(|s| s.backend == backend && s.threads == threads)
+            .find(|s| s.backend == backend && s.threads == threads && s.kernel == kernel)
     }
 
-    /// Wall-clock speedup of the GEMM-formulated host backend over the
-    /// direct nested-loop (ALWANN-style) emulation, both single-threaded
-    /// — the like-for-like kernel comparison (thread scaling is reported
-    /// separately by the swept samples).
+    /// Wall-clock speedup of the GEMM-formulated host backend (scalar
+    /// kernel) over the direct nested-loop (ALWANN-style) emulation, both
+    /// single-threaded — the like-for-like formulation comparison (thread
+    /// scaling and SIMD arms are reported separately by the swept
+    /// samples).
     #[must_use]
     pub fn speedup_gemm_vs_direct(&self) -> f64 {
         match (
-            self.sample(Backend::CpuDirect, 1),
-            self.sample(Backend::CpuGemm, 1),
+            self.sample(Backend::CpuDirect, 1, "none"),
+            self.sample(Backend::CpuGemm, 1, KernelKind::ScalarTiled.name()),
         ) {
             (Some(d), Some(g)) if g.mean_s > 0.0 => d.mean_s / g.mean_s,
+            _ => f64::NAN,
+        }
+    }
+
+    /// Wall-clock speedup of the fastest SIMD kernel arm over the tiled
+    /// scalar kernel, both single-threaded — the headline number of the
+    /// byte-shuffle vectorization. `NaN` on hosts with no SIMD arm.
+    #[must_use]
+    pub fn speedup_best_simd_vs_scalar(&self) -> f64 {
+        let scalar = self.sample(Backend::CpuGemm, 1, KernelKind::ScalarTiled.name());
+        let best_simd = self
+            .samples
+            .iter()
+            .filter(|s| {
+                s.backend == Backend::CpuGemm
+                    && s.threads == 1
+                    && s.kernel != KernelKind::ScalarTiled.name()
+                    && s.kernel != "none"
+            })
+            .min_by(|a, b| a.mean_s.total_cmp(&b.mean_s));
+        match (scalar, best_simd) {
+            (Some(sc), Some(sv)) if sv.mean_s > 0.0 => sc.mean_s / sv.mean_s,
             _ => f64::NAN,
         }
     }
@@ -162,6 +190,7 @@ fn measure_backend(
     backend: Backend,
     lut: &MulLut,
     threads: usize,
+    kernel: KernelKind,
 ) -> BackendSample {
     let input = rng::uniform(case.input, 11, -1.0, 1.0);
     let filter = rng::uniform_filter(case.filter, 13, -0.5, 0.5);
@@ -170,6 +199,8 @@ fn measure_backend(
             .with_chunk_size(4)
             .unwrap()
             .with_threads(threads)
+            .unwrap()
+            .with_kernel(kernel)
             .unwrap(),
     );
     let layer = AxConv2D::new(filter, ConvGeometry::default(), lut.clone(), ctx);
@@ -195,6 +226,10 @@ fn measure_backend(
     BackendSample {
         backend,
         threads,
+        kernel: match backend {
+            Backend::CpuGemm => kernel.name(),
+            Backend::CpuDirect | Backend::GpuSim => "none",
+        },
         mean_s,
         first_call_quant_s,
         steady_quant_s,
@@ -223,11 +258,15 @@ fn measure_tiles(case: &ConvCase, lut: &MulLut) -> Vec<TileSweepSample> {
     tile_sweep_configs()
         .into_iter()
         .map(|tiles| {
+            // The tile sweep probes the scalar microkernel's cache
+            // blocking; the SIMD arms use their own internal blocking.
             let ctx = Arc::new(
                 EmuContext::new(Backend::CpuGemm)
                     .with_chunk_size(4)
                     .unwrap()
                     .with_threads(1)
+                    .unwrap()
+                    .with_kernel(KernelKind::ScalarTiled)
                     .unwrap()
                     .with_tile_config(tiles),
             );
@@ -263,12 +302,33 @@ fn measure_case(case: &ConvCase, multiplier: &str, lut: &MulLut, sweep_tiles: bo
     let accurate_f32_s = t0.elapsed().as_secs_f64() / case.iters as f64;
 
     // CpuDirect and GpuSim are single-threaded by construction; the
-    // thread-sharded CpuGemm kernel is swept.
-    let mut samples = vec![measure_backend(case, Backend::CpuDirect, lut, 1)];
-    for threads in THREAD_SWEEP {
-        samples.push(measure_backend(case, Backend::CpuGemm, lut, threads));
+    // thread-sharded CpuGemm backend is swept over every supported
+    // kernel arm at every thread count.
+    let mut samples = vec![measure_backend(
+        case,
+        Backend::CpuDirect,
+        lut,
+        1,
+        KernelKind::ScalarTiled,
+    )];
+    for kernel in available_kernels() {
+        for threads in THREAD_SWEEP {
+            samples.push(measure_backend(
+                case,
+                Backend::CpuGemm,
+                lut,
+                threads,
+                kernel,
+            ));
+        }
     }
-    samples.push(measure_backend(case, Backend::GpuSim, lut, 1));
+    samples.push(measure_backend(
+        case,
+        Backend::GpuSim,
+        lut,
+        1,
+        KernelKind::ScalarTiled,
+    ));
     let tile_sweep = if sweep_tiles {
         measure_tiles(case, lut)
     } else {
@@ -327,6 +387,7 @@ fn sample_json(sample: &BackendSample) -> String {
     json::object(&[
         ("backend", json::string(&sample.backend.to_string())),
         ("threads", json::integer(sample.threads as u64)),
+        ("kernel", json::string(sample.kernel)),
         ("mean_s", json::number(sample.mean_s)),
         (
             "first_call_quantization_s",
@@ -375,6 +436,10 @@ pub fn report_json(reports: &[CaseReport], quick: bool) -> String {
                     json::number(r.speedup_gemm_vs_direct()),
                 ),
                 (
+                    "speedup_best_simd_vs_scalar",
+                    json::number(r.speedup_best_simd_vs_scalar()),
+                ),
+                (
                     "backends",
                     json::array(&r.samples.iter().map(sample_json).collect::<Vec<_>>()),
                 ),
@@ -391,7 +456,7 @@ pub fn report_json(reports: &[CaseReport], quick: bool) -> String {
         })
         .collect();
     json::object(&[
-        ("schema", json::string("tfapprox-bench-conv/1")),
+        ("schema", json::string("tfapprox-bench-conv/2")),
         ("mode", json::string(if quick { "quick" } else { "full" })),
         ("threads", json::integer(threads as u64)),
         ("cases", json::array(&case_docs)),
@@ -450,7 +515,12 @@ mod tests {
     fn report_json_is_well_formed_even_when_empty() {
         let doc = report_json(&[], true);
         json::validate(&doc).unwrap();
-        assert!(doc.contains("\"tfapprox-bench-conv/1\""));
+        assert!(doc.contains("\"tfapprox-bench-conv/2\""));
         assert!(doc.contains("\"quick\""));
+    }
+
+    #[test]
+    fn kernel_sweep_always_includes_the_scalar_arm() {
+        assert!(available_kernels().contains(&KernelKind::ScalarTiled));
     }
 }

@@ -9,12 +9,14 @@ fn quick_suite_emits_well_formed_json() {
     let reports = conv_engine::run_suite(true);
     // One exact case plus the approximate-LUT rerun of the primary case.
     assert_eq!(reports.len(), 2);
+    let kernels = tfapprox::available_kernels();
     for report in &reports {
-        // CpuDirect + one CpuGemm sample per swept thread count + GpuSim.
+        // CpuDirect + one CpuGemm sample per (kernel arm, thread count)
+        // point + GpuSim.
         assert_eq!(
             report.samples.len(),
-            2 + conv_engine::THREAD_SWEEP.len(),
-            "one sample per backend/thread point"
+            2 + kernels.len() * conv_engine::THREAD_SWEEP.len(),
+            "one sample per backend/kernel/thread point"
         );
         for sample in &report.samples {
             assert!(sample.threads >= 1);
@@ -31,15 +33,34 @@ fn quick_suite_emits_well_formed_json() {
                 sample.backend
             );
         }
-        let gemm_threads: Vec<usize> = report
-            .samples
-            .iter()
-            .filter(|s| s.backend == tfapprox::Backend::CpuGemm)
-            .map(|s| s.threads)
-            .collect();
-        assert_eq!(gemm_threads, conv_engine::THREAD_SWEEP.to_vec());
+        for kernel in &kernels {
+            let gemm_threads: Vec<usize> = report
+                .samples
+                .iter()
+                .filter(|s| s.backend == tfapprox::Backend::CpuGemm && s.kernel == kernel.name())
+                .map(|s| s.threads)
+                .collect();
+            assert_eq!(
+                gemm_threads,
+                conv_engine::THREAD_SWEEP.to_vec(),
+                "kernel {kernel} must be swept over every thread count"
+            );
+        }
+        for s in &report.samples {
+            match s.backend {
+                tfapprox::Backend::CpuGemm => {
+                    assert!(kernels.iter().any(|k| k.name() == s.kernel))
+                }
+                _ => assert_eq!(s.kernel, "none", "{:?} never enters the GEMM", s.backend),
+            }
+        }
         assert!(report.macs > 0);
         assert!(report.speedup_gemm_vs_direct().is_finite());
+        // Hosts without SIMD arms report NaN, with them a real ratio.
+        assert_eq!(
+            report.speedup_best_simd_vs_scalar().is_finite(),
+            kernels.len() > 1
+        );
     }
     // The primary case carries the tile sweep; its points all measured.
     assert!(!reports[0].tile_sweep.is_empty());
@@ -49,7 +70,10 @@ fn quick_suite_emits_well_formed_json() {
     let doc = conv_engine::report_json(&reports, true);
     json::validate(&doc).expect("BENCH_conv.json must be well-formed JSON");
     for needle in [
-        "\"schema\": \"tfapprox-bench-conv/1\"",
+        "\"schema\": \"tfapprox-bench-conv/2\"",
+        "\"kernel\": \"scalar-tiled\"",
+        "\"kernel\": \"none\"",
+        "\"speedup_best_simd_vs_scalar\"",
         "\"mode\": \"quick\"",
         "\"cpu-direct\"",
         "\"cpu-gemm\"",
@@ -200,9 +224,26 @@ fn session_report_json_is_well_formed() {
         .expect("run");
     let doc = report.to_json();
     json::validate(&doc).expect("session report must be well-formed JSON");
-    assert!(doc.contains("\"schema\": \"tfapprox-session-report/1\""));
+    assert!(doc.contains("\"schema\": \"tfapprox-session-report/2\""));
     assert!(doc.contains("\"images_per_second\""));
+    // The modeled-GPU backend never enters the host GEMM, so the report
+    // pins its kernel to the "none" sentinel rather than a host arm.
+    assert!(doc.contains("\"kernel\": \"none\""));
     assert!((report.images_per_second() - 2.0 / report.total()).abs() < 1e-9);
+
+    // The host-GEMM backend names its active kernel arm in the report.
+    let session = Session::builder()
+        .backend(Backend::CpuGemm)
+        .multiplier(&mult)
+        .compile(&graph)
+        .expect("compile");
+    let (_, report) = session
+        .infer_batches(std::slice::from_ref(&batch))
+        .expect("run");
+    assert_eq!(report.kernel, session.kernel().name());
+    assert!(report
+        .to_json()
+        .contains(&format!("\"kernel\": \"{}\"", session.kernel().name())));
 }
 
 #[test]

@@ -71,6 +71,31 @@ pub fn im2col_quant(
     let mut sums = vec![0i64; rows];
     let mut in_bounds_reads = 0u64;
 
+    // Quantize every input element exactly once up front. Overlapping
+    // patches re-read the same pixel up to `filter.h × filter.w` times;
+    // replaying the divide/round/clamp chain per read is pure waste on the
+    // host, and copying the precomputed byte (plus folding the precomputed
+    // per-pixel channel-run sum, an exact i64 regrouping) is bit-identical
+    // to quantizing in place. The modeled GPU event counts below stay on
+    // the per-element-read accounting of the real kernel.
+    let mut qbytes = vec![0u8; chunk.as_slice().len()];
+    let mut pixel_sums = vec![0i64; shape.n * shape.h * shape.w];
+    if shape.c > 0 {
+        for (pixel, (src, sum_slot)) in chunk
+            .as_slice()
+            .chunks_exact(shape.c)
+            .zip(qbytes.chunks_exact_mut(shape.c).zip(&mut pixel_sums))
+        {
+            let mut s = 0i64;
+            for (&v, slot) in pixel.iter().zip(src) {
+                let q = input_q.quantize(v);
+                *slot = (q & 0xFF) as u8;
+                s += i64::from(q);
+            }
+            *sum_slot = s;
+        }
+    }
+
     let mut row = 0usize;
     for n in 0..out.n {
         for oy in 0..out.h {
@@ -90,16 +115,14 @@ pub fn im2col_quant(
                         if inside {
                             in_bounds_reads += shape.c as u64;
                             // NHWC: the channel run of one (n, y, x) pixel
-                            // is contiguous — quantize the slice directly
-                            // instead of recomputing the 4-D index per tap
-                            // (the real kernel's coalesced read).
-                            let src = shape.index(n, iy as usize, ix as usize, 0);
-                            let pixel = &chunk.as_slice()[src..src + shape.c];
-                            for (&v, slot) in pixel.iter().zip(&mut data[base + col..]) {
-                                let q = input_q.quantize(v);
-                                *slot = (q & 0xFF) as u8;
-                                sum += i64::from(q);
-                            }
+                            // is contiguous — copy its pre-quantized bytes
+                            // and fold its precomputed run sum (the real
+                            // kernel's coalesced read).
+                            let pixel = (n * shape.h + iy as usize) * shape.w + ix as usize;
+                            let src = pixel * shape.c;
+                            data[base + col..base + col + shape.c]
+                                .copy_from_slice(&qbytes[src..src + shape.c]);
+                            sum += pixel_sums[pixel];
                             col += shape.c;
                         } else {
                             for slot in &mut data[base + col..base + col + shape.c] {

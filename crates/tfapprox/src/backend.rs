@@ -305,9 +305,11 @@ pub fn run_cpu_gemm_prepared(
         .output;
         profile.add(Phase::Other, t1.elapsed().as_secs_f64());
 
-        // Tiled LUT GEMM on the persistent pool.
+        // Blocked LUT GEMM on the persistent pool, on the context's
+        // kernel arm (bit-identical whichever arm runs).
         let t2 = Instant::now();
-        let out_buf = kernel::lut_gemm_tiled(
+        let out_buf = kernel::dispatch::lut_gemm_dispatch(
+            ctx.kernel(),
             &patches.matrix,
             &patches.patch_sums,
             plan,
@@ -418,9 +420,11 @@ pub fn run_cpu_gemm_fused_prepared(
         let row_table = SegmentTable::from_counts(&piece_rows);
         profile.add(Phase::Other, t1.elapsed().as_secs_f64());
 
-        // One fused, tiled LUT GEMM for the whole chunk.
+        // One fused, blocked LUT GEMM for the whole chunk, on the
+        // context's kernel arm.
         let t2 = Instant::now();
-        let out_buf = kernel::lut_gemm_tiled_seg(
+        let out_buf = kernel::dispatch::lut_gemm_dispatch_seg(
+            ctx.kernel(),
             &matrix,
             &sums,
             plan,

@@ -1,7 +1,7 @@
 //! Shared emulation state: backend selection, profiling, the texture
 //! cache, and the persistent worker pool.
 
-use crate::kernel::TileConfig;
+use crate::kernel::{auto_kernel, KernelKind, TileConfig};
 use crate::pool::WorkerPool;
 use crate::EmuError;
 use gpusim::{DeviceConfig, EventCounts, PhaseProfile, TextureCache};
@@ -53,6 +53,7 @@ pub struct EmuContext {
     chunk_size: usize,
     threads: usize,
     tiles: TileConfig,
+    kernel: KernelKind,
     profile: Mutex<PhaseProfile>,
     events: Mutex<EventCounts>,
     cache: Mutex<TextureCache>,
@@ -80,6 +81,7 @@ impl EmuContext {
             chunk_size: 125,
             threads: std::thread::available_parallelism().map_or(1, usize::from),
             tiles: TileConfig::default(),
+            kernel: auto_kernel(),
             profile: Mutex::new(PhaseProfile::new()),
             events: Mutex::new(EventCounts::new()),
             cache: Mutex::new(cache),
@@ -150,6 +152,31 @@ impl EmuContext {
     #[must_use]
     pub fn tile_config(&self) -> TileConfig {
         self.tiles
+    }
+
+    /// Force a specific LUT-GEMM kernel arm instead of the process-wide
+    /// automatic choice ([`auto_kernel`]). `KernelKind::ScalarTiled` is
+    /// the always-available escape hatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::Config`] if this process cannot execute
+    /// `kernel` (wrong architecture or missing CPU features) — an
+    /// explicit override must never silently downgrade.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Result<Self, EmuError> {
+        if !kernel.is_supported() {
+            return Err(EmuError::Config(format!(
+                "kernel '{kernel}' is not supported on this host"
+            )));
+        }
+        self.kernel = kernel;
+        Ok(self)
+    }
+
+    /// The LUT-GEMM kernel arm this context dispatches to.
+    #[must_use]
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// The persistent host worker pool, spawned on first use.
@@ -246,6 +273,23 @@ mod tests {
             .with_threads(2)
             .unwrap();
         assert_eq!(ctx.chunk_size(), 3);
+    }
+
+    #[test]
+    fn kernel_defaults_to_auto_and_accepts_scalar_override() {
+        let ctx = EmuContext::new(Backend::CpuGemm);
+        assert_eq!(ctx.kernel(), auto_kernel());
+        let ctx = ctx.with_kernel(KernelKind::ScalarTiled).unwrap();
+        assert_eq!(ctx.kernel(), KernelKind::ScalarTiled);
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[test]
+    fn unsupported_kernel_override_rejected() {
+        let err = EmuContext::new(Backend::CpuGemm)
+            .with_kernel(KernelKind::Avx2Gather)
+            .unwrap_err();
+        assert!(matches!(err, EmuError::Config(_)), "{err}");
     }
 
     #[test]

@@ -1,60 +1,58 @@
-//! The tiled, thread-sharded LUT-GEMM microkernel — the host hot path.
+//! The LUT-GEMM kernel family — tiled scalar and SIMD arms behind one
+//! dispatch, all pinned bit-for-bit to an untiled golden model.
 //!
 //! `BENCH_conv.json` shows the emulated-multiply inner loop (the
 //! `lutlookup` phase) dominating steady-state time on every backend. The
 //! paper attacks exactly this loop by keeping the 128 kB multiplier table
 //! in a fast read-only memory and batching lookups; this module is the
-//! CPU realization of that idea:
+//! CPU realization of that idea, structured as a small family:
 //!
-//! - **LUT row hoisting.** With the filter byte fixed, every lookup of
-//!   the inner loop lands in one 512-byte table row ([`MulLut::row`]) —
-//!   L1-resident — and the `(b << 8) | a` index stitching is paid once
-//!   per tap instead of once per lookup.
-//! - **Register micro-tiles.** Each microkernel invocation walks one
-//!   filter channel against [`MR`] output positions at once, holding all
-//!   [`MR`] accumulators in registers — the in-memory accumulator tile is
-//!   only read and written at `KC`-panel boundaries. The [`MR`] patch
-//!   rows are read as parallel sequential streams straight from the
-//!   row-major patch matrix; a materialized panel-major transpose (see
-//!   [`axtensor::im2col::im2col_panels`]) was measured at ~2 ms for one
-//!   ResNet-stage-1 chunk — comparable to the whole GEMM — so the kernel
-//!   deliberately streams the untransposed matrix instead.
-//! - **Cache blocking.** The output is walked in `MC×NC` tiles with the
-//!   `K` dimension split into `KC` panels ([`TileConfig`]), so the `i64`
-//!   accumulator tile (`MC·NC·8` bytes), the active filter panel
-//!   (`KC·NC` bytes), the `MR×KC` patch micro-panel and the active LUT
-//!   rows stay cache-resident across the whole panel sweep.
-//! - **Thread sharding.** The `N` dimension (batch × output pixels) is
-//!   split into contiguous row spans executed on the context's persistent
-//!   [`WorkerPool`]. Every row's fold order over `K` is fixed and
-//!   independent of the partition, so results are **bit-identical across
-//!   thread counts** — including under saturating/wrapping
-//!   [`Accumulator`] models, whose folds are order-sensitive.
+//! - [`lut_gemm_reference`] / [`lut_gemm_reference_seg`] — the untiled
+//!   per-row golden model every other arm is pinned against.
+//! - `scalar` (private) — the tiled, register-micro-tile walker
+//!   ([`lut_gemm_tiled`] / [`lut_gemm_tiled_seg`]): LUT-row hoisting,
+//!   `MC×KC×NC` cache blocking, [`MR`]-row register micro-tiles, and
+//!   contiguous-row-span thread sharding whose per-row fold order is
+//!   partition-independent (bit-identical across thread counts, even
+//!   under order-sensitive [`Accumulator`] models).
+//! - `simd` (private, x86-64 only) — AVX2 panels that resolve 16–32
+//!   products per instruction from the [`axmult::SimdTables`] derived
+//!   layouts: a `vpgatherdd` row-gather arm and a `pshufb` nibble
+//!   sub-table arm. Exact accumulation only; the module's source
+//!   carries the bit-identity argument.
+//! - [`dispatch`] — the [`dispatch::KernelKind`] selector: explicit
+//!   override > `TFAPPROX_KERNEL` env > one-shot runtime calibration,
+//!   with every non-scalar arm silently falling back to the scalar
+//!   walker when the accumulator model or the CPU rules it out.
 //!
-//! [`lut_gemm_reference`] keeps the untiled per-row loop as the golden
-//! model; the equivalence proptests pin [`lut_gemm_tiled`] against it
-//! bit-for-bit on every multiplier in the catalog.
-//!
-//! Both entry points come in a *segmented* flavour
-//! ([`lut_gemm_reference_seg`], [`lut_gemm_tiled_seg`]) that threads a
-//! [`SegmentTable`] over the output rows: each row dequantizes under its
-//! own segment's input parameters via a precomputed
-//! [`SegmentEpilogue`], so a fused
+//! Both entry-point flavours come *segmented*
+//! ([`lut_gemm_reference_seg`], [`lut_gemm_tiled_seg`],
+//! [`dispatch::lut_gemm_dispatch_seg`]) threading a [`SegmentTable`]
+//! over the output rows: each row dequantizes under its own segment's
+//! input parameters via a precomputed [`SegmentEpilogue`](crate::prepared::SegmentEpilogue), so a fused
 //! multi-request batch runs as **one** blocked GEMM while staying
-//! bit-identical to per-request solo runs. The unsegmented names are thin
-//! single-segment wrappers.
+//! bit-identical to per-request solo runs. The unsegmented names are
+//! thin single-segment wrappers.
+
+pub mod dispatch;
+mod scalar;
+#[cfg(target_arch = "x86_64")]
+mod simd;
+
+pub use dispatch::{auto_kernel, available_kernels, KernelKind};
 
 use crate::accumulator::Accumulator;
 use crate::pool::WorkerPool;
-use crate::prepared::{PreparedFilter, SegmentEpilogue};
+use crate::prepared::PreparedFilter;
 use crate::EmuError;
 use axmult::{MulLut, Signedness};
 use axquant::QuantParams;
 use axtensor::{Matrix, SegmentTable};
 use serde::{Deserialize, Serialize};
 
-/// Output positions per register micro-tile: the microkernel streams this
-/// many patch rows in parallel while holding one LUT row hoisted.
+/// Output positions per register micro-tile: the scalar microkernel
+/// streams this many patch rows in parallel while holding one LUT row
+/// hoisted.
 pub const MR: usize = 8;
 
 /// Cache-blocking panel sizes of the tiled LUT GEMM.
@@ -288,7 +286,7 @@ pub fn lut_gemm_tiled(
 ///
 /// The fold over `K` and the contiguous-row-span sharding are exactly
 /// those of [`lut_gemm_tiled`]; the segment table only drives the Eq. 4
-/// epilogue, via a [`SegmentEpilogue`]
+/// epilogue, via a [`SegmentEpilogue`](crate::prepared::SegmentEpilogue)
 /// lookup. The result is bit-identical to [`lut_gemm_reference_seg`] for
 /// any accumulator model, tile shape, and thread count — and therefore to
 /// running each segment alone and concatenating.
@@ -330,7 +328,7 @@ pub fn lut_gemm_tiled_seg(
     for (t, span) in out.chunks_mut(rows_per * c_out).enumerate() {
         let r0 = t * rows_per;
         jobs.push(Box::new(move || {
-            tile_span(
+            scalar::tile_span(
                 r0,
                 span,
                 patches,
@@ -346,93 +344,6 @@ pub fn lut_gemm_tiled_seg(
     }
     pool.run(jobs);
     out
-}
-
-/// Run the blocked microkernel over output rows `r0 .. r0 + span/c_out`.
-#[allow(clippy::too_many_arguments)]
-fn tile_span(
-    r0: usize,
-    out_span: &mut [f32],
-    patches: &Matrix<u8>,
-    patch_sums: &[i64],
-    plan: &PreparedFilter,
-    row_seg: &[u32],
-    epi: &SegmentEpilogue,
-    lut: &MulLut,
-    accumulator: Accumulator,
-    tiles: TileConfig,
-) {
-    let c_out = plan.c_out();
-    let k_total = plan.k();
-    let span_rows = out_span.len() / c_out;
-    let signedness = lut.signedness();
-    // Accumulator tile, channel-major: acc[co * mw + i] is output
-    // position `mb + i`, channel `nb + co`.
-    let mut acc = vec![0i64; tiles.mc * tiles.nc];
-    for mb in (0..span_rows).step_by(tiles.mc) {
-        let mw = tiles.mc.min(span_rows - mb);
-        for nb in (0..c_out).step_by(tiles.nc) {
-            let nw = tiles.nc.min(c_out - nb);
-            acc[..nw * mw].fill(0);
-            for kb in (0..k_total).step_by(tiles.kc) {
-                let kw = tiles.kc.min(k_total - kb);
-                // Register micro-tiles: MR patch-row streams at a time,
-                // reused across the whole channel tile while their
-                // MR×kw bytes stay L1-resident.
-                let mut rs = 0usize;
-                while rs + MR <= mw {
-                    let base = r0 + mb + rs;
-                    let prows: [&[u8]; MR] =
-                        std::array::from_fn(|i| &patches.row(base + i)[kb..kb + kw]);
-                    for co in 0..nw {
-                        let fcol = &plan.channel_bytes(nb + co)[kb..kb + kw];
-                        let acc_mr = &mut acc[co * mw + rs..][..MR];
-                        match signedness {
-                            Signedness::Signed => micro_mr(
-                                acc_mr,
-                                &prows,
-                                fcol,
-                                lut,
-                                |raw| i64::from(raw as i16),
-                                accumulator,
-                            ),
-                            Signedness::Unsigned => {
-                                micro_mr(acc_mr, &prows, fcol, lut, i64::from, accumulator);
-                            }
-                        }
-                    }
-                    rs += MR;
-                }
-                // Scalar tail for the last partial micro-tile.
-                for r in rs..mw {
-                    let prow = &patches.row(r0 + mb + r)[kb..kb + kw];
-                    for co in 0..nw {
-                        let fcol = &plan.channel_bytes(nb + co)[kb..kb + kw];
-                        let slot = &mut acc[co * mw + r];
-                        *slot = match accumulator {
-                            Accumulator::Exact => {
-                                *slot + lut_dot(prow, fcol, lut, signedness, accumulator)
-                            }
-                            // Order-sensitive models cannot fold a
-                            // pre-reduced partial; replay the taps.
-                            _ => fold_taps(*slot, prow, fcol, lut, signedness, accumulator),
-                        };
-                    }
-                }
-            }
-            // Epilogue: Eq. 4 correction + dequantization under the
-            // owning segment's constants, written to the
-            // channel-contiguous output tile.
-            for (co, acc_col) in acc[..nw * mw].chunks(mw).enumerate() {
-                let c = nb + co;
-                for (i, &a) in acc_col.iter().enumerate() {
-                    let r = r0 + mb + i;
-                    let sp = patch_sums[r];
-                    out_span[(mb + i) * c_out + c] = epi.dequantize(row_seg[r] as usize, c, a, sp);
-                }
-            }
-        }
-    }
 }
 
 /// Continue an order-sensitive fold from `acc` across one tap panel.
@@ -454,41 +365,6 @@ fn fold_taps(
         acc = accumulator.add(acc, prod);
     }
     acc
-}
-
-/// The register micro-tile: fold one `kw`-tap filter column into `MR`
-/// accumulators at once, all held in registers, with each tap's 512-byte
-/// LUT row hoisted out of the `MR` sweep.
-#[inline]
-fn micro_mr<D: Fn(u16) -> i64 + Copy>(
-    acc_mr: &mut [i64],
-    prows: &[&[u8]; MR],
-    fcol: &[u8],
-    lut: &MulLut,
-    decode: D,
-    accumulator: Accumulator,
-) {
-    let mut a = [0i64; MR];
-    a.copy_from_slice(&acc_mr[..MR]);
-    match accumulator {
-        Accumulator::Exact => {
-            for (k, &fb) in fcol.iter().enumerate() {
-                let row = lut.row(fb);
-                for i in 0..MR {
-                    a[i] += decode(row[prows[i][k] as usize]);
-                }
-            }
-        }
-        _ => {
-            for (k, &fb) in fcol.iter().enumerate() {
-                let row = lut.row(fb);
-                for i in 0..MR {
-                    a[i] = accumulator.add(a[i], decode(row[prows[i][k] as usize]));
-                }
-            }
-        }
-    }
-    acc_mr[..MR].copy_from_slice(&a);
 }
 
 #[cfg(test)]
@@ -523,6 +399,20 @@ mod tests {
             QuantParams::from_range(-0.5, 0.5, QuantRange::i8(), RoundMode::NearestEven).into();
         let plan = PreparedFilter::from_filter(&filter, &fq);
         (patches, sums, plan, input_q)
+    }
+
+    /// Shared operand builder for the per-arm unit tests (the SIMD
+    /// module reuses it): an *approximate* multiplier, so a broken
+    /// plane/row derivation cannot hide behind exact-product symmetry.
+    pub(crate) fn setup_operands(
+        rows: usize,
+        fs: FilterShape,
+        seed: u64,
+        signedness: Signedness,
+    ) -> (Matrix<u8>, Vec<i64>, PreparedFilter, QuantParams, MulLut) {
+        let (patches, sums, plan, input_q) = setup(rows, fs, seed);
+        let lut = MulLut::from_fn(signedness, |a, b| (a * b) & !0x3);
+        (patches, sums, plan, input_q, lut)
     }
 
     #[test]

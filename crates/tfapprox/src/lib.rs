@@ -114,7 +114,7 @@ pub use axconv2d::AxConv2D;
 pub use axdense::AxDense;
 pub use context::{Backend, EmuContext};
 pub use error::{EmuError, Error};
-pub use kernel::TileConfig;
+pub use kernel::{auto_kernel, available_kernels, KernelKind, TileConfig};
 pub use pool::WorkerPool;
 pub use prepared::PreparedFilter;
 pub use runtime::{run_accurate_cpu, EmulationReport};
@@ -136,7 +136,7 @@ pub mod prelude {
     pub use crate::compile::{compile_netlist, CompileRequest, CompiledMultiplier};
     pub use crate::context::{Backend, EmuContext};
     pub use crate::error::Error;
-    pub use crate::kernel::TileConfig;
+    pub use crate::kernel::{available_kernels, KernelKind, TileConfig};
     pub use crate::pool::WorkerPool;
     pub use crate::runtime::EmulationReport;
     pub use crate::serve::{

@@ -29,6 +29,11 @@ pub struct EmulationReport {
     pub profile: PhaseProfile,
     /// Images processed.
     pub images: usize,
+    /// The LUT-GEMM kernel arm that executed the host GEMM (a
+    /// [`crate::kernel::KernelKind`] name), or `"none"` for backends
+    /// that never enter the host LUT-GEMM (direct CPU loops, the
+    /// simulated GPU, the accurate baseline).
+    pub kernel: &'static str,
 }
 
 impl EmulationReport {
@@ -55,10 +60,11 @@ impl EmulationReport {
     }
 
     /// Render the report as one JSON object (schema
-    /// `tfapprox-session-report/1`), suitable for appending to a
+    /// `tfapprox-session-report/2`), suitable for appending to a
     /// `BENCH_*.json` trajectory the way the conv-engine bench does:
-    /// backend, `tinit`/`tcomp`/total seconds, image count, throughput,
-    /// and the Fig. 2 phase seconds and fractions.
+    /// backend, the active LUT-GEMM kernel, `tinit`/`tcomp`/total
+    /// seconds, image count, throughput, and the Fig. 2 phase seconds
+    /// and fractions.
     #[must_use]
     pub fn to_json(&self) -> String {
         let phase_entries = |f: &dyn Fn(Phase) -> f64| -> String {
@@ -75,8 +81,9 @@ impl EmulationReport {
             format!("{{{}}}", fields.join(", "))
         };
         let fields = [
-            ("schema", json_string("tfapprox-session-report/1")),
+            ("schema", json_string("tfapprox-session-report/2")),
             ("backend", json_string(&self.backend.to_string())),
+            ("kernel", json_string(self.kernel)),
             ("tinit_s", json_number(self.tinit)),
             ("tcomp_s", json_number(self.tcomp)),
             ("total_s", json_number(self.total())),
@@ -215,6 +222,10 @@ pub fn run_approx(
             tcomp,
             profile,
             images,
+            kernel: match ctx.backend() {
+                Backend::CpuGemm => ctx.kernel().name(),
+                Backend::CpuDirect | Backend::GpuSim => "none",
+            },
         },
     ))
 }
@@ -248,6 +259,7 @@ pub fn run_accurate_cpu(
             tcomp,
             profile,
             images,
+            kernel: "none",
         },
     ))
 }
@@ -329,6 +341,7 @@ mod tests {
             tcomp: 0.0,
             profile: PhaseProfile::new(),
             images: 0,
+            kernel: "none",
         };
         assert_eq!(empty.images_per_second(), 0.0);
     }
@@ -400,8 +413,9 @@ mod tests {
         let (_, report) = run_approx(&graph, &batches, &ctx).unwrap();
         let doc = report.to_json();
         for needle in [
-            "\"schema\": \"tfapprox-session-report/1\"",
+            "\"schema\": \"tfapprox-session-report/2\"",
             "\"backend\": \"gpu-sim\"",
+            "\"kernel\": \"none\"",
             "\"tinit_s\"",
             "\"tcomp_s\"",
             "\"total_s\"",
@@ -413,6 +427,15 @@ mod tests {
         ] {
             assert!(doc.contains(needle), "missing {needle} in {doc}");
         }
+    }
+
+    #[test]
+    fn cpu_gemm_report_names_the_active_kernel() {
+        let (graph, batches, ctx) = tiny_setup(Backend::CpuGemm);
+        let (_, report) = run_approx(&graph, &batches, &ctx).unwrap();
+        assert_eq!(report.kernel, ctx.kernel().name());
+        let needle = format!("\"kernel\": \"{}\"", report.kernel);
+        assert!(report.to_json().contains(&needle), "{}", report.to_json());
     }
 
     #[test]

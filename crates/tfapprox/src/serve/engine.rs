@@ -275,6 +275,10 @@ pub struct ServeStats {
     /// Per-tenant counters, ordered by the key's display form. Empty
     /// until the first request is answered or shed on a deadline.
     pub per_tenant: Vec<TenantServeStats>,
+    /// The LUT-GEMM kernel arm the default tenant's session dispatches
+    /// to (a [`crate::kernel::KernelKind`] name), so serving throughput
+    /// rows are attributable to the kernel that produced them.
+    pub kernel: &'static str,
 }
 
 /// One queued request: the tenant key, its resolved session (held so an
@@ -305,6 +309,9 @@ struct TenantCounters {
 /// State shared between the engine handle and its shard workers.
 struct Shared {
     registry: Arc<SessionRegistry>,
+    /// Kernel-arm name of the default tenant's session, snapshot at
+    /// engine construction for [`ServeStats::kernel`].
+    kernel: &'static str,
     default_key: SessionKey,
     config: ServeConfig,
     queue: Mutex<ServeQueue>,
@@ -681,10 +688,12 @@ impl ServeEngine {
         config: ServeConfig,
     ) -> Result<Self, Error> {
         config.validate()?;
-        // Fail fast on an unservable default tenant.
-        registry.session_for(&default_key)?;
+        // Fail fast on an unservable default tenant; note its kernel arm
+        // for stats attribution while we hold the session.
+        let kernel = registry.session_for(&default_key)?.kernel().name();
         let shared = Arc::new(Shared {
             registry,
+            kernel,
             default_key,
             config,
             queue: Mutex::new(ServeQueue {
@@ -894,6 +903,7 @@ impl ServeEngine {
             p99_latency_s: self.shared.latency.quantile_seconds(0.99),
             fused_batches: self.shared.fused_batches.load(Ordering::Relaxed),
             per_tenant,
+            kernel: self.shared.kernel,
         }
     }
 }

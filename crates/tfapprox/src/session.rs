@@ -2,6 +2,7 @@
 
 #![deny(missing_docs)]
 
+use crate::kernel::KernelKind;
 use crate::{
     runtime, Accumulator, Assignment, AxConv2D, Backend, EmuContext, EmulationReport, Error,
     TileConfig,
@@ -43,6 +44,7 @@ pub struct SessionBuilder {
     chunk_size: Option<usize>,
     threads: Option<usize>,
     tiles: Option<TileConfig>,
+    kernel: Option<KernelKind>,
     assignment: Option<Assignment>,
     /// A multiplier name to resolve at compile time (catalog, then the
     /// process-wide registry). Mutually exclusive with `assignment`;
@@ -62,6 +64,7 @@ impl SessionBuilder {
             chunk_size: None,
             threads: None,
             tiles: None,
+            kernel: None,
             assignment: None,
             named_multiplier: None,
             accumulator: Accumulator::default(),
@@ -106,6 +109,19 @@ impl SessionBuilder {
     #[must_use]
     pub fn tile_config(mut self, tiles: TileConfig) -> Self {
         self.tiles = Some(tiles);
+        self
+    }
+
+    /// Force a specific LUT-GEMM kernel arm for the host GEMM backend
+    /// instead of the process-wide automatic choice
+    /// ([`crate::kernel::auto_kernel`]). [`KernelKind::ScalarTiled`] is
+    /// the always-available forced-scalar escape hatch; every arm is
+    /// bit-identical, so this knob can only change speed, never results.
+    /// Validated at [`SessionBuilder::compile`]: an arm this host cannot
+    /// execute is a compile error, not a silent downgrade.
+    #[must_use]
+    pub fn kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = Some(kernel);
         self
     }
 
@@ -161,6 +177,9 @@ impl SessionBuilder {
         }
         if let Some(tiles) = self.tiles {
             ctx = ctx.with_tile_config(tiles);
+        }
+        if let Some(kernel) = self.kernel {
+            ctx = ctx.with_kernel(kernel)?;
         }
         Ok(Arc::new(ctx))
     }
@@ -440,6 +459,13 @@ impl Session {
         &self.ctx
     }
 
+    /// The LUT-GEMM kernel arm this session's host GEMM dispatches to
+    /// (selected at compile; see [`SessionBuilder::kernel`]).
+    #[must_use]
+    pub fn kernel(&self) -> KernelKind {
+        self.ctx.kernel()
+    }
+
     /// The transformed (approximate) graph.
     #[must_use]
     pub fn graph(&self) -> &Graph {
@@ -557,6 +583,24 @@ mod tests {
             .compile(&graph)
             .unwrap_err();
         assert!(err.to_string().contains("thread count"), "{err}");
+    }
+
+    #[test]
+    fn kernel_override_is_honored_and_defaults_to_auto() {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(1).unwrap();
+        let auto = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&exact())
+            .compile(&graph)
+            .unwrap();
+        assert_eq!(auto.kernel(), crate::kernel::auto_kernel());
+        let forced = Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier(&exact())
+            .kernel(KernelKind::ScalarTiled)
+            .compile(&graph)
+            .unwrap();
+        assert_eq!(forced.kernel(), KernelKind::ScalarTiled);
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Seeded mutation fuzzer for the textual netlist parser.
+//!
+//! The committed corpus under `tests/corpus/netlist/` seeds a
+//! deterministic byte/line-level mutator; every mutant is fed to
+//! [`axcircuit::text::parse`] under `catch_unwind`. The contract:
+//!
+//! - `parse` never panics, on any input — malformed sources must come
+//!   back as typed [`CircuitError`]s;
+//! - whenever a mutant *does* parse, `format` → `parse` round-trips it to
+//!   a structurally equal netlist (canonical renaming is lossless).
+//!
+//! Iterations are bounded so the suite stays CI-sized. When a mutant
+//! trips either invariant the test fails with a line-minimized
+//! reproducer; commit that reproducer into the corpus as a new
+//! `crash_*.nl` seed so it is replayed verbatim forever after.
+
+use axcircuit::text::{format, parse};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Mutants per corpus seed. The whole run is a few thousand parses of
+/// sub-kilobyte sources — well under a second.
+const MUTANTS_PER_SEED: usize = 120;
+/// Cap on mutant size, so insertion mutations cannot balloon the corpus.
+const MAX_MUTANT_BYTES: usize = 4096;
+
+/// Deterministic 64-bit LCG (MMIX constants) — the fuzzer must replay
+/// byte-identically across runs and platforms.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/netlist")
+}
+
+/// Every committed seed, sorted by file name for a stable mutation
+/// schedule.
+fn corpus() -> Vec<(String, String)> {
+    let mut seeds: Vec<(String, String)> = std::fs::read_dir(corpus_dir())
+        .expect("corpus dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "nl"))
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let body = std::fs::read_to_string(&p).expect("corpus file reads");
+            (name, body)
+        })
+        .collect();
+    seeds.sort();
+    assert!(
+        seeds.len() >= 30,
+        "corpus shrank to {} seeds — malformed cases must stay committed",
+        seeds.len()
+    );
+    seeds
+}
+
+/// One mutation step: small, structure-aware edits that keep most mutants
+/// near the grammar (where parser bugs live) while still exercising raw
+/// byte noise.
+fn mutate(src: &str, rng: &mut Lcg, splice_pool: &[(String, String)]) -> String {
+    let mut bytes = src.as_bytes().to_vec();
+    match rng.below(8) {
+        // Flip one byte.
+        0 if !bytes.is_empty() => {
+            let i = rng.below(bytes.len());
+            bytes[i] ^= 1 << rng.below(8);
+        }
+        // Delete a byte span.
+        1 if !bytes.is_empty() => {
+            let i = rng.below(bytes.len());
+            let n = 1 + rng.below(8).min(bytes.len() - i - 1);
+            bytes.drain(i..i + n);
+        }
+        // Insert grammar-ish tokens.
+        2 => {
+            const TOKENS: [&str; 10] = [
+                ".gate",
+                ".operands",
+                ".outputs",
+                ".end",
+                ".model",
+                " and ",
+                " = ",
+                "a0",
+                "\n",
+                " 99 ",
+            ];
+            let i = rng.below(bytes.len() + 1);
+            let tok = TOKENS[rng.below(TOKENS.len())];
+            bytes.splice(i..i, tok.bytes());
+        }
+        // Duplicate a line.
+        3 => {
+            let lines: Vec<&str> = src.lines().collect();
+            if !lines.is_empty() {
+                let mut lines = lines;
+                let i = rng.below(lines.len());
+                lines.insert(i, lines[i]);
+                return lines.join("\n");
+            }
+        }
+        // Drop a line.
+        4 => {
+            let lines: Vec<&str> = src.lines().collect();
+            if lines.len() > 1 {
+                let mut lines = lines;
+                lines.remove(rng.below(lines.len()));
+                return lines.join("\n");
+            }
+        }
+        // Swap two lines (breaks definition order).
+        5 => {
+            let mut lines: Vec<&str> = src.lines().collect();
+            if lines.len() > 1 {
+                let (i, j) = (rng.below(lines.len()), rng.below(lines.len()));
+                lines.swap(i, j);
+                return lines.join("\n");
+            }
+        }
+        // Splice the head of this seed onto the tail of another.
+        6 => {
+            let other = &splice_pool[rng.below(splice_pool.len())].1;
+            let cut_a = rng.below(src.len() + 1);
+            let cut_b = rng.below(other.len() + 1);
+            let mut s = String::new();
+            s.push_str(&src[..floor_char(src, cut_a)]);
+            s.push_str(&other[floor_char(other, cut_b)..]);
+            return s;
+        }
+        // Truncate mid-source.
+        _ if !bytes.is_empty() => {
+            bytes.truncate(rng.below(bytes.len()));
+        }
+        _ => {}
+    }
+    bytes.truncate(MAX_MUTANT_BYTES);
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Largest char boundary `<= i` (splice cuts must stay valid UTF-8).
+fn floor_char(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// `Ok(())` when the parser upholds both invariants on `src`; the failure
+/// message otherwise.
+fn check(src: &str) -> Result<(), String> {
+    let parsed =
+        catch_unwind(AssertUnwindSafe(|| parse(src))).map_err(|_| "parse panicked".to_string())?;
+    let Ok(nl) = parsed else {
+        return Ok(()); // Typed rejection is exactly the contract.
+    };
+    let text = format(&nl, "fuzz");
+    let reparsed = catch_unwind(AssertUnwindSafe(|| parse(&text)))
+        .map_err(|_| "parse panicked on formatted output".to_string())?
+        .map_err(|e| format_args!("format output failed to reparse: {e}").to_string())?;
+    if reparsed != nl {
+        return Err("format -> parse round-trip drifted".to_string());
+    }
+    Ok(())
+}
+
+/// Shrink a failing source by repeatedly dropping lines (then trailing
+/// bytes) while it keeps failing — the reproducer to commit.
+fn minimize(src: &str) -> String {
+    let mut best = src.to_string();
+    let mut shrunk = true;
+    while shrunk {
+        shrunk = false;
+        let lines: Vec<&str> = best.lines().collect();
+        for skip in 0..lines.len() {
+            let candidate: String = lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, l)| format_args!("{l}\n").to_string())
+                .collect();
+            if check(&candidate).is_err() {
+                best = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    while !best.is_empty() && check(&best[..floor_char(&best, best.len() - 1)]).is_err() {
+        best.truncate(floor_char(&best, best.len() - 1));
+    }
+    best
+}
+
+/// Every committed seed must itself uphold the invariants — this replays
+/// past crashers (`crash_*.nl`) verbatim before any mutation runs.
+#[test]
+fn corpus_seeds_never_panic_and_round_trip() {
+    for (name, body) in corpus() {
+        if let Err(why) = check(&body) {
+            panic!("corpus seed {name} violates the parser contract: {why}");
+        }
+        // Malformed seeds must stay malformed: a parser change that starts
+        // accepting them silently weakens the typed-error surface.
+        if name.starts_with("malformed_") || name.starts_with("dangling_") {
+            assert!(
+                parse(&body).is_err(),
+                "corpus seed {name} unexpectedly parses now"
+            );
+        }
+        if name.starts_with("valid_") {
+            assert!(parse(&body).is_ok(), "corpus seed {name} stopped parsing");
+        }
+    }
+}
+
+/// The bounded mutation campaign: deterministic, so a failure here is
+/// reproducible by rerunning the same binary.
+#[test]
+fn mutated_corpus_never_panics_and_round_trips() {
+    let seeds = corpus();
+    let mut rng = Lcg(0x5EED_CAFE_F00D_D00D);
+    let mut executed = 0u64;
+    for (name, body) in &seeds {
+        let mut current = body.clone();
+        for step in 0..MUTANTS_PER_SEED {
+            // Alternate fresh single-step mutants with stacked mutations
+            // of the previous mutant (deeper corruption).
+            let mutant = if step % 3 == 0 {
+                mutate(body, &mut rng, &seeds)
+            } else {
+                current = mutate(&current, &mut rng, &seeds);
+                current.clone()
+            };
+            executed += 1;
+            if let Err(why) = check(&mutant) {
+                let minimized = minimize(&mutant);
+                panic!(
+                    "parser contract violated ({why}) on a mutant of {name} at step {step}.\n\
+                     Minimized reproducer (commit as tests/corpus/netlist/crash_*.nl):\n\
+                     ---\n{minimized}\n---"
+                );
+            }
+        }
+    }
+    assert_eq!(executed, seeds.len() as u64 * MUTANTS_PER_SEED as u64);
+}
+
+/// Valid generator output survives heavy token-level mutation without ever
+/// panicking — the fuzzer's "near-valid" frontier, where most historical
+/// parser bugs (token counts, duplicate nets, order violations) live.
+#[test]
+fn mutated_generator_netlists_never_panic() {
+    let canon = [
+        format(&axcircuit::approx::exact_unsigned(8).expect("gen"), "m8"),
+        format(
+            &axcircuit::approx::broken_array_unsigned(8, 5, 2).expect("gen"),
+            "bam",
+        ),
+        format(&axcircuit::approx::exact_signed(6).expect("gen"), "s6"),
+    ];
+    let pool: Vec<(String, String)> = canon
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (format_args!("gen_{i}").to_string(), s.clone()))
+        .collect();
+    let mut rng = Lcg(0xF02_BA11);
+    for (name, body) in &pool {
+        for step in 0..MUTANTS_PER_SEED {
+            let mutant = mutate(body, &mut rng, &pool);
+            if let Err(why) = check(&mutant) {
+                let minimized = minimize(&mutant);
+                panic!(
+                    "parser contract violated ({why}) on a mutant of {name} at step {step}.\n\
+                     Minimized reproducer (commit as tests/corpus/netlist/crash_*.nl):\n\
+                     ---\n{minimized}\n---"
+                );
+            }
+        }
+    }
+}

@@ -22,8 +22,8 @@ use std::sync::mpsc;
 use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Duration;
-use tfapprox::serve::{ServeConfig, ServeEngine, SessionKey, SessionRegistry};
-use tfapprox::{Assignment, Backend, Session};
+use tfapprox::serve::{ServeConfig, ServeEngine, ServeError, SessionKey, SessionRegistry};
+use tfapprox::{Assignment, Backend, Error, Session};
 
 /// Hard watchdog: run `body` on its own thread and panic if it does not
 /// finish within `timeout` — a deadlocked engine fails the suite instead
@@ -241,6 +241,177 @@ fn hammer_multi_tenant(shards: usize, clients: usize, per_client: usize, capacit
     assert_eq!(stats.shed, 0, "queue was deep enough — nothing may shed");
     assert_eq!(stats.deadline_shed, 0, "no deadlines were set");
     assert!(stats.p50_latency_s > 0.0 && stats.p50_latency_s <= stats.p99_latency_s);
+}
+
+/// Starvation regression: a hot tenant saturating the submission queue
+/// with already-expired requests must not make a cold tenant's requests
+/// disappear. While the single shard is parked, the queue stays full —
+/// the cold tenant's submissions come back as explicit
+/// [`ServeError::Overloaded`] (never a silent drop), the hot tenant's
+/// accepted-but-expired requests surface as deadline sheds charged to
+/// *its* per-tenant row, and after the storm the cold tenant is served
+/// bit-identically. Every counter is checked for exact equality with the
+/// client-side tally.
+#[test]
+fn hot_tenant_cannot_silently_starve_cold_tenants() {
+    with_watchdog(Duration::from_secs(120), || {
+        const QUEUE_DEPTH: usize = 4;
+        let anchor = shared_session();
+        let registry = Arc::new(SessionRegistry::new(2).unwrap());
+        let hot_key = registry.install("tiny", Arc::clone(&anchor)).unwrap();
+        let cold_key = registry
+            .admit(
+                "tiny",
+                &Assignment::uniform(axmult::catalog::by_name("mul8s_exact").unwrap()),
+            )
+            .unwrap();
+        let cold_golden = {
+            let mult = axmult::catalog::by_name("mul8s_exact").unwrap();
+            let solo = Session::builder()
+                .backend(Backend::CpuGemm)
+                .chunk_size(4)
+                .threads(2)
+                .multiplier(&mult)
+                .compile(&tiny_graph())
+                .unwrap();
+            solo.infer(&request(7, 2)).unwrap()
+        };
+        let engine = ServeEngine::with_registry(
+            Arc::clone(&registry),
+            hot_key.clone(),
+            ServeConfig::new()
+                .with_shards(1)
+                .with_max_batch_images(1)
+                .with_flush_ticks(0)
+                .with_queue_depth(QUEUE_DEPTH),
+        )
+        .unwrap();
+
+        // Park the single shard on a large batch: until it finishes, no
+        // pops happen and the queue can only fill.
+        let busy = engine.submit(request(99, 32)).unwrap();
+
+        // The hot tenant floods with zero-budget requests — every
+        // accepted one is doomed to a deadline shed at pop time. (The
+        // shard may pop the parked request off the queue concurrently, so
+        // occupancy at acceptance time is racy; the client-side tallies
+        // below are what must reconcile exactly.)
+        let mut hot_doomed = Vec::new();
+        let mut hot_overloaded = 0u64;
+        let mut hot_seed = 0u64;
+        let mut flood = |hot_doomed: &mut Vec<_>, hot_overloaded: &mut u64| {
+            // Submit until the queue rejects: on return the queue was full
+            // a moment ago.
+            for _ in 0..2 * QUEUE_DEPTH + 8 {
+                hot_seed += 1;
+                match engine.submit_within(&hot_key, request(hot_seed, 1), Duration::ZERO) {
+                    Ok(t) => hot_doomed.push(t),
+                    Err(Error::Serve(ServeError::Overloaded { depth })) => {
+                        assert_eq!(depth, QUEUE_DEPTH);
+                        *hot_overloaded += 1;
+                        return true;
+                    }
+                    Err(e) => panic!("hot flood: unexpected error {e}"),
+                }
+            }
+            false
+        };
+        assert!(
+            flood(&mut hot_doomed, &mut hot_overloaded),
+            "a zero-budget flood must hit the queue bound"
+        );
+
+        // The cold tenant knocks while the queue is saturated: the shed
+        // must be an explicit, typed error — not a vanished request. A
+        // pop can race between the flood and the knock, so top up and
+        // retry (bounded); accepted knocks carry no deadline and must all
+        // be answered later.
+        let mut cold_overloaded = 0u64;
+        let mut cold_pending = Vec::new();
+        let mut cold_shed_observed = false;
+        for _ in 0..100 {
+            assert!(flood(&mut hot_doomed, &mut hot_overloaded));
+            match engine.submit_to(&cold_key, request(7, 2)) {
+                Err(Error::Serve(ServeError::Overloaded { depth })) => {
+                    assert_eq!(depth, QUEUE_DEPTH);
+                    cold_overloaded += 1;
+                    cold_shed_observed = true;
+                    break;
+                }
+                Ok(t) => cold_pending.push(t),
+                Err(e) => panic!("cold tenant: unexpected error {e}"),
+            }
+        }
+        assert!(
+            cold_shed_observed,
+            "a saturated queue must surface to the cold tenant as Overloaded"
+        );
+
+        // Drain the storm: the parked batch answers, every accepted hot
+        // request resolves as DeadlineExceeded (exactly once each).
+        assert!(busy.wait().is_ok());
+        let hot_doomed_n = hot_doomed.len() as u64;
+        for (i, t) in hot_doomed.into_iter().enumerate() {
+            match t.wait() {
+                Err(Error::Serve(ServeError::DeadlineExceeded { budget })) => {
+                    assert_eq!(budget, Duration::ZERO)
+                }
+                other => panic!("doomed hot request {i} resolved as {other:?}"),
+            }
+        }
+        let mut cold_answered = 0u64;
+        for t in cold_pending {
+            let out = t.wait().expect("accepted cold knock must be answered");
+            assert_eq!(out, cold_golden, "cold tenant served wrong bits");
+            cold_answered += 1;
+        }
+
+        // After the storm the cold tenant is served, bit-identical to its
+        // own solo session.
+        loop {
+            match engine.infer_to(&cold_key, request(7, 2)) {
+                Ok(out) => {
+                    assert_eq!(out, cold_golden, "cold tenant served wrong bits");
+                    cold_answered += 1;
+                    break;
+                }
+                Err(Error::Serve(ServeError::Overloaded { .. })) => {
+                    cold_overloaded += 1; // storm still draining — retry
+                    thread::yield_now();
+                }
+                Err(e) => panic!("cold tenant retry: unexpected error {e}"),
+            }
+        }
+
+        // Exact accounting under contention: every client-side outcome
+        // reappears in exactly one engine counter.
+        let stats = engine.stats();
+        assert_eq!(stats.shed, hot_overloaded + cold_overloaded);
+        assert_eq!(stats.deadline_shed, hot_doomed_n);
+        assert_eq!(stats.requests, 1 + cold_answered);
+        let row = |key: &SessionKey| {
+            stats
+                .per_tenant
+                .iter()
+                .find(|t| &t.key == key)
+                .unwrap_or_else(|| panic!("missing per-tenant row for {key}"))
+                .clone()
+        };
+        let hot = row(&hot_key);
+        assert_eq!(
+            hot.requests, 1,
+            "only the parked batch answered for the hot tenant"
+        );
+        assert_eq!(hot.deadline_shed, hot_doomed_n);
+        let cold = row(&cold_key);
+        assert_eq!(cold.requests, cold_answered);
+        assert_eq!(
+            cold.deadline_shed, 0,
+            "cold tenant never carried a deadline"
+        );
+        let per_tenant_sum: u64 = stats.per_tenant.iter().map(|t| t.deadline_shed).sum();
+        assert_eq!(per_tenant_sum, stats.deadline_shed);
+    });
 }
 
 #[test]
