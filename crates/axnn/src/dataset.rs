@@ -68,37 +68,96 @@ impl SyntheticCifar10 {
     }
 }
 
-/// Top-1 class of each row of a `[n, 1, 1, 10]` probability tensor.
+/// Top-1 class of each image of a `[n, 1, 1, classes]` logit/probability
+/// tensor.
+///
+/// Ties break **first-index-wins** (the numpy/framework `argmax`
+/// convention), so an exact and an approximate run that produce the same
+/// tied logits report the same class — a last-wins tie-break would turn
+/// identical outputs into spurious top-1 disagreement. Comparison uses
+/// `f32::total_cmp`, under which every NaN payload with the sign bit
+/// clear orders above +∞; a row of all such NaNs argmaxes to class 0.
+///
+/// # Panics
+///
+/// Panics if the tensor has spatial extent (`h * w != 1`): chunking a
+/// spatial feature map into "class rows" would silently produce one
+/// bogus class per pixel. Reduce (e.g. global-average-pool) first.
 #[must_use]
 pub fn argmax_classes(probs: &Tensor<f32>) -> Vec<u8> {
-    let c = probs.shape().c;
+    let shape = probs.shape();
+    assert!(
+        shape.h * shape.w == 1,
+        "argmax_classes expects [n, 1, 1, classes] logits, got spatial extent {}x{}",
+        shape.h,
+        shape.w
+    );
+    let c = shape.c;
     probs
         .as_slice()
         .chunks(c)
         .map(|row| {
             row.iter()
                 .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
+                // First-index-wins: only a strictly greater value
+                // displaces the running best.
+                .reduce(|best, cand| {
+                    if cand.1.total_cmp(best.1).is_gt() {
+                        cand
+                    } else {
+                        best
+                    }
+                })
                 .map(|(i, _)| i as u8)
                 .unwrap_or(0)
         })
         .collect()
 }
 
-/// Fraction of rows where two probability tensors agree on the top-1
-/// class — the metric for "does the approximate multiplier change the
+/// Fraction of images where two logit tensors agree on the top-1 class —
+/// the metric for "does the approximate multiplier change the
 /// prediction".
+///
+/// Zero-image tensors report **vacuous agreement `1.0`**: an empty
+/// evaluation batch carries no evidence of disagreement, and must not
+/// zero out an accuracy aggregate (the old behaviour returned `0.0`,
+/// which would poison any frontier point averaging over batches).
 ///
 /// # Panics
 ///
-/// Panics if the tensors have different shapes.
+/// Panics if the tensors have different shapes, or have spatial extent
+/// (see [`argmax_classes`]).
 #[must_use]
 pub fn top1_agreement(a: &Tensor<f32>, b: &Tensor<f32>) -> f64 {
     assert_eq!(a.shape(), b.shape(), "shape mismatch");
     let ca = argmax_classes(a);
     let cb = argmax_classes(b);
+    if ca.is_empty() {
+        return 1.0;
+    }
     let same = ca.iter().zip(&cb).filter(|(x, y)| x == y).count();
-    same as f64 / ca.len().max(1) as f64
+    same as f64 / ca.len() as f64
+}
+
+/// Fraction of positions where two class vectors (as produced by
+/// [`argmax_classes`]) agree, with the same vacuous-agreement convention
+/// as [`top1_agreement`]: empty inputs report `1.0`.
+///
+/// This is the accumulation-friendly form: a sweep can argmax each run
+/// once and compare class vectors across many candidate runs without
+/// retaining logit tensors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn class_agreement(a: &[u8], b: &[u8]) -> f64 {
+    assert_eq!(a.len(), b.len(), "class-vector length mismatch");
+    if a.is_empty() {
+        return 1.0;
+    }
+    let same = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    same as f64 / a.len() as f64
 }
 
 #[cfg(test)]
@@ -149,5 +208,146 @@ mod tests {
             Tensor::from_vec(Shape4::new(2, 1, 1, 3), vec![0.2, 0.7, 0.1, 0.1, 0.8, 0.1]).unwrap();
         assert_eq!(argmax_classes(&a), vec![1, 0]);
         assert_eq!(top1_agreement(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn argmax_ties_break_first_index_wins() {
+        // Regression: `max_by` keeps the *last* of equal elements, so the
+        // old code reported class 2 for a [0.5, 0.5, 0.5] row. The fix
+        // pins the numpy convention: the first maximal index wins.
+        let tied = Tensor::from_vec(Shape4::new(1, 1, 1, 3), vec![0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(argmax_classes(&tied), vec![0]);
+        let pair = Tensor::from_vec(Shape4::new(1, 1, 1, 4), vec![0.1, 0.7, 0.7, 0.2]).unwrap();
+        assert_eq!(argmax_classes(&pair), vec![1]);
+        // Two runs that tie the same way must agree — the whole point.
+        assert_eq!(top1_agreement(&tied, &tied), 1.0);
+    }
+
+    #[test]
+    fn argmax_handles_nan_and_negative_zero() {
+        // total_cmp: positive-sign NaN orders above every number, so a
+        // row with a NaN logit deterministically argmaxes to its first
+        // NaN — never a panic, never a run-to-run flap.
+        let nan = Tensor::from_vec(
+            Shape4::new(2, 1, 1, 3),
+            vec![0.9, f32::NAN, f32::NAN, f32::NAN, 0.9, 0.1],
+        )
+        .unwrap();
+        assert_eq!(argmax_classes(&nan), vec![1, 0]);
+        // An all-NaN row is class 0 by first-index-wins.
+        let all_nan =
+            Tensor::from_vec(Shape4::new(1, 1, 1, 3), vec![f32::NAN, f32::NAN, f32::NAN]).unwrap();
+        assert_eq!(argmax_classes(&all_nan), vec![0]);
+        // total_cmp orders -0.0 below +0.0; first-index still wins among
+        // exact equals.
+        let zeros = Tensor::from_vec(Shape4::new(1, 1, 1, 3), vec![-0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(argmax_classes(&zeros), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spatial extent")]
+    fn argmax_rejects_spatial_tensors() {
+        // A [n, h, w, c] feature map must not be silently chunked into
+        // h*w*n "class rows".
+        let spatial = Tensor::from_vec(Shape4::new(1, 2, 2, 2), vec![0.0; 8]).unwrap();
+        let _ = argmax_classes(&spatial);
+    }
+
+    #[test]
+    fn empty_tensors_agree_vacuously() {
+        // Regression: the `.max(1)` guard made zero-image tensors report
+        // 0.0 "agreement", zeroing any frontier point that averaged an
+        // empty eval batch in. Vacuous agreement is 1.0.
+        let empty = Tensor::from_vec(Shape4::new(0, 1, 1, 10), vec![]).unwrap();
+        assert!(argmax_classes(&empty).is_empty());
+        assert_eq!(top1_agreement(&empty, &empty), 1.0);
+        assert_eq!(class_agreement(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn single_image_batch_agreement_is_zero_or_one() {
+        let a = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![0.9, 0.1]).unwrap();
+        let b = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![0.1, 0.9]).unwrap();
+        assert_eq!(top1_agreement(&a, &a), 1.0);
+        assert_eq!(top1_agreement(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn class_agreement_matches_top1_agreement() {
+        let a =
+            Tensor::from_vec(Shape4::new(2, 1, 1, 3), vec![0.1, 0.8, 0.1, 0.6, 0.2, 0.2]).unwrap();
+        let b =
+            Tensor::from_vec(Shape4::new(2, 1, 1, 3), vec![0.2, 0.7, 0.1, 0.1, 0.8, 0.1]).unwrap();
+        assert_eq!(
+            class_agreement(&argmax_classes(&a), &argmax_classes(&b)),
+            top1_agreement(&a, &b)
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `batch_sized(i, k)` is the first `k` images of any larger
+            /// request with the same index and seed — the invariant that
+            /// lets quick sweeps share inputs with full sweeps.
+            #[test]
+            fn batch_prefixes_deterministic(
+                seed in 0u64..1000,
+                index in 0usize..BATCHES,
+                small in 0usize..6,
+                extra in 0usize..6,
+            ) {
+                let d = SyntheticCifar10::new(seed);
+                let big = d.batch_sized(index, small + extra);
+                let small_batch = d.batch_sized(index, small);
+                prop_assert_eq!(big.batch_slice(0, small), small_batch.clone());
+                // Re-generation is bit-identical.
+                prop_assert_eq!(d.batch_sized(index, small), small_batch);
+            }
+
+            /// Labels share the same prefix property and stay in range.
+            #[test]
+            fn label_prefixes_deterministic(
+                seed in 0u64..1000,
+                index in 0usize..BATCHES,
+                small in 0usize..50,
+                extra in 0usize..50,
+            ) {
+                let d = SyntheticCifar10::new(seed);
+                let big = d.labels(index, small + extra);
+                let small_labels = d.labels(index, small);
+                prop_assert_eq!(&big[..small], &small_labels[..]);
+                prop_assert_eq!(d.labels(index, small), small_labels);
+                prop_assert!(big.iter().all(|&l| l < 10));
+            }
+
+            /// Agreement is symmetric, bounded, and 1.0 on identical
+            /// inputs for every batch size including zero.
+            #[test]
+            fn agreement_bounds(
+                n in 0usize..5,
+                vals in proptest::collection::vec(-1.0f32..1.0, 0..50),
+            ) {
+                let c = 10;
+                let mut data = vec![0.0f32; n * c];
+                for (i, v) in vals.iter().enumerate() {
+                    if i < data.len() {
+                        data[i] = *v;
+                    }
+                }
+                let t = Tensor::from_vec(Shape4::new(n, 1, 1, c), data.clone()).unwrap();
+                let mut other = data;
+                if let Some(x) = other.first_mut() {
+                    *x += 2.0;
+                }
+                let u = Tensor::from_vec(Shape4::new(n, 1, 1, c), other).unwrap();
+                prop_assert_eq!(top1_agreement(&t, &t), 1.0);
+                let ab = top1_agreement(&t, &u);
+                prop_assert_eq!(ab, top1_agreement(&u, &t));
+                prop_assert!((0.0..=1.0).contains(&ab));
+            }
+        }
     }
 }

@@ -1,0 +1,75 @@
+//! `pareto_bench` — the accuracy-vs-power sweep behind `BENCH_pareto.json`.
+//!
+//! Sweeps the full multiplier catalog (built-ins + the compiled
+//! `mul8u_trunc3` netlist) × the 3 accumulator models over a ResNet-8
+//! session on synthetic CIFAR-10, scores every point's top-1 agreement
+//! against its exact-multiplier anchor, joins the unit-gate power/area
+//! and LUT error columns, and writes the `tfapprox-bench-pareto/1`
+//! report with computed Pareto-frontier flags. Pass `--quick` (or set
+//! `BENCH_PARETO_QUICK=1`) for the CI smoke sweep, `--images N` to
+//! override the per-point image count, `--out FILE` (or
+//! `BENCH_PARETO_OUT`) to override the output path.
+
+use tfapprox_bench::{arg_value, has_flag, pareto};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = has_flag(&args, "--quick")
+        || std::env::var("BENCH_PARETO_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let images = arg_value(&args, "--images").map(|v| {
+        v.parse::<usize>()
+            .unwrap_or_else(|_| panic!("--images wants a positive integer, got '{v}'"))
+    });
+
+    let report = match pareto::run_suite(quick, images) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pareto_bench: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(violation) = pareto::check_invariants(&report) {
+        eprintln!("pareto_bench: invariant violated: {violation}");
+        std::process::exit(1);
+    }
+
+    println!(
+        "{} multipliers x {} accumulators, {} images/point",
+        report.multipliers,
+        pareto::ACCUMULATORS.len(),
+        report.images
+    );
+    println!(
+        "{:>16} {:>13} {:>6} {:>9} {:>9} {:>9} {:>7} {:>8}",
+        "multiplier", "accumulator", "sign", "agreement", "power", "mae", "wce", "frontier"
+    );
+    for p in &report.points {
+        println!(
+            "{:>16} {:>13} {:>6} {:>9.4} {:>9} {:>9.2} {:>7} {:>8}",
+            p.multiplier,
+            p.accumulator,
+            match p.signedness {
+                axmult::Signedness::Signed => "s",
+                axmult::Signedness::Unsigned => "u",
+            },
+            p.agreement,
+            p.cost
+                .map_or_else(|| "-".to_owned(), |c| format!("{:.1}", c.power)),
+            p.metrics.mae,
+            p.metrics.wce,
+            if p.pareto_frontier { "*" } else { "" }
+        );
+    }
+    let frontier = report.points.iter().filter(|p| p.pareto_frontier).count();
+    println!("frontier: {frontier} of {} points", report.points.len());
+
+    let out =
+        arg_value(&args, "--out").map_or_else(pareto::default_out_path, std::path::PathBuf::from);
+    match pareto::write_report(&out, &report, quick) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("pareto_bench: writing {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,8 +1,8 @@
-//! Bench-smoke: the conv-engine and serve harnesses run end to end in
-//! quick mode and their JSON reports are well-formed and structurally
-//! complete.
+//! Bench-smoke: the conv-engine, serve, and pareto harnesses run end to
+//! end in quick mode and their JSON reports are well-formed and
+//! structurally complete.
 
-use tfapprox_bench::{conv_engine, json, serve_bench};
+use tfapprox_bench::{conv_engine, json, pareto, serve_bench};
 
 #[test]
 fn quick_suite_emits_well_formed_json() {
@@ -197,6 +197,85 @@ fn quick_serve_suite_emits_well_formed_json() {
         "\"p99_s\"",
         "\"registry_misses\"",
         "\"speedup_vs_single_request\"",
+    ] {
+        assert!(doc.contains(needle), "missing {needle} in report");
+    }
+}
+
+#[test]
+fn quick_pareto_suite_emits_well_formed_json() {
+    let report = pareto::run_suite(true, None).expect("quick pareto sweep");
+    // Every quick-subset multiplier appears under every accumulator.
+    assert_eq!(
+        report.points.len(),
+        pareto::QUICK_MULTIPLIERS.len() * pareto::ACCUMULATORS.len()
+    );
+    for &name in &pareto::QUICK_MULTIPLIERS {
+        for (label, _) in pareto::ACCUMULATORS {
+            assert!(
+                report
+                    .points
+                    .iter()
+                    .any(|p| p.multiplier == name && p.accumulator == label),
+                "missing ({name}, {label}) point"
+            );
+        }
+    }
+    // The acceptance invariants: agreements in range, exact multipliers
+    // at 1.0 by construction, no flagged point dominated.
+    pareto::check_invariants(&report).expect("pareto invariants");
+    for p in &report.points {
+        assert_eq!(p.images, pareto::QUICK_IMAGES);
+        assert!(p.wall_s > 0.0, "{} measured nothing", p.multiplier);
+        assert_eq!(
+            p.disagreements == 0,
+            p.agreement == 1.0,
+            "{}/{}: disagreements {} vs agreement {}",
+            p.multiplier,
+            p.accumulator,
+            p.disagreements,
+            p.agreement
+        );
+        // Anchors are same-signedness exact multipliers.
+        match p.signedness {
+            axmult::Signedness::Signed => assert_eq!(p.anchor, "mul8s_exact"),
+            axmult::Signedness::Unsigned => assert_eq!(p.anchor, "mul8u_exact"),
+        }
+        if p.multiplier == pareto::COMPILED_NAME {
+            assert_eq!(p.source, "compiled");
+            assert!(p.cost.is_some(), "compiled entries carry a cost column");
+        } else {
+            assert_eq!(p.source, "builtin");
+        }
+    }
+    // The sweep genuinely exercises approximation: some point must
+    // disagree with its anchor.
+    assert!(
+        report.points.iter().any(|p| p.agreement < 1.0),
+        "no approximate point ever disagreed"
+    );
+    // At least one point sits on the accuracy/power frontier.
+    assert!(report.points.iter().any(|p| p.pareto_frontier));
+
+    let doc = pareto::report_json(&report, true);
+    json::validate(&doc).expect("BENCH_pareto.json must be well-formed JSON");
+    for needle in [
+        "\"schema\": \"tfapprox-bench-pareto/1\"",
+        "\"mode\": \"quick\"",
+        "\"anchor_policy\"",
+        "\"accumulators\": [\"exact\", \"saturating-12\", \"wrapping-16\"]",
+        "\"points\"",
+        "\"multiplier\": \"mul8s_exact\"",
+        "\"multiplier\": \"mul8u_trunc3\"",
+        "\"source\": \"compiled\"",
+        "\"accumulator\": \"wrapping-16\"",
+        "\"agreement\": 1.0",
+        "\"disagreements\"",
+        "\"mae\"",
+        "\"wce\"",
+        "\"power\"",
+        "\"pdp\"",
+        "\"pareto_frontier\": true",
     ] {
         assert!(doc.contains(needle), "missing {needle} in report");
     }

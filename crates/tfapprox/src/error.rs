@@ -84,6 +84,9 @@ pub enum Error {
     /// A circuit-to-LUT compilation failure (netlist shape, verification,
     /// registration) from the [`crate::compile`] pipeline.
     Compile(axcompile::CompileError),
+    /// A filesystem failure (e.g. reading a pre-baked LUT file for
+    /// [`crate::compile::import_lut_file`]).
+    Io(std::io::Error),
 }
 
 impl fmt::Display for Error {
@@ -96,6 +99,7 @@ impl fmt::Display for Error {
             Error::Config(msg) => write!(f, "session configuration error: {msg}"),
             Error::Serve(e) => write!(f, "serving error: {e}"),
             Error::Compile(e) => write!(f, "multiplier compilation error: {e}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }
@@ -110,6 +114,7 @@ impl std::error::Error for Error {
             Error::Config(_) => None,
             Error::Serve(e) => Some(e),
             Error::Compile(e) => Some(e),
+            Error::Io(e) => Some(e),
         }
     }
 }
@@ -117,6 +122,12 @@ impl std::error::Error for Error {
 impl From<axcompile::CompileError> for Error {
     fn from(e: axcompile::CompileError) -> Self {
         Error::Compile(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
     }
 }
 

@@ -114,19 +114,67 @@ pub fn available_kernels() -> Vec<KernelKind> {
 /// The process-wide automatic kernel choice: `TFAPPROX_KERNEL` if it
 /// names a supported arm, else a one-shot calibration race (see the
 /// module docs). Resolved once and cached.
+///
+/// A `TFAPPROX_KERNEL` value that does *not* resolve keeps the
+/// documented fall-through-to-auto semantics, but is no longer silent: a
+/// one-time warning naming the valid kernels goes to stderr, so a typo
+/// like `TFAPPROX_KERNEL=sclar` cannot quietly lose the forced-scalar
+/// escape hatch.
 #[must_use]
 pub fn auto_kernel() -> KernelKind {
     static AUTO: OnceLock<KernelKind> = OnceLock::new();
     *AUTO.get_or_init(|| {
         if let Ok(v) = std::env::var("TFAPPROX_KERNEL") {
-            if let Some(k) = KernelKind::from_name(v.trim()) {
-                if k.is_supported() {
-                    return k;
-                }
+            let (choice, warning) = env_kernel_choice(&v);
+            if let Some(msg) = warning {
+                eprintln!("{msg}");
+            }
+            if let Some(k) = choice {
+                return k;
             }
         }
         calibrate()
     })
+}
+
+/// Resolve one `TFAPPROX_KERNEL` value: the forced arm if the value
+/// names a supported kernel, otherwise `None` (fall through to
+/// calibration) plus the warning to print when the fall-through was not
+/// asked for. `auto` and an empty value are the documented spellings of
+/// "calibrate" and stay silent; an unknown name or an arm this host
+/// cannot run warns, naming every kernel the process accepts.
+fn env_kernel_choice(value: &str) -> (Option<KernelKind>, Option<String>) {
+    let v = value.trim();
+    if v.is_empty() || v == "auto" {
+        return (None, None);
+    }
+    let valid = || {
+        available_kernels()
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    match KernelKind::from_name(v) {
+        Some(k) if k.is_supported() => (Some(k), None),
+        Some(k) => (
+            None,
+            Some(format!(
+                "tfapprox: TFAPPROX_KERNEL={v} names kernel '{}' which this host cannot \
+                 execute; falling through to automatic selection (valid here: {}, auto)",
+                k.name(),
+                valid()
+            )),
+        ),
+        None => (
+            None,
+            Some(format!(
+                "tfapprox: TFAPPROX_KERNEL={v} does not name a kernel; falling through to \
+                 automatic selection (valid: {}, auto)",
+                valid()
+            )),
+        ),
+    }
 }
 
 /// The calibration arm of [`auto_kernel`]: race the SIMD kernels where
@@ -262,6 +310,39 @@ mod tests {
         let k = auto_kernel();
         assert!(k.is_supported());
         assert_eq!(k, auto_kernel(), "cached choice must not flap");
+    }
+
+    #[test]
+    fn env_typos_warn_but_fall_through() {
+        // The documented "calibrate" spellings stay silent.
+        for quiet in ["auto", "", "  auto  "] {
+            assert_eq!(env_kernel_choice(quiet), (None, None), "{quiet:?}");
+        }
+        // A valid, supported name forces that arm with no warning.
+        assert_eq!(
+            env_kernel_choice("scalar-tiled"),
+            (Some(KernelKind::ScalarTiled), None)
+        );
+        assert_eq!(
+            env_kernel_choice(" scalar "),
+            (Some(KernelKind::ScalarTiled), None)
+        );
+        // A typo falls through to auto (documented semantics kept) but
+        // now carries a warning naming the valid kernels.
+        let (choice, warning) = env_kernel_choice("sclar");
+        assert_eq!(choice, None);
+        let msg = warning.expect("typo must warn");
+        assert!(msg.contains("sclar"), "{msg}");
+        assert!(msg.contains("scalar-tiled"), "{msg}");
+        assert!(msg.contains("auto"), "{msg}");
+        // An unsupported-but-real arm gets the distinct "cannot execute"
+        // message (constructible only on non-AVX2 hosts; both branches
+        // keep the fall-through contract).
+        if !KernelKind::Avx2Gather.is_supported() {
+            let (choice, warning) = env_kernel_choice("avx2-gather");
+            assert_eq!(choice, None);
+            assert!(warning.unwrap().contains("cannot execute"));
+        }
     }
 
     #[test]

@@ -97,6 +97,7 @@ pub mod pool;
 pub mod prepared;
 pub mod serve;
 pub mod session;
+pub mod sweep;
 
 // The pre-session free-function surface. Kept public so the equivalence
 // tests can pin `Session` bit-identical to the legacy path, but hidden
@@ -123,6 +124,7 @@ pub use serve::{
     SessionRegistry, TenantServeStats, Ticket,
 };
 pub use session::{Session, SessionBuilder};
+pub use sweep::sweep_uniform;
 
 /// Everything a session-driven caller needs, in one import.
 ///
@@ -144,5 +146,6 @@ pub mod prelude {
         TenantServeStats, Ticket,
     };
     pub use crate::session::{Session, SessionBuilder};
+    pub use crate::sweep::sweep_uniform;
     pub use axmult::{AxMultiplier, Signedness};
 }

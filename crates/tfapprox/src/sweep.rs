@@ -1,0 +1,150 @@
+//! Design-space sweep driver over [`Session::reassign`].
+//!
+//! The paper's evaluation loop (Table 1) walks an entire multiplier
+//! catalog through one trained model. Compiling a fresh [`Session`] per
+//! candidate would re-pay graph transformation and filter planning at
+//! every point; [`Session::reassign`] already avoids that by transplanting
+//! the cached plans of unchanged layers. This module packages the
+//! remaining boilerplate: chain each sweep point off the previous one so
+//! every step is a reassign (never a cold compile), and hand the caller a
+//! ready session per candidate.
+//!
+//! ```
+//! use tfapprox::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = axnn::resnet::ResNetConfig::with_depth(8)?.build(7)?;
+//! let base = Session::builder()
+//!     .backend(Backend::CpuGemm)
+//!     .multiplier_named("mul8s_exact")
+//!     .compile(&graph)?;
+//! let points = [
+//!     axmult::catalog::by_name("mul8s_exact")?,
+//!     axmult::catalog::by_name("mul8s_bam_v8h0")?,
+//! ];
+//! let names = tfapprox::sweep::sweep_uniform(&base, &points, |mult, session| {
+//!     assert_eq!(session.multipliers()[0].name(), mult.name());
+//!     Ok(mult.name().to_owned())
+//! })?;
+//! assert_eq!(names, ["mul8s_exact", "mul8s_bam_v8h0"]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Assignment, Error, Session};
+use axmult::AxMultiplier;
+
+/// Visit every multiplier in `mults` as a uniform assignment over `base`,
+/// reassigning from the previously visited session so each point pays
+/// only the plans its multiplier actually invalidates.
+///
+/// `visit` receives the candidate and its compiled session; its results
+/// are collected in sweep order. The first visitor error aborts the sweep
+/// and is returned as-is, so a caller can distinguish a broken candidate
+/// from a broken harness.
+///
+/// The `base` session is never mutated — it stays valid (and keeps its
+/// own multiplier) after the sweep, so interleaved sweeps over one
+/// compiled model are cheap.
+///
+/// # Errors
+///
+/// Any [`Session::reassign`] failure (e.g. a signedness/quantization
+/// mismatch for a candidate) or the first error returned by `visit`.
+pub fn sweep_uniform<T>(
+    base: &Session,
+    mults: &[AxMultiplier],
+    mut visit: impl FnMut(&AxMultiplier, &Session) -> Result<T, Error>,
+) -> Result<Vec<T>, Error> {
+    let mut out = Vec::with_capacity(mults.len());
+    // Chain off the previous point: consecutive same-signedness candidates
+    // transplant every layer plan instead of rebuilding from `base`.
+    let mut prev: Option<Session> = None;
+    for mult in mults {
+        let session = prev
+            .as_ref()
+            .unwrap_or(base)
+            .reassign(&Assignment::uniform(mult.clone()))?;
+        out.push(visit(mult, &session)?);
+        prev = Some(session);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, Session};
+    use axnn::resnet::{cifar_input_shape, ResNetConfig};
+    use axtensor::rng;
+
+    fn base_session() -> Session {
+        let graph = ResNetConfig::with_depth(8).unwrap().build(11).unwrap();
+        Session::builder()
+            .backend(Backend::CpuGemm)
+            .multiplier_named("mul8s_exact")
+            .compile(&graph)
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_visits_every_candidate_in_order() {
+        let base = base_session();
+        let mults = [
+            axmult::catalog::by_name("mul8s_bam_v8h0").unwrap(),
+            axmult::catalog::by_name("mul8s_exact").unwrap(),
+            // Cross-signedness points force a rebuild instead of a
+            // transplant; the driver must survive the mix.
+            axmult::catalog::by_name("mul8u_trunc4").unwrap(),
+        ];
+        let seen = sweep_uniform(&base, &mults, |mult, session| {
+            assert!(session
+                .multipliers()
+                .iter()
+                .all(|m| m.name() == mult.name()));
+            Ok(mult.name().to_owned())
+        })
+        .unwrap();
+        assert_eq!(seen, ["mul8s_bam_v8h0", "mul8s_exact", "mul8u_trunc4"]);
+        // The base session is untouched.
+        assert_eq!(base.multipliers()[0].name(), "mul8s_exact");
+    }
+
+    #[test]
+    fn swept_exact_point_matches_base_outputs() {
+        let base = base_session();
+        let input = rng::uniform(cifar_input_shape(2), 3, -1.0, 1.0);
+        let (want, _) = base.infer_batches(std::slice::from_ref(&input)).unwrap();
+        let mults = [
+            axmult::catalog::by_name("mul8s_bam_v8h0").unwrap(),
+            axmult::catalog::by_name("mul8s_exact").unwrap(),
+        ];
+        let outs = sweep_uniform(&base, &mults, |_, session| {
+            let (got, _) = session.infer_batches(std::slice::from_ref(&input))?;
+            Ok(got)
+        })
+        .unwrap();
+        // Reaching exact *via* an approximate point is bit-identical to
+        // the directly compiled exact session: transplant leaks nothing.
+        assert_eq!(outs[1][0].as_slice(), want[0].as_slice());
+        // And the approximate point genuinely differs.
+        assert_ne!(outs[0][0].as_slice(), want[0].as_slice());
+    }
+
+    #[test]
+    fn visitor_error_aborts_the_sweep() {
+        let base = base_session();
+        let mults = [
+            axmult::catalog::by_name("mul8s_exact").unwrap(),
+            axmult::catalog::by_name("mul8s_bam_v8h0").unwrap(),
+        ];
+        let mut visited = 0usize;
+        let err = sweep_uniform(&base, &mults, |_, _| -> Result<(), Error> {
+            visited += 1;
+            Err(Error::Config("visitor bailed".into()))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("visitor bailed"), "{err}");
+        assert_eq!(visited, 1, "sweep must stop at the first visitor error");
+    }
+}

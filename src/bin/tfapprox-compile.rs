@@ -9,13 +9,21 @@
 //! entry would carry. `--out` additionally writes the 128 KiB LUT in the
 //! `MulLut` binary format, loadable with `axmult::MulLut::load`.
 //!
+//! Alternatively, `--import FILE` skips the netlist pipeline entirely
+//! and registers a pre-baked 128 KiB LUT file (the `MulLut::save` /
+//! EvoApprox8b binary layout) via `tfapprox::compile::import_lut_file`,
+//! printing the same error characterization; truncated or oversized
+//! files are a typed error, never a silently misread table.
+//!
 //! ```text
 //! tfapprox-compile <netlist-file | -> [options]
+//! tfapprox-compile --import <file.bin> [options]
 //!   --name NAME    multiplier name (default: the input file stem)
 //!   --signed       interpret operands as two's-complement i8 (default u8)
 //!   --threads N    worker threads for the sweep (default 4)
 //!   --shards N     sweep shards (default threads * 4)
-//!   --out FILE     also write the compiled LUT in MulLut binary format
+//!   --out FILE     also write the (compiled or imported) LUT in MulLut
+//!                  binary format
 //! ```
 
 use axmult::Signedness;
@@ -23,11 +31,11 @@ use std::process::ExitCode;
 use tfapprox::compile::{CompileRequest, CompiledMultiplier};
 use tfapprox::WorkerPool;
 
-const USAGE: &str = "usage: tfapprox-compile <netlist-file | -> \
+const USAGE: &str = "usage: tfapprox-compile <netlist-file | - | --import <file.bin>> \
                      [--name NAME] [--signed] [--threads N] [--shards N] [--out FILE]";
 
 struct Options {
-    input: String,
+    input: Input,
     name: Option<String>,
     signedness: Signedness,
     threads: usize,
@@ -35,8 +43,15 @@ struct Options {
     out: Option<String>,
 }
 
+enum Input {
+    /// A netlist file path, or `-` for stdin.
+    Netlist(String),
+    /// A pre-baked LUT binary to import.
+    Lut(String),
+}
+
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut input = None;
+    let mut input: Option<Input> = None;
     let mut name = None;
     let mut signedness = Signedness::Unsigned;
     let mut threads = 4usize;
@@ -51,6 +66,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         };
         match arg.as_str() {
             "--name" => name = Some(value("--name")?),
+            "--import" => {
+                if input.is_some() {
+                    return Err(format!("--import conflicts with a netlist input\n{USAGE}"));
+                }
+                input = Some(Input::Lut(value("--import")?));
+            }
             "--signed" => signedness = Signedness::Signed,
             "--threads" => {
                 threads = value("--threads")?
@@ -67,13 +88,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--out" => out = Some(value("--out")?),
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other if input.is_none() && !other.starts_with("--") => {
-                input = Some(other.to_owned());
+                input = Some(Input::Netlist(other.to_owned()));
             }
             other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
         }
     }
     Ok(Options {
-        input: input.ok_or_else(|| format!("no netlist file given\n{USAGE}"))?,
+        input: input.ok_or_else(|| format!("no netlist or --import file given\n{USAGE}"))?,
         name,
         signedness,
         threads,
@@ -82,25 +103,57 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     })
 }
 
+fn derive_name(explicit: &Option<String>, input: &str) -> Result<String, String> {
+    match explicit {
+        Some(n) => Ok(n.clone()),
+        None => std::path::Path::new(input)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .filter(|s| !s.is_empty() && s != "-")
+            .ok_or_else(|| {
+                "cannot derive a multiplier name from the input; pass --name".to_owned()
+            }),
+    }
+}
+
+/// The `--import` path: load + register a pre-baked LUT binary and print
+/// its characterization (no netlist, so no cost columns).
+fn run_import(opts: &Options, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let name = derive_name(&opts.name, path)?;
+    let mult = tfapprox::compile::import_lut_file(path, &name, opts.signedness)?;
+    println!(
+        "{name}: imported {} LUT from {path} ({} bytes), registered",
+        mult.signedness(),
+        axmult::lut::LUT_BYTES
+    );
+    let m = mult.metrics();
+    println!(
+        "error: MAE {:.4}  WCE {}  MRE {:.6}  error-rate {:.4}  MAE% {:.4}",
+        m.mae, m.wce, m.mre, m.error_rate, m.mae_percent
+    );
+    println!("cost:  none (imported tables carry no netlist)");
+    if let Some(out) = &opts.out {
+        mult.lut().save(out)?;
+        println!("wrote {out} ({} bytes)", axmult::lut::LUT_BYTES);
+    }
+    Ok(())
+}
+
 fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
-    let src = if opts.input == "-" {
+    let input = match &opts.input {
+        Input::Lut(path) => return run_import(opts, path),
+        Input::Netlist(input) => input,
+    };
+    let src = if input == "-" {
         std::io::read_to_string(std::io::stdin())?
     } else {
-        std::fs::read_to_string(&opts.input)
-            .map_err(|e| format!("cannot read '{}': {e}", opts.input))?
+        std::fs::read_to_string(input).map_err(|e| format!("cannot read '{input}': {e}"))?
     };
     // Parse errors carry the 1-based source line, so a bad netlist fails
     // here with "line N: ..." rather than deep inside the sweep.
     let netlist = axcircuit::text::parse(&src)?;
 
-    let name = match &opts.name {
-        Some(n) => n.clone(),
-        None => std::path::Path::new(&opts.input)
-            .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .filter(|s| !s.is_empty() && s != "-")
-            .ok_or("cannot derive a multiplier name from the input; pass --name")?,
-    };
+    let name = derive_name(&opts.name, input)?;
 
     let pool = WorkerPool::new(opts.threads);
     let shards = opts.shards.unwrap_or(pool.threads() * 4);
